@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 8: average power of the 32-bit float MNIST run, split into the six
+ * GPUWattch categories (Core, L1, L2, NOC, DRAM, Idle). The paper reports
+ * core ~65% and idle ~25% on a GTX 1050.
+ */
+#include "bench/bench_util.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+int
+main()
+{
+    printHeader("Fig 8", "MNIST average power breakdown (GTX1050 model)");
+    const auto &weights = pretrainedWeights();
+    const auto run =
+        runMnistInference(cuda::SimMode::Performance, weights, testImages(), 1);
+
+    power::PowerModel pm;
+    const auto pb =
+        pm.compute(run.totals, timing::GpuConfig::gtx1050().core_clock_ghz);
+
+    struct Row
+    {
+        const char *name;
+        double watts;
+    } rows[] = {
+        {"Core", pb.core_w}, {"L1 Cache", pb.l1_w}, {"L2 Cache", pb.l2_w},
+        {"NOC", pb.noc_w},   {"DRAM", pb.dram_w},   {"Idle", pb.idle_w},
+    };
+    const double total = pb.total();
+    std::printf("%-10s %10s %8s   (paper: core ~65%%, idle ~25%%)\n",
+                "component", "avg W", "share");
+    for (const auto &r : rows) {
+        std::printf("%-10s %10.2f %7.1f%%  |", r.name, r.watts,
+                    100.0 * r.watts / total);
+        const int bars = int(50.0 * r.watts / total);
+        for (int i = 0; i < bars; i++)
+            std::printf("#");
+        std::printf("\n");
+    }
+    std::printf("%-10s %10.2f\n", "total", total);
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figures 9 & 10: forward convolution (FFT) DRAM efficiency and utilization
+ * per bank over time on the simulated GTX 1080 Ti — the plots where the
+ * paper observes serial phases and DRAM partition bank camping.
+ */
+#include "bench/bench_util.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+int
+main()
+{
+    printHeader("Fig 9 & 10", "Forward convolution (FFT) DRAM plots");
+    const auto res =
+        runConvSample(Pass::Forward, int(cudnn::ConvFwdAlgo::Fft));
+    std::printf("algorithm %s: %llu cycles, IPC %.2f\n\n",
+                res.algo_name.c_str(),
+                (unsigned long long)res.total_cycles, res.ipc);
+    std::printf("FIGURE 9 —\n%s\n",
+                res.sampler->renderBankHeatmap(false).c_str());
+    std::printf("FIGURE 10 —\n%s\n",
+                res.sampler->renderBankHeatmap(true).c_str());
+    std::printf("mean DRAM efficiency %.2f, utilization %.2f\n",
+                res.sampler->meanDramEfficiency(),
+                res.sampler->meanDramUtilization());
+    res.sampler->writeCsv("fig09_10_fwd_fft_dram.csv");
+    std::printf("full series written to fig09_10_fwd_fft_dram.csv\n");
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figures 11 & 12: forward convolution (GEMM) DRAM efficiency/utilization —
+ * the contrast case where bank camping is less of an issue.
+ */
+#include "bench/bench_util.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+int
+main()
+{
+    printHeader("Fig 11 & 12", "Forward convolution (GEMM) DRAM plots");
+    const auto res =
+        runConvSample(Pass::Forward, int(cudnn::ConvFwdAlgo::Gemm));
+    std::printf("algorithm %s: %llu cycles, IPC %.2f\n\n",
+                res.algo_name.c_str(),
+                (unsigned long long)res.total_cycles, res.ipc);
+    std::printf("FIGURE 11 —\n%s\n",
+                res.sampler->renderBankHeatmap(false).c_str());
+    std::printf("FIGURE 12 —\n%s\n",
+                res.sampler->renderBankHeatmap(true).c_str());
+    std::printf("mean DRAM efficiency %.2f, utilization %.2f\n",
+                res.sampler->meanDramEfficiency(),
+                res.sampler->meanDramUtilization());
+    res.sampler->writeCsv("fig11_12_fwd_gemm_dram.csv");
+    return 0;
+}

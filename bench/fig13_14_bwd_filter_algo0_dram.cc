@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figures 13 & 14: backward-filter convolution (Algorithm 0, the atomic
+ * scatter) DRAM efficiency/utilization.
+ */
+#include "bench/bench_util.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+int
+main()
+{
+    printHeader("Fig 13 & 14", "Backward filter (Algorithm 0) DRAM plots");
+    const auto res = runConvSample(Pass::BackwardFilter,
+                                   int(cudnn::ConvBwdFilterAlgo::Algo0));
+    std::printf("algorithm %s: %llu cycles, IPC %.2f\n\n",
+                res.algo_name.c_str(),
+                (unsigned long long)res.total_cycles, res.ipc);
+    std::printf("FIGURE 13 —\n%s\n",
+                res.sampler->renderBankHeatmap(false).c_str());
+    std::printf("FIGURE 14 —\n%s\n",
+                res.sampler->renderBankHeatmap(true).c_str());
+    std::printf("mean DRAM efficiency %.2f, utilization %.2f\n",
+                res.sampler->meanDramEfficiency(),
+                res.sampler->meanDramUtilization());
+    res.sampler->writeCsv("fig13_14_bwd_filter_algo0_dram.csv");
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figures 15, 16 & 17: forward convolution (Winograd Nonfused) — global IPC,
+ * per-shader IPC, and DRAM efficiency. The paper notes this algorithm has
+ * the highest IPC, balanced across shader cores, with compute-bound phases
+ * where IPC is high while memory efficiency drops.
+ */
+#include "bench/bench_util.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+int
+main()
+{
+    printHeader("Fig 15-17", "Forward convolution (Winograd Nonfused)");
+    const auto res = runConvSample(
+        Pass::Forward, int(cudnn::ConvFwdAlgo::WinogradNonfused));
+    std::printf("algorithm %s: %llu cycles, IPC %.2f\n\n",
+                res.algo_name.c_str(),
+                (unsigned long long)res.total_cycles, res.ipc);
+    std::printf("FIGURE 15 —\n%s\n", res.sampler->renderIpcStrip().c_str());
+    std::printf("FIGURE 16 —\n%s\n", res.sampler->renderCoreHeatmap().c_str());
+    std::printf("FIGURE 17 —\n%s\n",
+                res.sampler->renderBankHeatmap(false).c_str());
+    res.sampler->writeCsv("fig15_17_fwd_winograd_nonfused.csv");
+    return 0;
+}

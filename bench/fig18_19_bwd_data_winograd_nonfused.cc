@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figures 18 & 19: backward-data convolution (Winograd Nonfused) global and
+ * per-shader IPC — balanced across cores like the forward pass.
+ */
+#include "bench/bench_util.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+int
+main()
+{
+    printHeader("Fig 18 & 19", "Backward data (Winograd Nonfused) IPC");
+    const auto res = runConvSample(
+        Pass::BackwardData, int(cudnn::ConvBwdDataAlgo::WinogradNonfused));
+    std::printf("algorithm %s: %llu cycles, IPC %.2f\n\n",
+                res.algo_name.c_str(),
+                (unsigned long long)res.total_cycles, res.ipc);
+    std::printf("FIGURE 18 —\n%s\n", res.sampler->renderIpcStrip().c_str());
+    std::printf("FIGURE 19 —\n%s\n", res.sampler->renderCoreHeatmap().c_str());
+    res.sampler->writeCsv("fig18_19_bwd_data_winograd_nonfused.csv");
+    return 0;
+}

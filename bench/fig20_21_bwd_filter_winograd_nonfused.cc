@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figures 20 & 21: backward-filter convolution (Winograd Nonfused) global
+ * and per-shader IPC — the paper observes high IPC but load imbalance, with
+ * only some cores active.
+ */
+#include "bench/bench_util.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+int
+main()
+{
+    printHeader("Fig 20 & 21", "Backward filter (Winograd Nonfused) IPC");
+    const auto res = runConvSample(
+        Pass::BackwardFilter,
+        int(cudnn::ConvBwdFilterAlgo::WinogradNonfused));
+    std::printf("algorithm %s: %llu cycles, IPC %.2f\n\n",
+                res.algo_name.c_str(),
+                (unsigned long long)res.total_cycles, res.ipc);
+    std::printf("FIGURE 20 —\n%s\n", res.sampler->renderIpcStrip().c_str());
+    std::printf("FIGURE 21 —\n%s\n", res.sampler->renderCoreHeatmap().c_str());
+
+    // Quantify the load imbalance the paper points out.
+    uint64_t per_core_max = 0, busy_cores = 0, total = 0;
+    std::vector<uint64_t> per_core(res.sampler->numCores(), 0);
+    for (const auto &b : res.sampler->buckets())
+        for (unsigned c = 0; c < res.sampler->numCores(); c++)
+            per_core[c] += b.core_instructions[c];
+    for (const auto v : per_core) {
+        per_core_max = std::max(per_core_max, v);
+        total += v;
+        if (v > 0)
+            busy_cores++;
+    }
+    std::printf("cores with any work: %llu / %u; top core share %.1f%%\n",
+                (unsigned long long)busy_cores, res.sampler->numCores(),
+                total ? 100.0 * double(per_core_max) / double(total) : 0.0);
+    res.sampler->writeCsv("fig20_21_bwd_filter_winograd_nonfused.csv");
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 22: forward convolution (Winograd Nonfused) warp-issue breakdown —
+ * per the paper, the most warp divergence of the algorithms studied, yet
+ * with negligible IPC impact.
+ */
+#include "bench/bench_util.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+int
+main()
+{
+    printHeader("Fig 22", "Forward (Winograd Nonfused) warp divergence");
+    const auto res = runConvSample(
+        Pass::Forward, int(cudnn::ConvFwdAlgo::WinogradNonfused));
+    std::printf("algorithm %s: %llu cycles, IPC %.2f\n\n",
+                res.algo_name.c_str(),
+                (unsigned long long)res.total_cycles, res.ipc);
+    std::printf("FIGURE 22 —\n%s\n",
+                res.sampler->renderWarpBreakdown().c_str());
+    uint64_t partial = 0, full = 0;
+    for (const auto &b : res.sampler->buckets()) {
+        for (unsigned w = 1; w < 32; w++)
+            partial += b.lane_histogram[w];
+        full += b.lane_histogram[32];
+    }
+    std::printf("issued warps with <32 active lanes: %.1f%%\n",
+                (partial + full)
+                    ? 100.0 * double(partial) / double(partial + full)
+                    : 0.0);
+    res.sampler->writeCsv("fig22_fwd_wn_divergence.csv");
+    return 0;
+}

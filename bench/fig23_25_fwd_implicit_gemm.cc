@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figures 23, 24 & 25: forward convolution (Implicit GEMM) — warp-issue
+ * breakdown plus global/per-shader IPC. The paper attributes this
+ * algorithm's low IPC (despite good load balance) to data-hazard and idle
+ * warp slots.
+ */
+#include "bench/bench_util.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+int
+main()
+{
+    printHeader("Fig 23-25", "Forward convolution (Implicit GEMM)");
+    const auto res = runConvSample(
+        Pass::Forward, int(cudnn::ConvFwdAlgo::ImplicitGemm));
+    std::printf("algorithm %s: %llu cycles, IPC %.2f\n\n",
+                res.algo_name.c_str(),
+                (unsigned long long)res.total_cycles, res.ipc);
+    std::printf("FIGURE 23 —\n%s\n",
+                res.sampler->renderWarpBreakdown().c_str());
+    std::printf("FIGURE 24 —\n%s\n", res.sampler->renderIpcStrip().c_str());
+    std::printf("FIGURE 25 —\n%s\n", res.sampler->renderCoreHeatmap().c_str());
+    std::printf("issue-slot loss: data hazard %.1f%%, idle %.1f%%, "
+                "mem structural %.1f%%\n",
+                100.0 * res.sampler->stallFraction(stats::StallKind::DataHazard),
+                100.0 * res.sampler->stallFraction(stats::StallKind::Idle),
+                100.0 *
+                    res.sampler->stallFraction(stats::StallKind::MemStructural));
+    res.sampler->writeCsv("fig23_25_fwd_implicit_gemm.csv");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Section V methodology table: simulated cycles and IPC for every cuDNN
+ * convolution algorithm the paper iterates over in conv_sample (forward,
+ * backward data, backward filter), plus the DESIGN.md ablations: GTO vs LRR
+ * scheduling and FR-FCFS vs FCFS DRAM scheduling.
+ */
+#include "bench/bench_util.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+namespace
+{
+
+void
+sweep(Pass pass, const char *title, const std::vector<int> &algos)
+{
+    std::printf("\n%s\n", title);
+    std::printf("  %-32s %12s %8s %8s %8s\n", "algorithm", "cycles", "IPC",
+                "L2 hit", "rowhit");
+    double best_ipc = -1;
+    std::string best;
+    for (const int a : algos) {
+        const auto res = runConvSample(pass, a);
+        const auto &t = res.totals;
+        const double l2 =
+            (t.l2_hits + t.l2_misses)
+                ? double(t.l2_hits) / double(t.l2_hits + t.l2_misses)
+                : 0.0;
+        const double rh =
+            (t.dram_row_hits + t.dram_row_misses)
+                ? double(t.dram_row_hits) /
+                      double(t.dram_row_hits + t.dram_row_misses)
+                : 0.0;
+        std::printf("  %-32s %12llu %8.2f %7.0f%% %7.0f%%\n",
+                    res.algo_name.c_str(),
+                    (unsigned long long)res.total_cycles, res.ipc, 100 * l2,
+                    100 * rh);
+        if (res.ipc > best_ipc) {
+            best_ipc = res.ipc;
+            best = res.algo_name;
+        }
+    }
+    std::printf("  highest IPC: %s\n", best.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Algo sweep", "conv_sample across every cuDNN algorithm "
+                              "(GTX1080Ti model)");
+
+    sweep(Pass::Forward, "FORWARD",
+          {int(cudnn::ConvFwdAlgo::ImplicitGemm),
+           int(cudnn::ConvFwdAlgo::Gemm), int(cudnn::ConvFwdAlgo::Fft),
+           int(cudnn::ConvFwdAlgo::FftTiling),
+           int(cudnn::ConvFwdAlgo::Winograd),
+           int(cudnn::ConvFwdAlgo::WinogradNonfused)});
+    sweep(Pass::BackwardData, "BACKWARD DATA",
+          {int(cudnn::ConvBwdDataAlgo::Algo0),
+           int(cudnn::ConvBwdDataAlgo::Algo1),
+           int(cudnn::ConvBwdDataAlgo::FftTiling),
+           int(cudnn::ConvBwdDataAlgo::Winograd),
+           int(cudnn::ConvBwdDataAlgo::WinogradNonfused)});
+    sweep(Pass::BackwardFilter, "BACKWARD FILTER",
+          {int(cudnn::ConvBwdFilterAlgo::Algo0),
+           int(cudnn::ConvBwdFilterAlgo::Algo1),
+           int(cudnn::ConvBwdFilterAlgo::Algo3),
+           int(cudnn::ConvBwdFilterAlgo::Fft),
+           int(cudnn::ConvBwdFilterAlgo::FftTiling),
+           int(cudnn::ConvBwdFilterAlgo::WinogradNonfused)});
+
+    // Ablations (DESIGN.md section 4).
+    std::printf("\nABLATIONS (forward, Winograd Nonfused)\n");
+    for (const auto sched :
+         {timing::SchedPolicy::GTO, timing::SchedPolicy::LRR}) {
+        const auto res =
+            runConvSample(Pass::Forward,
+                          int(cudnn::ConvFwdAlgo::WinogradNonfused), {}, 256,
+                          sched, true);
+        std::printf("  scheduler %-4s: %10llu cycles, IPC %.2f\n",
+                    sched == timing::SchedPolicy::GTO ? "GTO" : "LRR",
+                    (unsigned long long)res.total_cycles, res.ipc);
+    }
+    for (const bool frfcfs : {true, false}) {
+        const auto res = runConvSample(Pass::Forward,
+                                       int(cudnn::ConvFwdAlgo::Fft), {}, 256,
+                                       timing::SchedPolicy::GTO, frfcfs);
+        const auto &t = res.totals;
+        const double rh =
+            (t.dram_row_hits + t.dram_row_misses)
+                ? double(t.dram_row_hits) /
+                      double(t.dram_row_hits + t.dram_row_misses)
+                : 0.0;
+        std::printf("  DRAM %-8s: %10llu cycles, row-hit %.0f%%\n",
+                    frfcfs ? "FR-FCFS" : "FCFS",
+                    (unsigned long long)res.total_cycles, 100 * rh);
+    }
+    return 0;
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Section III-F claims, as a google-benchmark table: Performance mode is
+ * ~7-8x slower (wall clock) than Functional mode, and checkpointing lets a
+ * user fast-forward functionally and pay the detailed-model cost only for
+ * the region of interest.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "chkpt/checkpoint.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+namespace
+{
+
+/** A mid-sized conv workload used for mode-speed comparison. */
+void
+runConvWorkload(cuda::SimMode mode)
+{
+    cuda::ContextOptions opts;
+    opts.mode = mode;
+    opts.gpu = timing::GpuConfig::gtx1050();
+    cuda::Context ctx(opts);
+    cudnn::CudnnHandle h(ctx);
+
+    const cudnn::TensorDesc xd(2, 8, 14, 14);
+    const cudnn::FilterDesc wd(8, 8, 3, 3);
+    const cudnn::ConvDesc conv{1, 1};
+    const cudnn::TensorDesc yd = conv.outputDim(xd, wd);
+    const addr_t x = ctx.malloc(xd.bytes());
+    const addr_t w = ctx.malloc(wd.bytes());
+    const addr_t y = ctx.malloc(yd.bytes());
+    h.convolutionForward(xd, x, wd, w, conv, cudnn::ConvFwdAlgo::ImplicitGemm,
+                         yd, y);
+    h.convolutionForward(xd, x, wd, w, conv,
+                         cudnn::ConvFwdAlgo::WinogradNonfused, yd, y);
+    ctx.deviceSynchronize();
+}
+
+void
+BM_FunctionalMode(benchmark::State &state)
+{
+    for (auto _ : state)
+        runConvWorkload(cuda::SimMode::Functional);
+}
+BENCHMARK(BM_FunctionalMode)->Unit(benchmark::kMillisecond);
+
+void
+BM_PerformanceMode(benchmark::State &state)
+{
+    for (auto _ : state)
+        runConvWorkload(cuda::SimMode::Performance);
+}
+BENCHMARK(BM_PerformanceMode)->Unit(benchmark::kMillisecond);
+
+/** Checkpoint fast-forward: functional prefix + detailed tail. */
+void
+BM_CheckpointResumeTail(benchmark::State &state)
+{
+    // Write the checkpoint once.
+    const char *path = "/tmp/mlgs_bench.ckpt";
+    const char *kScale = R"(
+.visible .entry scale_buf(.param .u64 Buf, .param .u32 n, .param .f32 a)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<6>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [Buf];
+    ld.param.u32 %r1, [n];
+    ld.param.f32 %f1, [a];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd2, %r5, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f2, [%rd3];
+    mul.f32 %f3, %f2, %f1;
+    st.global.f32 [%rd3], %f3;
+DONE:
+    ret;
+}
+)";
+    const unsigned n = 1 << 16;
+    auto runApp = [&](cuda::Context &ctx) {
+        ctx.loadModule(kScale, "scale.ptx");
+        const addr_t buf = ctx.malloc(n * 4);
+        std::vector<float> host(n, 1.0f);
+        ctx.memcpyH2D(buf, host.data(), n * 4);
+        cuda::KernelArgs args;
+        args.ptr(buf).u32(n).f32(1.0001f);
+        for (int i = 0; i < 8; i++)
+            ctx.launch("scale_buf", Dim3(n / 128), Dim3(128), args);
+        ctx.deviceSynchronize();
+    };
+    {
+        cuda::Context ctx;
+        chkpt::CheckpointConfig cfg;
+        cfg.kernel_x = 7; // detailed-simulate only the last kernel
+        cfg.path = path;
+        chkpt::CheckpointWriter writer(ctx, cfg);
+        runApp(ctx);
+    }
+    for (auto _ : state) {
+        cuda::ContextOptions opts;
+        opts.mode = cuda::SimMode::Performance;
+        opts.gpu = timing::GpuConfig::gtx1050();
+        cuda::Context ctx(opts);
+        ctx.loadModule(kScale, "pre.ptx"); // loader requires the kernel
+        chkpt::CheckpointLoader loader(ctx, path);
+        runApp(ctx);
+    }
+}
+BENCHMARK(BM_CheckpointResumeTail)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullPerformanceRun(benchmark::State &state)
+{
+    const char *kScale = R"(
+.visible .entry scale_buf(.param .u64 Buf, .param .u32 n, .param .f32 a)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<6>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [Buf];
+    ld.param.u32 %r1, [n];
+    ld.param.f32 %f1, [a];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd2, %r5, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f2, [%rd3];
+    mul.f32 %f3, %f2, %f1;
+    st.global.f32 [%rd3], %f3;
+DONE:
+    ret;
+}
+)";
+    const unsigned n = 1 << 16;
+    for (auto _ : state) {
+        cuda::ContextOptions opts;
+        opts.mode = cuda::SimMode::Performance;
+        opts.gpu = timing::GpuConfig::gtx1050();
+        cuda::Context ctx(opts);
+        ctx.loadModule(kScale, "scale.ptx");
+        const addr_t buf = ctx.malloc(n * 4);
+        std::vector<float> host(n, 1.0f);
+        ctx.memcpyH2D(buf, host.data(), n * 4);
+        cuda::KernelArgs args;
+        args.ptr(buf).u32(n).f32(1.0001f);
+        for (int i = 0; i < 8; i++)
+            ctx.launch("scale_buf", Dim3(n / 128), Dim3(128), args);
+        ctx.deviceSynchronize();
+    }
+}
+BENCHMARK(BM_FullPerformanceRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Checkpoint/resume demo (Section III-F, Figs 4-5): fast-forward the first
+ * kernels of a multi-kernel program in Functional mode, checkpoint inside
+ * kernel x at CTA granularity, then resume in Performance mode and pay the
+ * detailed-model cost only for the region of interest.
+ *
+ * Run: ./build/examples/checkpoint_demo
+ */
+#include <chrono>
+#include <cstdio>
+
+#include "chkpt/checkpoint.h"
+
+using namespace mlgs;
+
+namespace
+{
+
+const char *kScale = R"(
+.visible .entry scale_buf(.param .u64 Buf, .param .u32 n, .param .f32 a)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<6>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [Buf];
+    ld.param.u32 %r1, [n];
+    ld.param.f32 %f1, [a];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd2, %r5, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f2, [%rd3];
+    mul.f32 %f3, %f2, %f1;
+    st.global.f32 [%rd3], %f3;
+DONE:
+    ret;
+}
+)";
+
+constexpr unsigned kN = 1 << 16;
+constexpr int kKernels = 10;
+
+void
+runProgram(cuda::Context &ctx, std::vector<float> *out)
+{
+    ctx.loadModule(kScale, "scale.ptx");
+    const addr_t buf = ctx.malloc(kN * 4);
+    std::vector<float> host(kN, 1.0f);
+    ctx.memcpyH2D(buf, host.data(), kN * 4);
+    cuda::KernelArgs args;
+    args.ptr(buf).u32(kN).f32(1.01f);
+    for (int i = 0; i < kKernels; i++)
+        ctx.launch("scale_buf", Dim3(kN / 128), Dim3(128), args);
+    ctx.deviceSynchronize();
+    if (out) {
+        out->resize(kN);
+        ctx.memcpyD2H(out->data(), buf, kN * 4);
+    }
+}
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *path = "/tmp/mlgs_demo.ckpt";
+
+    // 1. Full run in Performance mode (the slow baseline).
+    std::vector<float> full_result;
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        cuda::ContextOptions opts;
+        opts.mode = cuda::SimMode::Performance;
+        opts.gpu = timing::GpuConfig::gtx1050();
+        cuda::Context ctx(opts);
+        runProgram(ctx, &full_result);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    std::printf("full Performance-mode run:       %.2f s\n", seconds(t0, t1));
+
+    // 2. Checkpoint during a Functional-mode run: stop inside kernel x=8,
+    //    with CTAs 0..9 complete and CTAs 10..12 run for y=20 instructions.
+    {
+        cuda::Context ctx;
+        chkpt::CheckpointConfig cfg;
+        cfg.kernel_x = 8;
+        cfg.cta_m = 10;
+        cfg.cta_t = 2;
+        cfg.instr_y = 20;
+        cfg.path = path;
+        chkpt::CheckpointWriter writer(ctx, cfg);
+        runProgram(ctx, nullptr);
+        std::printf("checkpoint written (%s): %s\n", path,
+                    writer.reached() ? "yes" : "NO");
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    std::printf("functional fast-forward + save:  %.2f s\n", seconds(t1, t2));
+
+    // 3. Resume in Performance mode: kernels 0..7 are skipped, kernel 8
+    //    resumes from CTA 10 with the saved Data1 state, kernel 9 runs
+    //    normally in the detailed model.
+    std::vector<float> resumed_result;
+    {
+        cuda::ContextOptions opts;
+        opts.mode = cuda::SimMode::Performance;
+        opts.gpu = timing::GpuConfig::gtx1050();
+        cuda::Context ctx(opts);
+        ctx.loadModule(kScale, "pre.ptx"); // kernel must exist before load
+        chkpt::CheckpointLoader loader(ctx, path);
+        runProgram(ctx, &resumed_result);
+    }
+    const auto t3 = std::chrono::steady_clock::now();
+    std::printf("resume (detailed tail only):     %.2f s\n", seconds(t2, t3));
+
+    unsigned mismatches = 0;
+    for (unsigned i = 0; i < kN; i++)
+        mismatches += full_result[i] != resumed_result[i];
+    std::printf("result check vs full run: %s (%u mismatching values)\n",
+                mismatches == 0 ? "IDENTICAL" : "DIFFERS", mismatches);
+    std::printf("speedup for reaching the region of interest: %.1fx\n",
+                seconds(t0, t1) / std::max(1e-9, seconds(t2, t3)));
+    return 0;
+}

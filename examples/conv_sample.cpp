@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Port of NVIDIA's conv_sample (paper Section V): run forward, backward
+ * data, and backward filter convolutions under every available cuDNN
+ * algorithm on the simulated GTX 1080 Ti, printing cycles, IPC and an
+ * AerialVision warp/DRAM summary per algorithm.
+ *
+ * Run: ./build/examples/conv_sample
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+int
+main()
+{
+    std::printf("conv_sample on the simulated GTX 1080 Ti "
+                "(N=1 C=8 HxW=14x14 K=8 3x3 pad 1)\n\n");
+
+    auto report = [](const ConvSampleResult &res) {
+        std::printf("%-32s %10llu cycles  IPC %5.2f  dram-eff %4.2f  "
+                    "dram-util %4.2f\n",
+                    res.algo_name.c_str(),
+                    (unsigned long long)res.total_cycles, res.ipc,
+                    res.sampler->meanDramEfficiency(),
+                    res.sampler->meanDramUtilization());
+    };
+
+    std::printf("FORWARD:\n");
+    for (const int a :
+         {int(cudnn::ConvFwdAlgo::ImplicitGemm), int(cudnn::ConvFwdAlgo::Gemm),
+          int(cudnn::ConvFwdAlgo::Fft), int(cudnn::ConvFwdAlgo::FftTiling),
+          int(cudnn::ConvFwdAlgo::Winograd),
+          int(cudnn::ConvFwdAlgo::WinogradNonfused)})
+        report(runConvSample(Pass::Forward, a));
+
+    std::printf("\nBACKWARD DATA:\n");
+    for (const int a : {int(cudnn::ConvBwdDataAlgo::Algo0),
+                        int(cudnn::ConvBwdDataAlgo::Algo1),
+                        int(cudnn::ConvBwdDataAlgo::FftTiling),
+                        int(cudnn::ConvBwdDataAlgo::Winograd),
+                        int(cudnn::ConvBwdDataAlgo::WinogradNonfused)})
+        report(runConvSample(Pass::BackwardData, a));
+
+    std::printf("\nBACKWARD FILTER:\n");
+    for (const int a : {int(cudnn::ConvBwdFilterAlgo::Algo0),
+                        int(cudnn::ConvBwdFilterAlgo::Algo1),
+                        int(cudnn::ConvBwdFilterAlgo::Algo3),
+                        int(cudnn::ConvBwdFilterAlgo::Fft),
+                        int(cudnn::ConvBwdFilterAlgo::FftTiling),
+                        int(cudnn::ConvBwdFilterAlgo::WinogradNonfused)})
+        report(runConvSample(Pass::BackwardFilter, a));
+
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The paper's headline workload: LeNet for MNIST through the full stack —
+ * torchlet (PyTorch stand-in) -> cudnn-lite -> simulated GPU. Trains the
+ * classifier head on the host, runs self-checking inference on the
+ * simulator (3 images, like NVIDIA's mnistCUDNN sample), then takes a few
+ * SGD steps on the simulator itself.
+ *
+ * Run: ./build/examples/lenet_mnist [--perf]
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "power/power_model.h"
+#include "torchlet/lenet_cpu.h"
+
+using namespace mlgs;
+using namespace mlgs::torchlet;
+
+int
+main(int argc, char **argv)
+{
+    const bool perf = argc > 1 && std::strcmp(argv[1], "--perf") == 0;
+
+    std::printf("generating synthetic MNIST and training the reference "
+                "model on the host...\n");
+    const MnistData train = makeMnist(60, 1234);
+    const MnistData test = makeMnist(10, 999);
+    const LeNetWeights weights = trainLeNetOnHost(train, 42, 250, 16, 0.05f);
+    std::printf("host model accuracy: %.0f%%\n\n",
+                100.0 * cpuAccuracy(weights, test));
+
+    cuda::ContextOptions opts;
+    opts.mode = perf ? cuda::SimMode::Performance : cuda::SimMode::Functional;
+    opts.gpu = timing::GpuConfig::gtx1050();
+    cuda::Context ctx(opts);
+    cudnn::CudnnHandle h(ctx);
+
+    LeNetAlgos algos; // conv1 FFT, conv2 Winograd Nonfused, GEMV2T head
+    LeNet net(h, 1, algos);
+    net.setWeights(weights);
+
+    std::printf("classifying 3 images on the simulated GPU (%s mode)...\n",
+                perf ? "Performance" : "Functional");
+    int correct = 0;
+    for (int i = 0; i < 3; i++) {
+        const int pred = net.predict(test.image(size_t(i)))[0];
+        const int cpu = cpuPredict(weights, test.image(size_t(i)));
+        const bool ok = uint32_t(pred) == test.labels[size_t(i)];
+        correct += ok;
+        std::printf("  image %d: simulator=%d, cpu-reference=%d, label=%u %s\n",
+                    i, pred, cpu, test.labels[size_t(i)],
+                    ok && pred == cpu ? "[OK]" : "[MISMATCH]");
+    }
+    std::printf("self-check: %d/3 correct\n\n", correct);
+
+    std::printf("kernel launches on the simulated device: %zu\n",
+                ctx.launchLog().size());
+    std::map<std::string, uint64_t> by_kernel;
+    for (const auto &rec : ctx.launchLog())
+        by_kernel[rec.kernel_name] += perf ? rec.cycles
+                                           : rec.func_stats.instructions;
+    for (const auto &[name, v] : by_kernel)
+        std::printf("  %-28s %12llu %s\n", name.c_str(),
+                    (unsigned long long)v,
+                    perf ? "cycles" : "warp instructions");
+
+    if (perf) {
+        power::PowerModel pm;
+        const auto pb = pm.compute(ctx.gpuModel().totals(),
+                                   opts.gpu.core_clock_ghz);
+        std::printf("\naverage power: %s\n", pb.str().c_str());
+    }
+
+    // A couple of training steps on the simulator itself (functional mode
+    // keeps this quick).
+    if (!perf) {
+        std::printf("\ntraining on the simulator (batch 4)...\n");
+        cuda::Context ctx2;
+        cudnn::CudnnHandle h2(ctx2);
+        LeNetAlgos talgos;
+        talgos.conv1 = cudnn::ConvFwdAlgo::ImplicitGemm;
+        talgos.conv2 = cudnn::ConvFwdAlgo::ImplicitGemm;
+        talgos.fc2_gemv2t = false;
+        LeNet tnet(h2, 4, talgos, 7);
+        std::vector<float> images(4 * kMnistPixels);
+        std::vector<uint32_t> labels(4, 0);
+        for (int b = 0; b < 4; b++) {
+            std::memcpy(images.data() + size_t(b) * kMnistPixels,
+                        train.image(size_t(b)), kMnistPixels * 4);
+            labels[size_t(b)] = train.labels[size_t(b)];
+        }
+        for (int s = 0; s < 3; s++) {
+            const float loss =
+                tnet.trainStep(images.data(), labels.data(), 0.05f);
+            std::printf("  step %d: loss %.4f\n", s, loss);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+#include "blas/blas.h"
+
+namespace mlgs::blas
+{
+
+namespace
+{
+
+unsigned
+ceilDiv(unsigned a, unsigned b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+BlasHandle::BlasHandle(cuda::Context &ctx) : ctx_(&ctx)
+{
+    module_ = ctx.loadModule(kBlasPtx, "libcublas_lite.ptx");
+}
+
+void
+BlasHandle::sgemm(Op ta, Op tb, unsigned m, unsigned n, unsigned k, float alpha,
+                  addr_t a, addr_t b, float beta, addr_t c)
+{
+    if (ta == Op::N && tb == Op::N && alpha == 1.0f) {
+        cuda::KernelArgs args;
+        args.ptr(a).ptr(b).ptr(c).u32(m).u32(n).u32(k).f32(alpha).f32(beta);
+        ctx_->cuLaunchKernel(ctx_->getFunction(module_, "sgemm_tiled_nn"),
+                             Dim3(ceilDiv(n, 16), ceilDiv(m, 16)),
+                             Dim3(16, 16), args, stream_);
+        return;
+    }
+    // op(A): MxK. Row-major A is MxK (N) or KxM (T).
+    const unsigned as_m = ta == Op::N ? k : 1;
+    const unsigned as_k = ta == Op::N ? 1 : m;
+    const unsigned bs_k = tb == Op::N ? n : 1;
+    const unsigned bs_n = tb == Op::N ? 1 : k;
+    cuda::KernelArgs args;
+    args.ptr(a).ptr(b).ptr(c).u32(m).u32(n).u32(k).u32(as_m).u32(as_k)
+        .u32(bs_k).u32(bs_n).f32(alpha).f32(beta);
+    ctx_->cuLaunchKernel(ctx_->getFunction(module_, "sgemm_strided"),
+                         Dim3(ceilDiv(n, 32), ceilDiv(m, 8)), Dim3(32, 8),
+                         args, stream_);
+}
+
+void
+BlasHandle::sgemv(unsigned m, unsigned n, float alpha, addr_t a, addr_t x,
+                  addr_t y)
+{
+    cuda::KernelArgs args;
+    args.ptr(a).ptr(x).ptr(y).u32(m).u32(n).f32(alpha);
+    ctx_->cuLaunchKernel(ctx_->getFunction(module_, "sgemv"),
+                         Dim3(ceilDiv(m, 128)), Dim3(128), args, stream_);
+}
+
+void
+BlasHandle::gemv2T(unsigned m, unsigned n, float alpha, addr_t a, addr_t x,
+                   addr_t y)
+{
+    cuda::KernelArgs args;
+    args.ptr(a).ptr(x).ptr(y).u32(m).u32(n).f32(alpha);
+    ctx_->cuLaunchKernel(ctx_->getFunction(module_, "gemv2T_kernel"),
+                         Dim3(ceilDiv(m, 128)), Dim3(128), args, stream_);
+}
+
+void
+BlasHandle::bgemmStrided(unsigned m, unsigned n, unsigned k, unsigned batch,
+                         addr_t a, unsigned as_b, unsigned as_m, unsigned as_k,
+                         addr_t b, unsigned bs_b, unsigned bs_k, unsigned bs_n,
+                         addr_t c, unsigned cs_b, unsigned cs_m, unsigned cs_n,
+                         float beta)
+{
+    cuda::KernelArgs args;
+    args.ptr(a).ptr(b).ptr(c).u32(m).u32(n).u32(k)
+        .u32(as_b).u32(as_m).u32(as_k)
+        .u32(bs_b).u32(bs_k).u32(bs_n)
+        .u32(cs_b).u32(cs_m).u32(cs_n)
+        .f32(beta);
+    const unsigned tx = std::min(n, 128u);
+    ctx_->cuLaunchKernel(ctx_->getFunction(module_, "bgemm_strided"),
+                         Dim3(ceilDiv(n, tx), m, batch), Dim3(tx), args,
+                         stream_);
+}
+
+} // namespace mlgs::blas

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * cuBLAS-lite host API: dense GEMM/GEMV entry points dispatching PTX kernels
+ * onto the simulated GPU.
+ */
+#ifndef MLGS_BLAS_BLAS_H
+#define MLGS_BLAS_BLAS_H
+
+#include "runtime/context.h"
+
+namespace mlgs::blas
+{
+
+/** The library's embedded PTX module source. */
+extern const char *kBlasPtx;
+
+/** Transpose selector (cublasOperation_t analogue). */
+enum class Op { N, T };
+
+/** cuBLAS-like handle bound to one device context. */
+class BlasHandle
+{
+  public:
+    explicit BlasHandle(cuda::Context &ctx);
+
+    cuda::Context &context() { return *ctx_; }
+    void setStream(cuda::Stream *s) { stream_ = s; }
+
+    /**
+     * C[M,N] = alpha * op(A) * op(B) + beta * C, row-major.
+     * op(A) is MxK, op(B) is KxN. Uses the tiled kernel for the NN case and
+     * the strided kernel otherwise.
+     */
+    void sgemm(Op ta, Op tb, unsigned m, unsigned n, unsigned k, float alpha,
+               addr_t a, addr_t b, float beta, addr_t c);
+
+    /** y = alpha * A x (A row-major MxN). */
+    void sgemv(unsigned m, unsigned n, float alpha, addr_t a, addr_t x,
+               addr_t y);
+
+    /** y = alpha * A^T-layout x: y[m] = sum_n A[n*M+m] * x[n]. */
+    void gemv2T(unsigned m, unsigned n, float alpha, addr_t a, addr_t x,
+                addr_t y);
+
+    /**
+     * Batched fully-strided GEMM (all strides in elements):
+     * C[b,m,n] = sum_k A[b,m,k] * B[b,k,n] + beta * C[b,m,n].
+     */
+    void bgemmStrided(unsigned m, unsigned n, unsigned k, unsigned batch,
+                      addr_t a, unsigned as_b, unsigned as_m, unsigned as_k,
+                      addr_t b, unsigned bs_b, unsigned bs_k, unsigned bs_n,
+                      addr_t c, unsigned cs_b, unsigned cs_m, unsigned cs_n,
+                      float beta);
+
+  private:
+    cuda::Context *ctx_;
+    cuda::Stream *stream_ = nullptr;
+    int module_ = -1;
+};
+
+} // namespace mlgs::blas
+
+#endif // MLGS_BLAS_BLAS_H

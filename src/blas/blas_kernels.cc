@@ -1,0 +1,377 @@
+/**
+ * @file
+ * cuBLAS-lite PTX kernels. Kept in one "PTX file" (translation unit) the way
+ * a vendor library ships a compiled module per feature family.
+ */
+#include "blas/blas.h"
+
+namespace mlgs::blas
+{
+
+const char *kBlasPtx = R"PTX(
+.version 6.4
+.target sm_61
+.address_size 64
+
+// C[m,n] = alpha * sum_k A[m*as_m + k*as_k] * B[k*bs_k + n*bs_n] + beta * C
+// Fully strided: transposes are stride permutations. One thread per (m,n).
+.visible .entry sgemm_strided(
+    .param .u64 Aptr, .param .u64 Bptr, .param .u64 Cptr,
+    .param .u32 M, .param .u32 N, .param .u32 K,
+    .param .u32 as_m, .param .u32 as_k,
+    .param .u32 bs_k, .param .u32 bs_n,
+    .param .f32 alpha, .param .f32 beta
+)
+{
+    .reg .u64 %rd<12>;
+    .reg .u32 %r<20>;
+    .reg .f32 %f<10>;
+    .reg .pred %p<4>;
+
+    ld.param.u64 %rd1, [Aptr];
+    ld.param.u64 %rd2, [Bptr];
+    ld.param.u64 %rd3, [Cptr];
+    ld.param.u32 %r1, [M];
+    ld.param.u32 %r2, [N];
+    ld.param.u32 %r3, [K];
+    ld.param.u32 %r4, [as_m];
+    ld.param.u32 %r5, [as_k];
+    ld.param.u32 %r6, [bs_k];
+    ld.param.u32 %r7, [bs_n];
+    ld.param.f32 %f1, [alpha];
+    ld.param.f32 %f2, [beta];
+
+    // m = ctaid.y * ntid.y + tid.y ; n = ctaid.x * ntid.x + tid.x
+    mov.u32 %r8, %ctaid.y;
+    mov.u32 %r9, %ntid.y;
+    mov.u32 %r10, %tid.y;
+    mad.lo.u32 %r11, %r8, %r9, %r10;   // m
+    mov.u32 %r8, %ctaid.x;
+    mov.u32 %r9, %ntid.x;
+    mov.u32 %r10, %tid.x;
+    mad.lo.u32 %r12, %r8, %r9, %r10;   // n
+    setp.ge.u32 %p1, %r11, %r1;
+    @%p1 bra DONE;
+    setp.ge.u32 %p1, %r12, %r2;
+    @%p1 bra DONE;
+
+    // Row/col base offsets (element units).
+    mul.lo.u32 %r13, %r11, %r4;        // m*as_m
+    mul.lo.u32 %r14, %r12, %r7;        // n*bs_n
+    mov.f32 %f3, 0f00000000;
+    mov.u32 %r15, 0;
+KLOOP:
+    setp.ge.u32 %p2, %r15, %r3;
+    @%p2 bra KDONE;
+    mad.lo.u32 %r16, %r15, %r5, %r13;  // m*as_m + k*as_k
+    mul.wide.u32 %rd4, %r16, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f4, [%rd5];
+    mad.lo.u32 %r17, %r15, %r6, %r14;  // k*bs_k + n*bs_n
+    mul.wide.u32 %rd6, %r17, 4;
+    add.u64 %rd7, %rd2, %rd6;
+    ld.global.f32 %f5, [%rd7];
+    fma.rn.f32 %f3, %f4, %f5, %f3;
+    add.u32 %r15, %r15, 1;
+    bra KLOOP;
+KDONE:
+    mad.lo.u32 %r18, %r11, %r2, %r12;  // m*N + n
+    mul.wide.u32 %rd8, %r18, 4;
+    add.u64 %rd9, %rd3, %rd8;
+    ld.global.f32 %f6, [%rd9];
+    mul.f32 %f7, %f6, %f2;             // beta * C
+    fma.rn.f32 %f8, %f3, %f1, %f7;     // alpha * acc + beta * C
+    st.global.f32 [%rd9], %f8;
+DONE:
+    ret;
+}
+
+// Shared-memory tiled GEMM, C[M,N] = A[M,K] * B[K,N], row-major, 16x16 tiles.
+.visible .entry sgemm_tiled_nn(
+    .param .u64 Aptr, .param .u64 Bptr, .param .u64 Cptr,
+    .param .u32 M, .param .u32 N, .param .u32 K,
+    .param .f32 alpha, .param .f32 beta
+)
+{
+    .reg .u64 %rd<14>;
+    .reg .u32 %r<26>;
+    .reg .f32 %f<10>;
+    .reg .pred %p<6>;
+    .shared .align 4 .b8 As[1024];   // 16x16 f32
+    .shared .align 4 .b8 Bs[1024];
+
+    ld.param.u64 %rd1, [Aptr];
+    ld.param.u64 %rd2, [Bptr];
+    ld.param.u64 %rd3, [Cptr];
+    ld.param.u32 %r1, [M];
+    ld.param.u32 %r2, [N];
+    ld.param.u32 %r3, [K];
+
+    mov.u32 %r4, %tid.x;               // 0..15 (col within tile)
+    mov.u32 %r5, %tid.y;               // 0..15 (row within tile)
+    mov.u32 %r6, %ctaid.x;
+    mov.u32 %r7, %ctaid.y;
+    mad.lo.u32 %r8, %r7, 16, %r5;      // global row
+    mad.lo.u32 %r9, %r6, 16, %r4;      // global col
+
+    mov.u64 %rd4, As;
+    mov.u64 %rd5, Bs;
+    // Per-thread shared slot offset: (tid.y*16 + tid.x)*4
+    mad.lo.u32 %r10, %r5, 16, %r4;
+    mul.wide.u32 %rd6, %r10, 4;
+
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r11, 0;                   // k0 tile base
+TILE_LOOP:
+    setp.ge.u32 %p1, %r11, %r3;
+    @%p1 bra TILE_DONE;
+
+    // Load A[row, k0+tid.x] into As[tid.y][tid.x] (0 outside).
+    add.u32 %r12, %r11, %r4;
+    mov.f32 %f2, 0f00000000;
+    setp.ge.u32 %p2, %r8, %r1;
+    setp.ge.u32 %p3, %r12, %r3;
+    @%p2 bra A_ZERO;
+    @%p3 bra A_ZERO;
+    mad.lo.u32 %r13, %r8, %r3, %r12;
+    mul.wide.u32 %rd7, %r13, 4;
+    add.u64 %rd8, %rd1, %rd7;
+    ld.global.f32 %f2, [%rd8];
+A_ZERO:
+    add.u64 %rd9, %rd4, %rd6;
+    st.shared.f32 [%rd9], %f2;
+
+    // Load B[k0+tid.y, col] into Bs[tid.y][tid.x].
+    add.u32 %r14, %r11, %r5;
+    mov.f32 %f3, 0f00000000;
+    setp.ge.u32 %p4, %r14, %r3;
+    setp.ge.u32 %p5, %r9, %r2;
+    @%p4 bra B_ZERO;
+    @%p5 bra B_ZERO;
+    mad.lo.u32 %r15, %r14, %r2, %r9;
+    mul.wide.u32 %rd10, %r15, 4;
+    add.u64 %rd11, %rd2, %rd10;
+    ld.global.f32 %f3, [%rd11];
+B_ZERO:
+    add.u64 %rd12, %rd5, %rd6;
+    st.shared.f32 [%rd12], %f3;
+
+    bar.sync 0;
+
+    // Accumulate over the 16-wide tile.
+    mov.u32 %r16, 0;
+INNER:
+    setp.ge.u32 %p1, %r16, 16;
+    @%p1 bra INNER_DONE;
+    mad.lo.u32 %r17, %r5, 16, %r16;    // As[tid.y][i]
+    mul.wide.u32 %rd7, %r17, 4;
+    add.u64 %rd8, %rd4, %rd7;
+    ld.shared.f32 %f4, [%rd8];
+    mad.lo.u32 %r18, %r16, 16, %r4;    // Bs[i][tid.x]
+    mul.wide.u32 %rd10, %r18, 4;
+    add.u64 %rd11, %rd5, %rd10;
+    ld.shared.f32 %f5, [%rd11];
+    fma.rn.f32 %f1, %f4, %f5, %f1;
+    add.u32 %r16, %r16, 1;
+    bra INNER;
+INNER_DONE:
+    bar.sync 0;
+    add.u32 %r11, %r11, 16;
+    bra TILE_LOOP;
+
+TILE_DONE:
+    setp.ge.u32 %p1, %r8, %r1;
+    @%p1 bra DONE;
+    setp.ge.u32 %p1, %r9, %r2;
+    @%p1 bra DONE;
+    ld.param.f32 %f6, [alpha];
+    ld.param.f32 %f7, [beta];
+    mad.lo.u32 %r19, %r8, %r2, %r9;
+    mul.wide.u32 %rd7, %r19, 4;
+    add.u64 %rd8, %rd3, %rd7;
+    ld.global.f32 %f8, [%rd8];
+    mul.f32 %f9, %f8, %f7;
+    fma.rn.f32 %f9, %f1, %f6, %f9;
+    st.global.f32 [%rd8], %f9;
+DONE:
+    ret;
+}
+
+// Batched strided GEMM: for b in [0,batch):
+//   C[b*cs_b + m*cs_m + n*cs_n] += sum_k A[b*as_b + m*as_m + k*as_k]
+//                                        * B[b*bs_b + k*bs_k + n*bs_n]
+// grid: (ceil(N/ntid.x), M, batch); beta in {0,1}.
+.visible .entry bgemm_strided(
+    .param .u64 Aptr, .param .u64 Bptr, .param .u64 Cptr,
+    .param .u32 M, .param .u32 N, .param .u32 K,
+    .param .u32 as_b, .param .u32 as_m, .param .u32 as_k,
+    .param .u32 bs_b, .param .u32 bs_k, .param .u32 bs_n,
+    .param .u32 cs_b, .param .u32 cs_m, .param .u32 cs_n,
+    .param .f32 beta
+)
+{
+    .reg .u64 %rd<12>;
+    .reg .u32 %r<24>;
+    .reg .f32 %f<8>;
+    .reg .pred %p<4>;
+
+    ld.param.u64 %rd1, [Aptr];
+    ld.param.u64 %rd2, [Bptr];
+    ld.param.u64 %rd3, [Cptr];
+    ld.param.u32 %r1, [M];
+    ld.param.u32 %r2, [N];
+    ld.param.u32 %r3, [K];
+
+    mov.u32 %r4, %ctaid.x;
+    mov.u32 %r5, %ntid.x;
+    mov.u32 %r6, %tid.x;
+    mad.lo.u32 %r7, %r4, %r5, %r6;     // n
+    mov.u32 %r8, %ctaid.y;             // m
+    mov.u32 %r9, %ctaid.z;             // b
+    setp.ge.u32 %p1, %r7, %r2;
+    @%p1 bra DONE;
+    setp.ge.u32 %p1, %r8, %r1;
+    @%p1 bra DONE;
+
+    ld.param.u32 %r10, [as_b];
+    ld.param.u32 %r11, [as_m];
+    ld.param.u32 %r12, [as_k];
+    mul.lo.u32 %r13, %r9, %r10;
+    mad.lo.u32 %r13, %r8, %r11, %r13;  // A base: b*as_b + m*as_m
+
+    ld.param.u32 %r10, [bs_b];
+    ld.param.u32 %r14, [bs_k];
+    ld.param.u32 %r15, [bs_n];
+    mul.lo.u32 %r16, %r9, %r10;
+    mad.lo.u32 %r16, %r7, %r15, %r16;  // B base: b*bs_b + n*bs_n
+
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r17, 0;
+KLOOP:
+    setp.ge.u32 %p2, %r17, %r3;
+    @%p2 bra KDONE;
+    mad.lo.u32 %r18, %r17, %r12, %r13;
+    mul.wide.u32 %rd4, %r18, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    mad.lo.u32 %r19, %r17, %r14, %r16;
+    mul.wide.u32 %rd6, %r19, 4;
+    add.u64 %rd7, %rd2, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    fma.rn.f32 %f1, %f2, %f3, %f1;
+    add.u32 %r17, %r17, 1;
+    bra KLOOP;
+KDONE:
+    ld.param.u32 %r10, [cs_b];
+    ld.param.u32 %r20, [cs_m];
+    ld.param.u32 %r21, [cs_n];
+    mul.lo.u32 %r22, %r9, %r10;
+    mad.lo.u32 %r22, %r8, %r20, %r22;
+    mad.lo.u32 %r22, %r7, %r21, %r22;
+    mul.wide.u32 %rd8, %r22, 4;
+    add.u64 %rd9, %rd3, %rd8;
+    ld.param.f32 %f4, [beta];
+    ld.global.f32 %f5, [%rd9];
+    mul.f32 %f6, %f5, %f4;
+    add.f32 %f6, %f6, %f1;
+    st.global.f32 [%rd9], %f6;
+DONE:
+    ret;
+}
+
+// y[m] = alpha * sum_n A[m*N + n] * x[n]  (row-major, non-transposed).
+.visible .entry sgemv(
+    .param .u64 Aptr, .param .u64 Xptr, .param .u64 Yptr,
+    .param .u32 M, .param .u32 N, .param .f32 alpha
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<12>;
+    .reg .f32 %f<6>;
+    .reg .pred %p<3>;
+    ld.param.u64 %rd1, [Aptr];
+    ld.param.u64 %rd2, [Xptr];
+    ld.param.u64 %rd3, [Yptr];
+    ld.param.u32 %r1, [M];
+    ld.param.u32 %r2, [N];
+    mov.u32 %r3, %ctaid.x;
+    mov.u32 %r4, %ntid.x;
+    mov.u32 %r5, %tid.x;
+    mad.lo.u32 %r6, %r3, %r4, %r5;
+    setp.ge.u32 %p1, %r6, %r1;
+    @%p1 bra DONE;
+    mul.lo.u32 %r7, %r6, %r2;
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r8, 0;
+LOOP:
+    setp.ge.u32 %p2, %r8, %r2;
+    @%p2 bra LDONE;
+    add.u32 %r9, %r7, %r8;
+    mul.wide.u32 %rd4, %r9, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    mul.wide.u32 %rd6, %r8, 4;
+    add.u64 %rd7, %rd2, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    fma.rn.f32 %f1, %f2, %f3, %f1;
+    add.u32 %r8, %r8, 1;
+    bra LOOP;
+LDONE:
+    ld.param.f32 %f4, [alpha];
+    mul.f32 %f5, %f1, %f4;
+    mul.wide.u32 %rd4, %r6, 4;
+    add.u64 %rd5, %rd3, %rd4;
+    st.global.f32 [%rd5], %f5;
+DONE:
+    ret;
+}
+
+// y[m] = sum_n A[n*M + m] * x[n] -- the transposed GEMV ("GEMV2T" in the
+// paper's Fig 7): A is traversed column-wise.
+.visible .entry gemv2T_kernel(
+    .param .u64 Aptr, .param .u64 Xptr, .param .u64 Yptr,
+    .param .u32 M, .param .u32 N, .param .f32 alpha
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<12>;
+    .reg .f32 %f<6>;
+    .reg .pred %p<3>;
+    ld.param.u64 %rd1, [Aptr];
+    ld.param.u64 %rd2, [Xptr];
+    ld.param.u64 %rd3, [Yptr];
+    ld.param.u32 %r1, [M];
+    ld.param.u32 %r2, [N];
+    mov.u32 %r3, %ctaid.x;
+    mov.u32 %r4, %ntid.x;
+    mov.u32 %r5, %tid.x;
+    mad.lo.u32 %r6, %r3, %r4, %r5;     // m
+    setp.ge.u32 %p1, %r6, %r1;
+    @%p1 bra DONE;
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r8, 0;
+LOOP:
+    setp.ge.u32 %p2, %r8, %r2;
+    @%p2 bra LDONE;
+    mad.lo.u32 %r9, %r8, %r1, %r6;     // n*M + m
+    mul.wide.u32 %rd4, %r9, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    mul.wide.u32 %rd6, %r8, 4;
+    add.u64 %rd7, %rd2, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    fma.rn.f32 %f1, %f2, %f3, %f1;
+    add.u32 %r8, %r8, 1;
+    bra LOOP;
+LDONE:
+    ld.param.f32 %f4, [alpha];
+    mul.f32 %f5, %f1, %f4;
+    mul.wide.u32 %rd4, %r6, 4;
+    add.u64 %rd5, %rd3, %rd4;
+    st.global.f32 [%rd5], %f5;
+DONE:
+    ret;
+}
+)PTX";
+
+} // namespace mlgs::blas

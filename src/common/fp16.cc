@@ -1,0 +1,85 @@
+#include "common/fp16.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace mlgs
+{
+
+uint16_t
+fp32ToFp16(float f)
+{
+    uint32_t x;
+    std::memcpy(&x, &f, sizeof(x));
+
+    const uint32_t sign = (x >> 16) & 0x8000u;
+    const int32_t exp = int32_t((x >> 23) & 0xffu) - 127 + 15;
+    uint32_t mant = x & 0x7fffffu;
+
+    if (((x >> 23) & 0xffu) == 0xffu) {
+        // Inf / NaN.
+        if (mant != 0)
+            return uint16_t(sign | 0x7e00u); // quiet NaN
+        return uint16_t(sign | 0x7c00u);
+    }
+
+    if (exp >= 0x1f) {
+        // Overflow -> infinity.
+        return uint16_t(sign | 0x7c00u);
+    }
+
+    if (exp <= 0) {
+        // Subnormal or zero in fp16.
+        if (exp < -10)
+            return uint16_t(sign);
+        mant |= 0x800000u; // implicit leading one
+        const int shift = 14 - exp; // bits to drop to reach 10-bit mantissa
+        uint32_t half = mant >> shift;
+        const uint32_t rem = mant & ((1u << shift) - 1);
+        const uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half & 1)))
+            half++;
+        return uint16_t(sign | half);
+    }
+
+    // Normal case: round 23-bit mantissa to 10 bits, round-to-nearest-even.
+    uint32_t half = (uint32_t(exp) << 10) | (mant >> 13);
+    const uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1)))
+        half++; // may carry into exponent; that is correct behaviour
+    return uint16_t(sign | half);
+}
+
+float
+fp16ToFp32(uint16_t h)
+{
+    const uint32_t sign = uint32_t(h & 0x8000u) << 16;
+    const uint32_t exp = (h >> 10) & 0x1fu;
+    const uint32_t mant = h & 0x3ffu;
+
+    uint32_t x;
+    if (exp == 0) {
+        if (mant == 0) {
+            x = sign; // signed zero
+        } else {
+            // Subnormal: normalize.
+            int e = -1;
+            uint32_t m = mant;
+            do {
+                e++;
+                m <<= 1;
+            } while ((m & 0x400u) == 0);
+            x = sign | (uint32_t(127 - 15 - e) << 23) | ((m & 0x3ffu) << 13);
+        }
+    } else if (exp == 0x1f) {
+        x = sign | 0x7f800000u | (mant << 13);
+    } else {
+        x = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+    }
+
+    float f;
+    std::memcpy(&f, &x, sizeof(f));
+    return f;
+}
+
+} // namespace mlgs

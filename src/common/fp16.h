@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Software IEEE-754 binary16 conversion, used by the FP16 PTX path
+ * (cvt.f16.f32 / cvt.f32.f16 and f16 arithmetic emulated through f32).
+ */
+#ifndef MLGS_COMMON_FP16_H
+#define MLGS_COMMON_FP16_H
+
+#include <cstdint>
+
+namespace mlgs
+{
+
+/** Convert an IEEE binary32 value to binary16 bits (round-to-nearest-even). */
+uint16_t fp32ToFp16(float f);
+
+/** Convert binary16 bits to an IEEE binary32 value. */
+float fp16ToFp32(uint16_t h);
+
+} // namespace mlgs
+
+#endif // MLGS_COMMON_FP16_H

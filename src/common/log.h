@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: panic() for simulator bugs,
+ * fatal() for user errors, warn()/inform() for status messages.
+ */
+#ifndef MLGS_COMMON_LOG_H
+#define MLGS_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mlgs
+{
+
+/** Thrown by fatal(): the simulated program / user configuration is invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort simulation: condition that is the user's/workload's fault. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::concat("fatal: ", args...));
+}
+
+/** Abort simulation: condition that indicates a simulator bug. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::concat("panic: ", args...));
+}
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::fprintf(stderr, "warn: %s\n", detail::concat(args...).c_str());
+}
+
+/** Status message to stderr. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::fprintf(stderr, "info: %s\n", detail::concat(args...).c_str());
+}
+
+/** fatal() unless cond holds. */
+#define MLGS_REQUIRE(cond, ...)                                               \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::mlgs::fatal(__VA_ARGS__);                                       \
+    } while (0)
+
+/** panic() unless cond holds. */
+#define MLGS_ASSERT(cond, ...)                                                \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::mlgs::panic(__VA_ARGS__);                                       \
+    } while (0)
+
+} // namespace mlgs
+
+#endif // MLGS_COMMON_LOG_H

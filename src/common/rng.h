@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random generator (splitmix64 + xoshiro256**) used for
+ * synthetic workload/data generation. std::mt19937 is avoided so streams are
+ * stable across library implementations.
+ */
+#ifndef MLGS_COMMON_RNG_H
+#define MLGS_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace mlgs
+{
+
+/** Small deterministic RNG with uniform/normal helpers. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Reset the stream from a seed via splitmix64 expansion. */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &w : state_) {
+            seed += 0x9e3779b97f4a7c15ull;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            w = z ^ (z >> 31);
+        }
+        has_gauss_ = false;
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return double(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + float(uniform()) * (hi - lo);
+    }
+
+    /** Uniform integer in [0, n). */
+    uint64_t
+    below(uint64_t n)
+    {
+        return n ? next() % n : 0;
+    }
+
+    /** Standard normal via Marsaglia polar method. */
+    double
+    gauss()
+    {
+        if (has_gauss_) {
+            has_gauss_ = false;
+            return gauss_;
+        }
+        double u, v, s;
+        do {
+            u = 2.0 * uniform() - 1.0;
+            v = 2.0 * uniform() - 1.0;
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double m = std::sqrt(-2.0 * std::log(s) / s);
+        gauss_ = v * m;
+        has_gauss_ = true;
+        return u * m;
+    }
+
+  private:
+    static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    uint64_t state_[4] = {};
+    bool has_gauss_ = false;
+    double gauss_ = 0.0;
+};
+
+} // namespace mlgs
+
+#endif // MLGS_COMMON_RNG_H

@@ -1,0 +1,33 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+
+namespace mlgs
+{
+
+void
+BinaryWriter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    MLGS_REQUIRE(f, "cannot open ", path, " for writing");
+    const size_t n = std::fwrite(buf_.data(), 1, buf_.size(), f);
+    std::fclose(f);
+    MLGS_REQUIRE(n == buf_.size(), "short write to ", path);
+}
+
+BinaryReader
+BinaryReader::fromFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    MLGS_REQUIRE(f, "cannot open ", path, " for reading");
+    std::fseek(f, 0, SEEK_END);
+    const size_t sz = size_t(std::ftell(f));
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(sz, 0);
+    const size_t n = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    MLGS_REQUIRE(n == bytes.size(), "short read from ", path);
+    return BinaryReader(std::move(bytes));
+}
+
+} // namespace mlgs

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Minimal binary serializer used by the checkpointing subsystem. Streams are
+ * tagged with a magic/version header and are byte-order-naive (checkpoints
+ * are machine-local artifacts, matching GPGPU-Sim's checkpoint files).
+ */
+#ifndef MLGS_COMMON_SERIALIZE_H
+#define MLGS_COMMON_SERIALIZE_H
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+
+namespace mlgs
+{
+
+/** Append-only byte sink with typed put() helpers. */
+class BinaryWriter
+{
+  public:
+    template <typename T>
+    void
+    put(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto *p = reinterpret_cast<const uint8_t *>(&v);
+        buf_.insert(buf_.end(), p, p + sizeof(T));
+    }
+
+    void
+    putString(const std::string &s)
+    {
+        put<uint64_t>(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    template <typename T>
+    void
+    putVector(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        put<uint64_t>(v.size());
+        const auto *p = reinterpret_cast<const uint8_t *>(v.data());
+        buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+    }
+
+    void
+    putBytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        buf_.insert(buf_.end(), p, p + n);
+    }
+
+    const std::vector<uint8_t> &bytes() const { return buf_; }
+
+    /** Write the accumulated bytes to a file; fatal() on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Sequential reader over a byte buffer with typed get() helpers. */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(std::vector<uint8_t> bytes) : buf_(std::move(bytes)) {}
+
+    /** Load a whole file; fatal() if it cannot be read. */
+    static BinaryReader fromFile(const std::string &path);
+
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        MLGS_REQUIRE(pos_ + sizeof(T) <= buf_.size(), "checkpoint truncated");
+        T v;
+        std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    std::string
+    getString()
+    {
+        const auto n = get<uint64_t>();
+        MLGS_REQUIRE(pos_ + n <= buf_.size(), "checkpoint truncated");
+        std::string s(reinterpret_cast<const char *>(buf_.data() + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    template <typename T>
+    std::vector<T>
+    getVector()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto n = get<uint64_t>();
+        MLGS_REQUIRE(pos_ + n * sizeof(T) <= buf_.size(), "checkpoint truncated");
+        std::vector<T> v(n);
+        std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+        pos_ += n * sizeof(T);
+        return v;
+    }
+
+    void
+    getBytes(void *out, size_t n)
+    {
+        MLGS_REQUIRE(pos_ + n <= buf_.size(), "checkpoint truncated");
+        std::memcpy(out, buf_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    bool atEnd() const { return pos_ == buf_.size(); }
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+};
+
+} // namespace mlgs
+
+#endif // MLGS_COMMON_SERIALIZE_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental value types shared by every MLGPUSim subsystem.
+ */
+#ifndef MLGS_COMMON_TYPES_H
+#define MLGS_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mlgs
+{
+
+/** Device (GPU) virtual address. */
+using addr_t = uint64_t;
+
+/** Simulation cycle count. */
+using cycle_t = uint64_t;
+
+/** CUDA-style 3-component extent/index. */
+struct Dim3
+{
+    uint32_t x = 1;
+    uint32_t y = 1;
+    uint32_t z = 1;
+
+    Dim3() = default;
+    Dim3(uint32_t xx, uint32_t yy = 1, uint32_t zz = 1) : x(xx), y(yy), z(zz) {}
+
+    /** Total number of elements covered by this extent. */
+    uint64_t count() const { return uint64_t(x) * y * z; }
+
+    bool operator==(const Dim3 &o) const { return x == o.x && y == o.y && z == o.z; }
+
+    std::string str() const
+    {
+        return "(" + std::to_string(x) + "," + std::to_string(y) + "," +
+               std::to_string(z) + ")";
+    }
+};
+
+/** Linearize a 3D index within an extent (x fastest). */
+inline uint64_t
+flatten(const Dim3 &idx, const Dim3 &extent)
+{
+    return uint64_t(idx.z) * extent.y * extent.x + uint64_t(idx.y) * extent.x + idx.x;
+}
+
+/** Inverse of flatten(). */
+inline Dim3
+unflatten(uint64_t flat, const Dim3 &extent)
+{
+    Dim3 idx;
+    idx.x = uint32_t(flat % extent.x);
+    idx.y = uint32_t((flat / extent.x) % extent.y);
+    idx.z = uint32_t(flat / (uint64_t(extent.x) * extent.y));
+    return idx;
+}
+
+/** Warp width used throughout the simulator (NVIDIA-style). */
+constexpr unsigned kWarpSize = 32;
+
+/** Bit mask with one bit per lane in a warp. */
+using warp_mask_t = uint32_t;
+
+constexpr warp_mask_t kFullWarpMask = 0xffffffffu;
+
+} // namespace mlgs
+
+#endif // MLGS_COMMON_TYPES_H

@@ -1,0 +1,836 @@
+#include "cudnn/cudnn.h"
+
+#include "cudnn/kernels.h"
+
+namespace mlgs::cudnn
+{
+
+namespace
+{
+
+unsigned
+ceilDiv(unsigned a, unsigned b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Smallest supported FFT tile covering n, or 0 if none. */
+unsigned
+fftTileFor(unsigned n)
+{
+    if (n <= 16)
+        return 16;
+    if (n <= 32)
+        return 32;
+    return 0;
+}
+
+} // namespace
+
+const char *
+fwdAlgoName(ConvFwdAlgo a)
+{
+    switch (a) {
+      case ConvFwdAlgo::ImplicitGemm: return "IMPLICIT_GEMM";
+      case ConvFwdAlgo::Gemm: return "GEMM";
+      case ConvFwdAlgo::Fft: return "FFT";
+      case ConvFwdAlgo::FftTiling: return "FFT_TILING";
+      case ConvFwdAlgo::Winograd: return "WINOGRAD";
+      case ConvFwdAlgo::WinogradNonfused: return "WINOGRAD_NONFUSED";
+    }
+    return "?";
+}
+
+const char *
+bwdDataAlgoName(ConvBwdDataAlgo a)
+{
+    switch (a) {
+      case ConvBwdDataAlgo::Algo0: return "BWD_DATA_ALGO_0";
+      case ConvBwdDataAlgo::Algo1: return "BWD_DATA_ALGO_1";
+      case ConvBwdDataAlgo::FftTiling: return "BWD_DATA_FFT_TILING";
+      case ConvBwdDataAlgo::Winograd: return "BWD_DATA_WINOGRAD";
+      case ConvBwdDataAlgo::WinogradNonfused:
+        return "BWD_DATA_WINOGRAD_NONFUSED";
+    }
+    return "?";
+}
+
+const char *
+bwdFilterAlgoName(ConvBwdFilterAlgo a)
+{
+    switch (a) {
+      case ConvBwdFilterAlgo::Algo0: return "BWD_FILTER_ALGO_0";
+      case ConvBwdFilterAlgo::Algo1: return "BWD_FILTER_ALGO_1";
+      case ConvBwdFilterAlgo::Algo3: return "BWD_FILTER_ALGO_3";
+      case ConvBwdFilterAlgo::Fft: return "BWD_FILTER_FFT";
+      case ConvBwdFilterAlgo::FftTiling: return "BWD_FILTER_FFT_TILING";
+      case ConvBwdFilterAlgo::WinogradNonfused:
+        return "BWD_FILTER_WINOGRAD_NONFUSED";
+    }
+    return "?";
+}
+
+CudnnHandle::CudnnHandle(cuda::Context &ctx) : ctx_(&ctx), blas_(ctx)
+{
+    // One module per embedded "PTX file", like the real library.
+    mod_common_ = ctx.loadModule(kCommonPtx, "libcudnn_common.ptx");
+    mod_conv_ = ctx.loadModule(kConvPtx, "libcudnn_conv.ptx");
+    mod_wino_ = ctx.loadModule(kWinogradPtx, "libcudnn_winograd.ptx");
+    mod_lrn_ = ctx.loadModule(kLrnPtx, "libcudnn_lrn.ptx");
+    mod_fft32_ = ctx.loadModule(buildFftPtx32(), "libcudnn_fft32.ptx");
+    mod_fft16_ = ctx.loadModule(buildFftPtx16(), "libcudnn_fft16.ptx");
+    mod_cgemm_ = ctx.loadModule(buildCgemmPtx(), "libcudnn_cgemm.ptx");
+    lrn_texref_ = ctx.registerTexture("tex_lrn_src");
+}
+
+CudnnHandle::~CudnnHandle() = default;
+
+void
+CudnnHandle::setStream(cuda::Stream *s)
+{
+    stream_ = s;
+    blas_.setStream(s);
+}
+
+void
+CudnnHandle::launch1d(int module, const std::string &kernel,
+                      const cuda::KernelArgs &args, size_t total,
+                      unsigned block)
+{
+    if (total == 0)
+        return;
+    ctx_->cuLaunchKernel(ctx_->getFunction(module, kernel),
+                         Dim3(ceilDiv(unsigned(total), block)), Dim3(block),
+                         args, stream_);
+}
+
+// ---- Winograd transform caching ----
+
+const CudnnHandle::WinogradBuffers &
+CudnnHandle::winogradFor(unsigned m, unsigned r)
+{
+    const auto key = std::make_pair(m, r);
+    auto it = wino_cache_.find(key);
+    if (it != wino_cache_.end())
+        return it->second;
+    WinogradBuffers buf;
+    buf.tx = makeWinogradTx(m, r);
+    buf.bt = ctx_->malloc(buf.tx.bt.size() * 4);
+    buf.g = ctx_->malloc(buf.tx.g.size() * 4);
+    buf.at = ctx_->malloc(buf.tx.at.size() * 4);
+    ctx_->memcpyH2D(buf.bt, buf.tx.bt.data(), buf.tx.bt.size() * 4);
+    ctx_->memcpyH2D(buf.g, buf.tx.g.data(), buf.tx.g.size() * 4);
+    ctx_->memcpyH2D(buf.at, buf.tx.at.data(), buf.tx.at.size() * 4);
+    return wino_cache_.emplace(key, std::move(buf)).first->second;
+}
+
+// ---- FFT convolution core ----
+
+void
+CudnnHandle::fftConvForward(const TensorDesc &xd, addr_t x,
+                            const FilterDesc &wd, addr_t w, int pad,
+                            unsigned tile, const TensorDesc &yd, addr_t y)
+{
+    MLGS_REQUIRE(tile == 16 || tile == 32, "bad FFT tile");
+    const int mod = tile == 32 ? mod_fft32_ : mod_fft16_;
+    const std::string sfx = tile == 32 ? "32x32" : "16x16";
+    const unsigned bins = tile * tile;
+    const int R = wd.r, S = wd.s;
+    MLGS_REQUIRE(R == S, "FFT path needs square filters");
+    MLGS_REQUIRE(unsigned(R) <= tile, "filter larger than FFT tile");
+
+    // Fold padding into an explicitly padded input.
+    addr_t xin = x;
+    int H = xd.h, W = xd.w;
+    addr_t xpad = 0;
+    if (pad > 0) {
+        H = xd.h + 2 * pad;
+        W = xd.w + 2 * pad;
+        xpad = ctx_->malloc(size_t(xd.n) * xd.c * H * W * 4);
+        cuda::KernelArgs a;
+        a.ptr(x).ptr(xpad).u32(unsigned(xd.n * xd.c)).u32(unsigned(xd.h))
+            .u32(unsigned(xd.w)).u32(unsigned(H)).u32(unsigned(W))
+            .u32(unsigned(pad));
+        launch1d(mod_common_, "pad_tensor", a, size_t(xd.n) * xd.c * H * W);
+        xin = xpad;
+    }
+
+    const unsigned step = tile - unsigned(R) + 1;
+    const unsigned tiles_y = ceilDiv(unsigned(yd.h), step);
+    const unsigned tiles_x = ceilDiv(unsigned(yd.w), step);
+    const unsigned tiles = tiles_y * tiles_x;
+
+    const addr_t xw =
+        ctx_->malloc(size_t(xd.n) * xd.c * tiles * bins * 8);
+    const addr_t ww = ctx_->malloc(size_t(wd.k) * wd.c * bins * 8);
+    const addr_t yw =
+        ctx_->malloc(size_t(xd.n) * wd.k * tiles * bins * 8);
+
+    // 1. transform input tiles (circular shift by -(R-1)).
+    {
+        cuda::KernelArgs a;
+        a.ptr(xin).ptr(xw).u32(unsigned(H)).u32(unsigned(W))
+            .u32(unsigned(H * W)).u32(tiles_x).u32(step).s32(-(R - 1));
+        ctx_->cuLaunchKernel(ctx_->getFunction(mod, "fft2d_r2c_" + sfx),
+                             Dim3(unsigned(xd.n * xd.c), tiles_y, tiles_x),
+                             Dim3(tile), a, stream_);
+    }
+    // 2. transform filters (one tile each, no shift).
+    {
+        cuda::KernelArgs a;
+        a.ptr(w).ptr(ww).u32(unsigned(R)).u32(unsigned(S))
+            .u32(unsigned(R * S)).u32(1).u32(tile).s32(0);
+        ctx_->cuLaunchKernel(ctx_->getFunction(mod, "fft2d_r2c_" + sfx),
+                             Dim3(unsigned(wd.k * wd.c), 1, 1), Dim3(tile), a,
+                             stream_);
+    }
+    // 3. pointwise CGEMM per image (tile index becomes the P dimension).
+    for (int n = 0; n < xd.n; n++) {
+        cuda::KernelArgs a;
+        const addr_t abase = xw + size_t(n) * xd.c * tiles * bins * 8;
+        const addr_t obase = yw + size_t(n) * wd.k * tiles * bins * 8;
+        a.ptr(abase).ptr(ww).ptr(obase)
+            .u32(unsigned(wd.k))            // Q
+            .u32(unsigned(xd.c))            // L
+            .u32(bins)
+            .u32(bins)                      // a_p: tile stride
+            .u32(tiles * bins)              // a_l: channel stride
+            .u32(unsigned(xd.c) * bins)     // b_q: k stride
+            .u32(bins)                      // b_l: c stride
+            .u32(bins)                      // o_p: tile stride
+            .u32(tiles * bins)              // o_q: k stride
+            .u32(1)                         // conjB (correlation)
+            .f32(0.0f);
+        ctx_->cuLaunchKernel(ctx_->getFunction(mod_cgemm_, "cgemm"),
+                             Dim3(ceilDiv(bins, 128), unsigned(wd.k), tiles),
+                             Dim3(128), a, stream_);
+    }
+    // 4. inverse transform + crop (Yw layout is [n][k][tile][bins]).
+    {
+        cuda::KernelArgs a;
+        a.ptr(yw).ptr(y).u32(unsigned(yd.h)).u32(unsigned(yd.w))
+            .u32(unsigned(yd.h * yd.w)).u32(tiles_x).u32(step)
+            .u32(unsigned(R - 1));
+        ctx_->cuLaunchKernel(ctx_->getFunction(mod, "fft2d_c2r_" + sfx),
+                             Dim3(unsigned(xd.n * wd.k), tiles_y, tiles_x),
+                             Dim3(tile), a, stream_);
+    }
+
+    ctx_->free(xw);
+    ctx_->free(ww);
+    ctx_->free(yw);
+    if (xpad)
+        ctx_->free(xpad);
+}
+
+void
+CudnnHandle::fftConvWgrad(const TensorDesc &xd, addr_t x, const TensorDesc &dyd,
+                          addr_t dy, int pad, unsigned tile,
+                          const FilterDesc &dwd, addr_t dw)
+{
+    const int mod = tile == 32 ? mod_fft32_ : mod_fft16_;
+    const std::string sfx = tile == 32 ? "32x32" : "16x16";
+    const unsigned bins = tile * tile;
+
+    addr_t xin = x;
+    int H = xd.h, W = xd.w;
+    addr_t xpad = 0;
+    if (pad > 0) {
+        H = xd.h + 2 * pad;
+        W = xd.w + 2 * pad;
+        xpad = ctx_->malloc(size_t(xd.n) * xd.c * H * W * 4);
+        cuda::KernelArgs a;
+        a.ptr(x).ptr(xpad).u32(unsigned(xd.n * xd.c)).u32(unsigned(xd.h))
+            .u32(unsigned(xd.w)).u32(unsigned(H)).u32(unsigned(W))
+            .u32(unsigned(pad));
+        launch1d(mod_common_, "pad_tensor", a, size_t(xd.n) * xd.c * H * W);
+        xin = xpad;
+    }
+    MLGS_REQUIRE(unsigned(std::max(H, W)) <= tile,
+                 "image larger than the FFT tile for wgrad");
+    MLGS_REQUIRE(unsigned(std::max(dyd.h, dyd.w)) <= tile,
+                 "gradient larger than the FFT tile for wgrad");
+
+    const addr_t xw = ctx_->malloc(size_t(xd.n) * xd.c * bins * 8);
+    const addr_t dyw = ctx_->malloc(size_t(dyd.n) * dyd.c * bins * 8);
+    const addr_t dww = ctx_->malloc(size_t(dwd.k) * dwd.c * bins * 8);
+
+    {
+        cuda::KernelArgs a;
+        a.ptr(xin).ptr(xw).u32(unsigned(H)).u32(unsigned(W))
+            .u32(unsigned(H * W)).u32(1).u32(tile).s32(0);
+        ctx_->cuLaunchKernel(ctx_->getFunction(mod, "fft2d_r2c_" + sfx),
+                             Dim3(unsigned(xd.n * xd.c), 1, 1), Dim3(tile), a,
+                             stream_);
+    }
+    {
+        cuda::KernelArgs a;
+        a.ptr(dy).ptr(dyw).u32(unsigned(dyd.h)).u32(unsigned(dyd.w))
+            .u32(unsigned(dyd.h * dyd.w)).u32(1).u32(tile).s32(0);
+        ctx_->cuLaunchKernel(ctx_->getFunction(mod, "fft2d_r2c_" + sfx),
+                             Dim3(unsigned(dyd.n * dyd.c), 1, 1), Dim3(tile),
+                             a, stream_);
+    }
+    {
+        // dW_hat[k,c,bin] = sum_n X[n,c,bin] * conj(DY[n,k,bin])
+        cuda::KernelArgs a;
+        a.ptr(xw).ptr(dyw).ptr(dww)
+            .u32(unsigned(dwd.k))              // Q = k
+            .u32(unsigned(xd.n))               // L = n
+            .u32(bins)
+            .u32(bins)                         // a_p: c stride
+            .u32(unsigned(xd.c) * bins)        // a_l: n stride
+            .u32(bins)                         // b_q: k stride
+            .u32(unsigned(dyd.c) * bins)       // b_l: n stride
+            .u32(bins)                         // o_p: c stride
+            .u32(unsigned(dwd.c) * bins)       // o_q: k stride
+            .u32(1)
+            .f32(0.0f);
+        ctx_->cuLaunchKernel(
+            ctx_->getFunction(mod_cgemm_, "cgemm"),
+            Dim3(ceilDiv(bins, 128), unsigned(dwd.k), unsigned(dwd.c)),
+            Dim3(128), a, stream_);
+    }
+    {
+        const unsigned step = unsigned(std::max(dwd.r, dwd.s));
+        cuda::KernelArgs a;
+        a.ptr(dww).ptr(dw).u32(unsigned(dwd.r)).u32(unsigned(dwd.s))
+            .u32(unsigned(dwd.r * dwd.s)).u32(1).u32(step).u32(0);
+        ctx_->cuLaunchKernel(ctx_->getFunction(mod, "fft2d_c2r_" + sfx),
+                             Dim3(unsigned(dwd.k * dwd.c), 1, 1), Dim3(tile),
+                             a, stream_);
+    }
+
+    ctx_->free(xw);
+    ctx_->free(dyw);
+    ctx_->free(dww);
+    if (xpad)
+        ctx_->free(xpad);
+}
+
+// ---- Winograd forward core ----
+
+void
+CudnnHandle::winogradForward(const TensorDesc &xd, addr_t x,
+                             const FilterDesc &wd, addr_t w, int pad,
+                             bool fused, const TensorDesc &yd, addr_t y)
+{
+    MLGS_REQUIRE(wd.r == wd.s, "Winograd needs square filters");
+    const unsigned m = 2, r = unsigned(wd.r);
+    const WinogradBuffers &wb = winogradFor(m, r);
+    const unsigned t = wb.tx.t;
+    const unsigned tt = t * t;
+    const unsigned tiles_y = ceilDiv(unsigned(yd.h), m);
+    const unsigned tiles_x = ceilDiv(unsigned(yd.w), m);
+    const unsigned tiles = tiles_y * tiles_x;
+
+    if (fused) {
+        cuda::KernelArgs a;
+        a.ptr(x).ptr(w).ptr(y).ptr(wb.bt).ptr(wb.g).ptr(wb.at)
+            .u32(unsigned(xd.c)).u32(unsigned(xd.h)).u32(unsigned(xd.w))
+            .u32(unsigned(wd.k)).u32(unsigned(yd.h)).u32(unsigned(yd.w))
+            .u32(tiles_y).u32(tiles_x).u32(m).u32(t).u32(r)
+            .u32(unsigned(pad))
+            .u32(unsigned(size_t(xd.n) * wd.k * tiles));
+        launch1d(mod_wino_, "winograd_fused", a,
+                 size_t(xd.n) * wd.k * tiles, 64);
+        return;
+    }
+
+    const addr_t xw = ctx_->malloc(size_t(xd.n) * tiles * xd.c * tt * 4);
+    const addr_t ww = ctx_->malloc(size_t(wd.k) * wd.c * tt * 4);
+    const addr_t yw = ctx_->malloc(size_t(xd.n) * tiles * wd.k * tt * 4);
+
+    {
+        cuda::KernelArgs a;
+        const size_t total = size_t(xd.n) * tiles * xd.c * tt;
+        a.ptr(x).ptr(xw).ptr(wb.bt).u32(unsigned(xd.c)).u32(unsigned(xd.h))
+            .u32(unsigned(xd.w)).u32(tiles_y).u32(tiles_x).u32(m).u32(t)
+            .u32(unsigned(pad)).u32(unsigned(total));
+        launch1d(mod_wino_, "winograd_input_tx", a, total);
+    }
+    {
+        cuda::KernelArgs a;
+        const size_t total = size_t(wd.k) * wd.c * tt;
+        a.ptr(w).ptr(ww).ptr(wb.g).u32(unsigned(wd.c)).u32(r).u32(t)
+            .u32(unsigned(total));
+        launch1d(mod_wino_, "winograd_filter_tx", a, total);
+    }
+    {
+        // Yw[(n,tile), k, bin] = sum_c Xw[(n,tile), c, bin] Ww[k, c, bin]
+        const unsigned nt = unsigned(xd.n) * tiles;
+        cuda::KernelArgs a;
+        a.ptr(xw).ptr(ww).ptr(yw)
+            .u32(nt)                        // M
+            .u32(unsigned(wd.k))            // N
+            .u32(unsigned(xd.c))            // K
+            .u32(1)                         // as_b (bin)
+            .u32(unsigned(xd.c) * tt)       // as_m ((n,tile))
+            .u32(tt)                        // as_k (c)
+            .u32(1)                         // bs_b
+            .u32(tt)                        // bs_k (c)
+            .u32(unsigned(wd.c) * tt)       // bs_n (k)
+            .u32(1)                         // cs_b
+            .u32(unsigned(wd.k) * tt)       // cs_m
+            .u32(tt)                        // cs_n
+            .f32(0.0f);
+        const unsigned bx = std::min(unsigned(wd.k), 128u);
+        ctx_->cuLaunchKernel(ctx_->getFunction(mod_wino_, "winograd_bgemm"),
+                             Dim3(ceilDiv(unsigned(wd.k), bx), nt, tt),
+                             Dim3(bx), a, stream_);
+    }
+    {
+        cuda::KernelArgs a;
+        const size_t total = size_t(xd.n) * tiles * wd.k * m * m;
+        a.ptr(yw).ptr(y).ptr(wb.at).u32(unsigned(wd.k)).u32(unsigned(yd.h))
+            .u32(unsigned(yd.w)).u32(tiles_y).u32(tiles_x).u32(m).u32(t)
+            .u32(unsigned(total));
+        launch1d(mod_wino_, "winograd_output_tx", a, total);
+    }
+
+    ctx_->free(xw);
+    ctx_->free(ww);
+    ctx_->free(yw);
+}
+
+// ---- public convolution entry points ----
+
+void
+CudnnHandle::convolutionForward(const TensorDesc &xd, addr_t x,
+                                const FilterDesc &wd, addr_t w,
+                                const ConvDesc &conv, ConvFwdAlgo algo,
+                                const TensorDesc &yd, addr_t y)
+{
+    MLGS_REQUIRE(xd.c == wd.c, "channel mismatch");
+    const TensorDesc expect = conv.outputDim(xd, wd);
+    MLGS_REQUIRE(expect.h == yd.h && expect.w == yd.w && expect.c == yd.c,
+                 "output descriptor mismatch");
+
+    switch (algo) {
+      case ConvFwdAlgo::ImplicitGemm: {
+        cuda::KernelArgs a;
+        a.ptr(x).ptr(w).ptr(y).u32(unsigned(xd.n)).u32(unsigned(xd.c))
+            .u32(unsigned(xd.h)).u32(unsigned(xd.w)).u32(unsigned(wd.k))
+            .u32(unsigned(wd.r)).u32(unsigned(wd.s)).u32(unsigned(yd.h))
+            .u32(unsigned(yd.w)).u32(unsigned(conv.pad))
+            .u32(unsigned(conv.stride));
+        launch1d(mod_conv_, "implicit_gemm_fwd", a, yd.count());
+        return;
+      }
+      case ConvFwdAlgo::Gemm: {
+        // Per-image im2col followed by SGEMM.
+        const unsigned crs = unsigned(wd.c) * wd.r * wd.s;
+        const unsigned ohw = unsigned(yd.h) * yd.w;
+        const addr_t col = ctx_->malloc(size_t(crs) * ohw * 4);
+        for (int n = 0; n < xd.n; n++) {
+            cuda::KernelArgs a;
+            a.ptr(x + size_t(n) * xd.c * xd.h * xd.w * 4).ptr(col)
+                .u32(unsigned(xd.c)).u32(unsigned(xd.h)).u32(unsigned(xd.w))
+                .u32(unsigned(wd.r)).u32(unsigned(wd.s)).u32(unsigned(yd.h))
+                .u32(unsigned(yd.w)).u32(unsigned(conv.pad))
+                .u32(unsigned(conv.stride));
+            launch1d(mod_common_, "im2col", a, size_t(crs) * ohw);
+            blas_.sgemm(blas::Op::N, blas::Op::N, unsigned(wd.k), ohw, crs,
+                        1.0f, w, col, 0.0f,
+                        y + size_t(n) * wd.k * ohw * 4);
+        }
+        ctx_->free(col);
+        return;
+      }
+      case ConvFwdAlgo::Fft: {
+        MLGS_REQUIRE(conv.stride == 1, "FFT forward requires stride 1");
+        const unsigned need = unsigned(xd.h + 2 * conv.pad);
+        const unsigned need_w = unsigned(xd.w + 2 * conv.pad);
+        const unsigned tile = fftTileFor(std::max(need, need_w));
+        MLGS_REQUIRE(tile, "image too large for single-tile FFT; "
+                           "use FFT_TILING");
+        fftConvForward(xd, x, wd, w, conv.pad, tile, yd, y);
+        return;
+      }
+      case ConvFwdAlgo::FftTiling: {
+        MLGS_REQUIRE(conv.stride == 1, "FFT tiling requires stride 1");
+        MLGS_REQUIRE(unsigned(wd.r) <= 16, "filter too large for 16x16 tiles");
+        fftConvForward(xd, x, wd, w, conv.pad, 16, yd, y);
+        return;
+      }
+      case ConvFwdAlgo::Winograd:
+        MLGS_REQUIRE(conv.stride == 1, "Winograd requires stride 1");
+        winogradForward(xd, x, wd, w, conv.pad, true, yd, y);
+        return;
+      case ConvFwdAlgo::WinogradNonfused:
+        MLGS_REQUIRE(conv.stride == 1, "Winograd requires stride 1");
+        winogradForward(xd, x, wd, w, conv.pad, false, yd, y);
+        return;
+    }
+    fatal("unhandled forward algorithm");
+}
+
+void
+CudnnHandle::convolutionBackwardData(const FilterDesc &wd, addr_t w,
+                                     const TensorDesc &dyd, addr_t dy,
+                                     const ConvDesc &conv,
+                                     ConvBwdDataAlgo algo,
+                                     const TensorDesc &dxd, addr_t dx)
+{
+    switch (algo) {
+      case ConvBwdDataAlgo::Algo0: {
+        ctx_->memsetD(dx, 0, dxd.bytes(), stream_);
+        cuda::KernelArgs a;
+        a.ptr(dy).ptr(w).ptr(dx).u32(unsigned(dxd.n)).u32(unsigned(dxd.c))
+            .u32(unsigned(dxd.h)).u32(unsigned(dxd.w)).u32(unsigned(wd.k))
+            .u32(unsigned(wd.r)).u32(unsigned(wd.s)).u32(unsigned(dyd.h))
+            .u32(unsigned(dyd.w)).u32(unsigned(conv.pad))
+            .u32(unsigned(conv.stride));
+        launch1d(mod_conv_, "conv_bwd_data_algo0", a, dyd.count());
+        return;
+      }
+      case ConvBwdDataAlgo::Algo1: {
+        cuda::KernelArgs a;
+        a.ptr(dy).ptr(w).ptr(dx).u32(unsigned(dxd.n)).u32(unsigned(dxd.c))
+            .u32(unsigned(dxd.h)).u32(unsigned(dxd.w)).u32(unsigned(wd.k))
+            .u32(unsigned(wd.r)).u32(unsigned(wd.s)).u32(unsigned(dyd.h))
+            .u32(unsigned(dyd.w)).u32(unsigned(conv.pad))
+            .u32(unsigned(conv.stride));
+        launch1d(mod_conv_, "conv_bwd_data_algo1", a, dxd.count());
+        return;
+      }
+      case ConvBwdDataAlgo::FftTiling:
+      case ConvBwdDataAlgo::Winograd:
+      case ConvBwdDataAlgo::WinogradNonfused: {
+        MLGS_REQUIRE(conv.stride == 1,
+                     "transform-domain backward data requires stride 1");
+        // dx = forward-conv(dy, rot180+swapped W) with pad' = R-1-pad.
+        const int padp = wd.r - 1 - conv.pad;
+        MLGS_REQUIRE(padp >= 0, "unsupported padding for transform bwd data");
+        const addr_t wswap = ctx_->malloc(wd.bytes());
+        {
+            cuda::KernelArgs a;
+            a.ptr(w).ptr(wswap).u32(unsigned(wd.k)).u32(unsigned(wd.c))
+                .u32(unsigned(wd.r)).u32(unsigned(wd.s));
+            launch1d(mod_common_, "rot180_swap_filter", a, wd.count());
+        }
+        const TensorDesc xd2(dyd.n, dyd.c, dyd.h, dyd.w);
+        const FilterDesc wd2(wd.c, wd.k, wd.r, wd.s);
+        const TensorDesc yd2(dxd.n, dxd.c, dxd.h, dxd.w);
+        if (algo == ConvBwdDataAlgo::FftTiling) {
+            MLGS_REQUIRE(unsigned(wd.r) <= 16, "filter too large");
+            fftConvForward(xd2, dy, wd2, wswap, padp, 16, yd2, dx);
+        } else {
+            winogradForward(xd2, dy, wd2, wswap, padp,
+                            algo == ConvBwdDataAlgo::Winograd, yd2, dx);
+        }
+        ctx_->free(wswap);
+        return;
+      }
+    }
+    fatal("unhandled backward-data algorithm");
+}
+
+void
+CudnnHandle::convolutionBackwardFilter(const TensorDesc &xd, addr_t x,
+                                       const TensorDesc &dyd, addr_t dy,
+                                       const ConvDesc &conv,
+                                       ConvBwdFilterAlgo algo,
+                                       const FilterDesc &dwd, addr_t dw)
+{
+    switch (algo) {
+      case ConvBwdFilterAlgo::Algo0: {
+        ctx_->memsetD(dw, 0, dwd.bytes(), stream_);
+        cuda::KernelArgs a;
+        a.ptr(x).ptr(dy).ptr(dw).u32(unsigned(xd.n)).u32(unsigned(xd.c))
+            .u32(unsigned(xd.h)).u32(unsigned(xd.w)).u32(unsigned(dwd.k))
+            .u32(unsigned(dwd.r)).u32(unsigned(dwd.s)).u32(unsigned(dyd.h))
+            .u32(unsigned(dyd.w)).u32(unsigned(conv.pad))
+            .u32(unsigned(conv.stride));
+        launch1d(mod_conv_, "conv_bwd_filter_algo0", a, dyd.count());
+        return;
+      }
+      case ConvBwdFilterAlgo::Algo1: {
+        cuda::KernelArgs a;
+        a.ptr(x).ptr(dy).ptr(dw).u32(unsigned(xd.n)).u32(unsigned(xd.c))
+            .u32(unsigned(xd.h)).u32(unsigned(xd.w)).u32(unsigned(dwd.k))
+            .u32(unsigned(dwd.r)).u32(unsigned(dwd.s)).u32(unsigned(dyd.h))
+            .u32(unsigned(dyd.w)).u32(unsigned(conv.pad))
+            .u32(unsigned(conv.stride)).u32(0).u32(unsigned(xd.n));
+        launch1d(mod_conv_, "conv_bwd_filter_algo1", a, dwd.count());
+        return;
+      }
+      case ConvBwdFilterAlgo::Algo3: {
+        // Per-image partials in a workspace, then a deterministic reduce.
+        const size_t per = dwd.count();
+        const addr_t ws = ctx_->malloc(per * size_t(xd.n) * 4);
+        for (int n = 0; n < xd.n; n++) {
+            cuda::KernelArgs a;
+            a.ptr(x).ptr(dy).ptr(ws + size_t(n) * per * 4)
+                .u32(unsigned(xd.n)).u32(unsigned(xd.c)).u32(unsigned(xd.h))
+                .u32(unsigned(xd.w)).u32(unsigned(dwd.k)).u32(unsigned(dwd.r))
+                .u32(unsigned(dwd.s)).u32(unsigned(dyd.h)).u32(unsigned(dyd.w))
+                .u32(unsigned(conv.pad)).u32(unsigned(conv.stride))
+                .u32(unsigned(n)).u32(unsigned(n + 1));
+            launch1d(mod_conv_, "conv_bwd_filter_algo1", a, per);
+        }
+        cuda::KernelArgs a;
+        a.ptr(ws).ptr(dw).u32(unsigned(per)).u32(unsigned(xd.n))
+            .u32(unsigned(per));
+        launch1d(mod_common_, "reduce_batch_sum", a, per);
+        ctx_->free(ws);
+        return;
+      }
+      case ConvBwdFilterAlgo::Fft:
+      case ConvBwdFilterAlgo::FftTiling: {
+        MLGS_REQUIRE(conv.stride == 1, "FFT wgrad requires stride 1");
+        const unsigned need = unsigned(
+            std::max(xd.h + 2 * conv.pad, xd.w + 2 * conv.pad));
+        const unsigned tile =
+            algo == ConvBwdFilterAlgo::FftTiling ? 16u : fftTileFor(need);
+        MLGS_REQUIRE(tile, "image too large for FFT wgrad");
+        fftConvWgrad(xd, x, dyd, dy, conv.pad, tile, dwd, dw);
+        return;
+      }
+      case ConvBwdFilterAlgo::WinogradNonfused: {
+        MLGS_REQUIRE(conv.stride == 1, "Winograd wgrad requires stride 1");
+        const unsigned m = 2, r = unsigned(dwd.r);
+        const WinogradBuffers &wb = winogradFor(m, r);
+        const unsigned t = wb.tx.t, tt = t * t;
+        const unsigned tiles_y = ceilDiv(unsigned(dyd.h), m);
+        const unsigned tiles_x = ceilDiv(unsigned(dyd.w), m);
+        const unsigned tiles = tiles_y * tiles_x;
+        const unsigned nt = unsigned(xd.n) * tiles;
+
+        const addr_t xw = ctx_->malloc(size_t(nt) * xd.c * tt * 4);
+        const addr_t dyw = ctx_->malloc(size_t(nt) * dyd.c * tt * 4);
+        const addr_t dww = ctx_->malloc(size_t(dwd.k) * dwd.c * tt * 4);
+        {
+            cuda::KernelArgs a;
+            const size_t total = size_t(nt) * xd.c * tt;
+            a.ptr(x).ptr(xw).ptr(wb.bt).u32(unsigned(xd.c))
+                .u32(unsigned(xd.h)).u32(unsigned(xd.w)).u32(tiles_y)
+                .u32(tiles_x).u32(m).u32(t).u32(unsigned(conv.pad))
+                .u32(unsigned(total));
+            launch1d(mod_wino_, "winograd_input_tx", a, total);
+        }
+        {
+            cuda::KernelArgs a;
+            const size_t total = size_t(nt) * dyd.c * tt;
+            a.ptr(dy).ptr(dyw).ptr(wb.at).u32(unsigned(dyd.c))
+                .u32(unsigned(dyd.h)).u32(unsigned(dyd.w)).u32(tiles_y)
+                .u32(tiles_x).u32(m).u32(t).u32(unsigned(total));
+            launch1d(mod_wino_, "winograd_dy_tx", a, total);
+        }
+        {
+            // dWw[k, c, bin] = sum_(n,tile) DYw[(n,tile),k,bin]
+            //                               * Xw[(n,tile),c,bin]
+            cuda::KernelArgs a;
+            a.ptr(dyw).ptr(xw).ptr(dww)
+                .u32(unsigned(dwd.k))          // M = k
+                .u32(unsigned(dwd.c))          // N = c
+                .u32(nt)                       // K = (n,tile)
+                .u32(1)                        // as_b
+                .u32(tt)                       // as_m (k)
+                .u32(unsigned(dyd.c) * tt)     // as_k (nt)
+                .u32(1)                        // bs_b
+                .u32(unsigned(xd.c) * tt)      // bs_k (nt)
+                .u32(tt)                       // bs_n (c)
+                .u32(1)                        // cs_b
+                .u32(unsigned(dwd.c) * tt)     // cs_m (k)
+                .u32(tt)                       // cs_n (c)
+                .f32(0.0f);
+            const unsigned bx = std::min(unsigned(dwd.c), 128u);
+            ctx_->cuLaunchKernel(
+                ctx_->getFunction(mod_wino_, "winograd_bgemm"),
+                Dim3(ceilDiv(unsigned(dwd.c), bx), unsigned(dwd.k), tt),
+                Dim3(bx), a, stream_);
+        }
+        {
+            cuda::KernelArgs a;
+            const size_t total = size_t(dwd.k) * dwd.c * r * r;
+            a.ptr(dww).ptr(dw).ptr(wb.g).u32(unsigned(dwd.c)).u32(r).u32(t)
+                .u32(unsigned(total));
+            launch1d(mod_wino_, "winograd_grad_tx", a, total);
+        }
+        ctx_->free(xw);
+        ctx_->free(dyw);
+        ctx_->free(dww);
+        return;
+      }
+    }
+    fatal("unhandled backward-filter algorithm");
+}
+
+ConvFwdAlgo
+CudnnHandle::getConvolutionForwardAlgorithm(const TensorDesc &xd,
+                                            const FilterDesc &wd,
+                                            const ConvDesc &conv) const
+{
+    if (conv.stride != 1 || wd.r != wd.s)
+        return ConvFwdAlgo::ImplicitGemm;
+    if (wd.r == 3 || wd.r == 5) {
+        if (fftTileFor(unsigned(xd.h + 2 * conv.pad)))
+            return ConvFwdAlgo::Fft;
+        return ConvFwdAlgo::WinogradNonfused;
+    }
+    return ConvFwdAlgo::Gemm;
+}
+
+size_t
+CudnnHandle::getConvolutionForwardWorkspaceSize(const TensorDesc &xd,
+                                                const FilterDesc &wd,
+                                                const ConvDesc &conv,
+                                                ConvFwdAlgo algo) const
+{
+    const TensorDesc yd = conv.outputDim(xd, wd);
+    switch (algo) {
+      case ConvFwdAlgo::ImplicitGemm:
+        return 0;
+      case ConvFwdAlgo::Gemm:
+        return size_t(wd.c) * wd.r * wd.s * yd.h * yd.w * 4;
+      case ConvFwdAlgo::Fft:
+      case ConvFwdAlgo::FftTiling: {
+        const unsigned tile =
+            algo == ConvFwdAlgo::Fft
+                ? fftTileFor(unsigned(xd.h + 2 * conv.pad))
+                : 16u;
+        if (!tile)
+            return 0;
+        const unsigned step = tile - unsigned(wd.r) + 1;
+        const unsigned tiles =
+            ceilDiv(unsigned(yd.h), step) * ceilDiv(unsigned(yd.w), step);
+        return (size_t(xd.n) * xd.c * tiles + size_t(wd.k) * wd.c +
+                size_t(xd.n) * wd.k * tiles) *
+               tile * tile * 8;
+      }
+      case ConvFwdAlgo::Winograd:
+        return 0;
+      case ConvFwdAlgo::WinogradNonfused: {
+        const unsigned t = 2 + unsigned(wd.r) - 1;
+        const unsigned tiles =
+            ceilDiv(unsigned(yd.h), 2) * ceilDiv(unsigned(yd.w), 2);
+        return (size_t(xd.n) * tiles * (xd.c + wd.k) +
+                size_t(wd.k) * wd.c) * t * t * 4;
+      }
+    }
+    return 0;
+}
+
+// ---- auxiliary layers ----
+
+void
+CudnnHandle::addTensorBias(const TensorDesc &yd, addr_t y, addr_t bias)
+{
+    cuda::KernelArgs a;
+    a.ptr(y).ptr(bias).u32(unsigned(yd.count())).u32(unsigned(yd.c))
+        .u32(unsigned(yd.h * yd.w));
+    launch1d(mod_common_, "add_bias", a, yd.count());
+}
+
+void
+CudnnHandle::biasBackward(const TensorDesc &dyd, addr_t dy, addr_t db)
+{
+    cuda::KernelArgs a;
+    a.ptr(dy).ptr(db).u32(unsigned(dyd.n)).u32(unsigned(dyd.c))
+        .u32(unsigned(dyd.h * dyd.w));
+    launch1d(mod_common_, "bias_bwd", a, size_t(dyd.c));
+}
+
+void
+CudnnHandle::activationForward(ActivationMode mode, size_t count, addr_t x,
+                               addr_t y)
+{
+    cuda::KernelArgs a;
+    a.ptr(x).ptr(y).u32(unsigned(count)).u32(unsigned(mode));
+    launch1d(mod_common_, "activation_fwd", a, count);
+}
+
+void
+CudnnHandle::activationBackward(ActivationMode mode, size_t count, addr_t y,
+                                addr_t dy, addr_t dx)
+{
+    cuda::KernelArgs a;
+    a.ptr(y).ptr(dy).ptr(dx).u32(unsigned(count)).u32(unsigned(mode));
+    launch1d(mod_common_, "activation_bwd", a, count);
+}
+
+void
+CudnnHandle::poolingForward(const TensorDesc &xd, addr_t x, int win, addr_t y,
+                            addr_t mask)
+{
+    const int oh = xd.h / win, ow = xd.w / win;
+    cuda::KernelArgs a;
+    a.ptr(x).ptr(y).ptr(mask).u32(unsigned(xd.n * xd.c)).u32(unsigned(xd.h))
+        .u32(unsigned(xd.w)).u32(unsigned(win)).u32(unsigned(win))
+        .u32(unsigned(oh)).u32(unsigned(ow));
+    launch1d(mod_common_, "maxpool_fwd", a, size_t(xd.n) * xd.c * oh * ow);
+}
+
+void
+CudnnHandle::poolingBackward(const TensorDesc &xd, int win, addr_t dy,
+                             addr_t mask, addr_t dx)
+{
+    const int oh = xd.h / win, ow = xd.w / win;
+    ctx_->memsetD(dx, 0, xd.bytes(), stream_);
+    cuda::KernelArgs a;
+    a.ptr(dy).ptr(mask).ptr(dx).u32(unsigned(size_t(xd.n) * xd.c * oh * ow));
+    launch1d(mod_common_, "maxpool_bwd", a, size_t(xd.n) * xd.c * oh * ow);
+}
+
+void
+CudnnHandle::lrnForward(const TensorDesc &xd, addr_t x, addr_t y, addr_t scale,
+                        int win, float alpha, float beta, float k)
+{
+    // Bind the input through the texture path (Section III-C machinery).
+    ctx_->bindTextureLinear(lrn_texref_, x, unsigned(xd.count()));
+    cuda::KernelArgs a;
+    a.ptr(y).ptr(scale).u32(unsigned(xd.n)).u32(unsigned(xd.c))
+        .u32(unsigned(xd.h * xd.w)).u32(unsigned(win))
+        .f32(alpha / float(win)).f32(beta).f32(k);
+    launch1d(mod_lrn_, "lrn_forward", a, xd.count());
+    ctx_->deviceSynchronize();
+    ctx_->unbindTexture(lrn_texref_);
+}
+
+void
+CudnnHandle::lrnBackward(const TensorDesc &xd, addr_t x, addr_t y, addr_t scale,
+                         addr_t dy, addr_t dx, int win, float alpha, float beta)
+{
+    cuda::KernelArgs a;
+    a.ptr(x).ptr(y).ptr(dy).ptr(scale).ptr(dx).u32(unsigned(xd.n))
+        .u32(unsigned(xd.c)).u32(unsigned(xd.h * xd.w)).u32(unsigned(win))
+        .f32(alpha / float(win)).f32(beta);
+    launch1d(mod_lrn_, "lrn_backward", a, xd.count());
+}
+
+void
+CudnnHandle::softmaxForward(int rows, int cols, addr_t x, addr_t y)
+{
+    cuda::KernelArgs a;
+    a.ptr(x).ptr(y).u32(unsigned(rows)).u32(unsigned(cols));
+    launch1d(mod_common_, "softmax_fwd", a, size_t(rows), 32);
+}
+
+void
+CudnnHandle::softmaxNllBackward(int rows, int cols, addr_t y, addr_t labels,
+                                addr_t dx, float scale)
+{
+    cuda::KernelArgs a;
+    a.ptr(y).ptr(labels).ptr(dx).u32(unsigned(rows)).u32(unsigned(cols))
+        .f32(scale);
+    launch1d(mod_common_, "softmax_nll_bwd", a, size_t(rows) * cols);
+}
+
+void
+CudnnHandle::nllLoss(int rows, int cols, addr_t y, addr_t labels, addr_t loss)
+{
+    cuda::KernelArgs a;
+    a.ptr(y).ptr(labels).ptr(loss).u32(unsigned(rows)).u32(unsigned(cols));
+    launch1d(mod_common_, "nll_loss", a, size_t(rows), 32);
+}
+
+void
+CudnnHandle::sgdStep(addr_t param, addr_t grad, size_t count, float lr)
+{
+    cuda::KernelArgs a;
+    a.ptr(param).ptr(grad).u32(unsigned(count)).f32(lr);
+    launch1d(mod_common_, "sgd_step", a, count);
+}
+
+} // namespace mlgs::cudnn

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * cudnn-lite: the cuDNN-style host API of MLGPUSim. Mirrors the algorithm
+ * enumeration the paper sweeps in Section V:
+ *   forward: IMPLICIT_GEMM, GEMM, FFT, FFT_TILING, WINOGRAD,
+ *            WINOGRAD_NONFUSED;
+ *   backward data: ALGO_0, ALGO_1, FFT_TILING, WINOGRAD, WINOGRAD_NONFUSED;
+ *   backward filter: ALGO_0, ALGO_1, ALGO_3, FFT, FFT_TILING,
+ *            WINOGRAD_NONFUSED;
+ * plus pooling, LRN (texture path), activation, softmax, bias and SGD
+ * helpers. All tensors are NCHW float32 on the simulated device.
+ *
+ * Unsupported shape/algorithm combinations throw FatalError (the analogue of
+ * CUDNN_STATUS_NOT_SUPPORTED).
+ */
+#ifndef MLGS_CUDNN_CUDNN_H
+#define MLGS_CUDNN_CUDNN_H
+
+#include <map>
+
+#include "blas/blas.h"
+#include "cudnn/winograd_tx.h"
+#include "runtime/context.h"
+
+namespace mlgs::cudnn
+{
+
+enum class ConvFwdAlgo
+{
+    ImplicitGemm,
+    Gemm,
+    Fft,
+    FftTiling,
+    Winograd,
+    WinogradNonfused,
+};
+
+enum class ConvBwdDataAlgo
+{
+    Algo0,
+    Algo1,
+    FftTiling,
+    Winograd,
+    WinogradNonfused,
+};
+
+enum class ConvBwdFilterAlgo
+{
+    Algo0,
+    Algo1,
+    Algo3,
+    Fft,
+    FftTiling,
+    WinogradNonfused,
+};
+
+enum class ActivationMode { Relu = 0, Sigmoid = 1, Tanh = 2 };
+
+const char *fwdAlgoName(ConvFwdAlgo a);
+const char *bwdDataAlgoName(ConvBwdDataAlgo a);
+const char *bwdFilterAlgoName(ConvBwdFilterAlgo a);
+
+/** NCHW tensor descriptor. */
+struct TensorDesc
+{
+    int n = 1, c = 1, h = 1, w = 1;
+
+    TensorDesc() = default;
+    TensorDesc(int nn, int cc, int hh, int ww) : n(nn), c(cc), h(hh), w(ww) {}
+    size_t count() const { return size_t(n) * c * h * w; }
+    size_t bytes() const { return count() * 4; }
+};
+
+/** KCRS filter descriptor. */
+struct FilterDesc
+{
+    int k = 1, c = 1, r = 1, s = 1;
+
+    FilterDesc() = default;
+    FilterDesc(int kk, int cc, int rr, int ss) : k(kk), c(cc), r(rr), s(ss) {}
+    size_t count() const { return size_t(k) * c * r * s; }
+    size_t bytes() const { return count() * 4; }
+};
+
+/** 2D convolution descriptor (symmetric pad/stride). */
+struct ConvDesc
+{
+    int pad = 0;
+    int stride = 1;
+
+    TensorDesc
+    outputDim(const TensorDesc &x, const FilterDesc &f) const
+    {
+        return TensorDesc(x.n, f.k, (x.h + 2 * pad - f.r) / stride + 1,
+                          (x.w + 2 * pad - f.s) / stride + 1);
+    }
+};
+
+/** The cuDNN-style handle; owns the library's PTX modules. */
+class CudnnHandle
+{
+  public:
+    explicit CudnnHandle(cuda::Context &ctx);
+    ~CudnnHandle();
+
+    cuda::Context &context() { return *ctx_; }
+    void setStream(cuda::Stream *s);
+
+    // ---- convolutions ----
+    void convolutionForward(const TensorDesc &xd, addr_t x,
+                            const FilterDesc &wd, addr_t w,
+                            const ConvDesc &conv, ConvFwdAlgo algo,
+                            const TensorDesc &yd, addr_t y);
+
+    void convolutionBackwardData(const FilterDesc &wd, addr_t w,
+                                 const TensorDesc &dyd, addr_t dy,
+                                 const ConvDesc &conv, ConvBwdDataAlgo algo,
+                                 const TensorDesc &dxd, addr_t dx);
+
+    void convolutionBackwardFilter(const TensorDesc &xd, addr_t x,
+                                   const TensorDesc &dyd, addr_t dy,
+                                   const ConvDesc &conv,
+                                   ConvBwdFilterAlgo algo,
+                                   const FilterDesc &dwd, addr_t dw);
+
+    /** Heuristic algorithm choice (cudnnGetConvolutionForwardAlgorithm). */
+    ConvFwdAlgo getConvolutionForwardAlgorithm(const TensorDesc &xd,
+                                               const FilterDesc &wd,
+                                               const ConvDesc &conv) const;
+
+    /** Workspace the given algorithm will allocate internally, in bytes. */
+    size_t getConvolutionForwardWorkspaceSize(const TensorDesc &xd,
+                                              const FilterDesc &wd,
+                                              const ConvDesc &conv,
+                                              ConvFwdAlgo algo) const;
+
+    // ---- auxiliary layers ----
+    void addTensorBias(const TensorDesc &yd, addr_t y, addr_t bias);
+    void biasBackward(const TensorDesc &dyd, addr_t dy, addr_t db);
+    void activationForward(ActivationMode mode, size_t count, addr_t x,
+                           addr_t y);
+    void activationBackward(ActivationMode mode, size_t count, addr_t y,
+                            addr_t dy, addr_t dx);
+    void poolingForward(const TensorDesc &xd, addr_t x, int win, addr_t y,
+                        addr_t mask);
+    void poolingBackward(const TensorDesc &xd, int win, addr_t dy, addr_t mask,
+                         addr_t dx);
+    void lrnForward(const TensorDesc &xd, addr_t x, addr_t y, addr_t scale,
+                    int win, float alpha, float beta, float k);
+    void lrnBackward(const TensorDesc &xd, addr_t x, addr_t y, addr_t scale,
+                     addr_t dy, addr_t dx, int win, float alpha, float beta);
+    void softmaxForward(int rows, int cols, addr_t x, addr_t y);
+    void softmaxNllBackward(int rows, int cols, addr_t y, addr_t labels,
+                            addr_t dx, float scale);
+    void nllLoss(int rows, int cols, addr_t y, addr_t labels, addr_t loss);
+    void sgdStep(addr_t param, addr_t grad, size_t count, float lr);
+
+    blas::BlasHandle &blas() { return blas_; }
+
+  private:
+    struct WinogradBuffers
+    {
+        addr_t bt = 0, g = 0, at = 0;
+        WinogradTx tx;
+    };
+
+    void launch1d(int module, const std::string &kernel,
+                  const cuda::KernelArgs &args, size_t total,
+                  unsigned block = 128);
+    const WinogradBuffers &winogradFor(unsigned m, unsigned r);
+
+    /** FFT convolution core shared by fwd / bwd-data / bwd-filter. */
+    void fftConvForward(const TensorDesc &xd, addr_t x, const FilterDesc &wd,
+                        addr_t w, int pad, unsigned tile, const TensorDesc &yd,
+                        addr_t y);
+    void fftConvWgrad(const TensorDesc &xd, addr_t x, const TensorDesc &dyd,
+                      addr_t dy, int pad, unsigned tile, const FilterDesc &dwd,
+                      addr_t dw);
+
+    void winogradForward(const TensorDesc &xd, addr_t x, const FilterDesc &wd,
+                         addr_t w, int pad, bool fused, const TensorDesc &yd,
+                         addr_t y);
+
+    cuda::Context *ctx_;
+    cuda::Stream *stream_ = nullptr;
+    blas::BlasHandle blas_;
+    int mod_common_ = -1;
+    int mod_conv_ = -1;
+    int mod_wino_ = -1;
+    int mod_lrn_ = -1;
+    int mod_fft32_ = -1;
+    int mod_fft16_ = -1;
+    int mod_cgemm_ = -1;
+    int lrn_texref_ = -1;
+    std::map<std::pair<unsigned, unsigned>, WinogradBuffers> wino_cache_;
+};
+
+} // namespace mlgs::cudnn
+
+#endif // MLGS_CUDNN_CUDNN_H

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Embedded PTX module sources for cudnn-lite. Each constant is one "PTX
+ * file"; the handle loads them as separate modules, mirroring how cuDNN
+ * ships many embedded PTX images (Section III-A).
+ */
+#ifndef MLGS_CUDNN_KERNELS_H
+#define MLGS_CUDNN_KERNELS_H
+
+#include <string>
+
+namespace mlgs::cudnn
+{
+
+extern const char *kCommonPtx;
+extern const char *kConvPtx;
+extern const char *kWinogradPtx;
+extern const char *kLrnPtx;
+
+/** FFT kernels instantiated from a template for 32x32 and 16x16 tiles. */
+std::string buildFftPtx32();
+std::string buildFftPtx16();
+std::string buildCgemmPtx();
+
+} // namespace mlgs::cudnn
+
+#endif // MLGS_CUDNN_KERNELS_H

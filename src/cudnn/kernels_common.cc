@@ -1,0 +1,751 @@
+/**
+ * @file
+ * cuDNN-lite PTX: tensor utilities and the non-convolution layers
+ * (activation, pooling, softmax, bias, SGD, im2col, padding, rotation).
+ */
+#include "cudnn/kernels.h"
+
+namespace mlgs::cudnn
+{
+
+const char *kCommonPtx = R"PTX(
+.version 6.4
+.target sm_61
+.address_size 64
+
+// out[idx] = in[(c*R*S + r*S + s)-style im2col gather for one image.
+// col is [C*R*S, OH*OW]; one thread per col element.
+.visible .entry im2col(
+    .param .u64 Xptr, .param .u64 Col,
+    .param .u32 C, .param .u32 H, .param .u32 W,
+    .param .u32 R, .param .u32 S,
+    .param .u32 OH, .param .u32 OW,
+    .param .u32 pad, .param .u32 stride
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<24>;
+    .reg .s32 %s<8>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<6>;
+
+    ld.param.u64 %rd1, [Xptr];
+    ld.param.u64 %rd2, [Col];
+    ld.param.u32 %r1, [C];
+    ld.param.u32 %r2, [H];
+    ld.param.u32 %r3, [W];
+    ld.param.u32 %r4, [R];
+    ld.param.u32 %r5, [S];
+    ld.param.u32 %r6, [OH];
+    ld.param.u32 %r7, [OW];
+    ld.param.u32 %r8, [pad];
+    ld.param.u32 %r9, [stride];
+
+    mov.u32 %r10, %ctaid.x;
+    mov.u32 %r11, %ntid.x;
+    mov.u32 %r12, %tid.x;
+    mad.lo.u32 %r13, %r10, %r11, %r12;   // col element index
+    mul.lo.u32 %r14, %r6, %r7;           // OHW
+    mul.lo.u32 %r15, %r4, %r5;           // RS
+    mul.lo.u32 %r16, %r1, %r15;          // C*R*S
+    mul.lo.u32 %r17, %r16, %r14;         // total
+    setp.ge.u32 %p1, %r13, %r17;
+    @%p1 bra DONE;
+
+    div.u32 %r18, %r13, %r14;            // row = c*R*S + r*S + s
+    rem.u32 %r19, %r13, %r14;            // opos = oy*OW + ox
+    div.u32 %r20, %r18, %r15;            // c
+    rem.u32 %r21, %r18, %r15;            // r*S + s
+    div.u32 %r22, %r21, %r5;             // r
+    rem.u32 %r23, %r21, %r5;             // s
+    div.u32 %r10, %r19, %r7;             // oy
+    rem.u32 %r11, %r19, %r7;             // ox
+
+    // iy = oy*stride - pad + r ; ix = ox*stride - pad + s
+    mul.lo.u32 %r12, %r10, %r9;
+    add.u32 %r12, %r12, %r22;
+    cvt.s32.u32 %s1, %r12;
+    cvt.s32.u32 %s2, %r8;
+    sub.s32 %s1, %s1, %s2;               // iy
+    mul.lo.u32 %r12, %r11, %r9;
+    add.u32 %r12, %r12, %r23;
+    cvt.s32.u32 %s3, %r12;
+    sub.s32 %s3, %s3, %s2;               // ix
+
+    mov.f32 %f1, 0f00000000;
+    setp.lt.s32 %p2, %s1, 0;
+    @%p2 bra STORE;
+    setp.lt.s32 %p2, %s3, 0;
+    @%p2 bra STORE;
+    cvt.s32.u32 %s4, %r2;
+    setp.ge.s32 %p2, %s1, %s4;
+    @%p2 bra STORE;
+    cvt.s32.u32 %s4, %r3;
+    setp.ge.s32 %p2, %s3, %s4;
+    @%p2 bra STORE;
+    // x[(c*H + iy)*W + ix]
+    cvt.u32.s32 %r12, %s1;
+    mad.lo.u32 %r12, %r20, %r2, %r12;
+    mul.lo.u32 %r12, %r12, %r3;
+    cvt.u32.s32 %r10, %s3;
+    add.u32 %r12, %r12, %r10;
+    mul.wide.u32 %rd3, %r12, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f1, [%rd4];
+STORE:
+    mul.wide.u32 %rd3, %r13, 4;
+    add.u64 %rd5, %rd2, %rd3;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    ret;
+}
+
+// out[nc, y, x] = in[nc, y - pad, x - pad] with zero fill (symmetric pad).
+.visible .entry pad_tensor(
+    .param .u64 In, .param .u64 Out,
+    .param .u32 NC, .param .u32 H, .param .u32 W,
+    .param .u32 OHP, .param .u32 OWP, .param .u32 pad
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<16>;
+    .reg .s32 %s<6>;
+    .reg .f32 %f<3>;
+    .reg .pred %p<4>;
+    ld.param.u64 %rd1, [In];
+    ld.param.u64 %rd2, [Out];
+    ld.param.u32 %r1, [NC];
+    ld.param.u32 %r2, [H];
+    ld.param.u32 %r3, [W];
+    ld.param.u32 %r4, [OHP];
+    ld.param.u32 %r5, [OWP];
+    ld.param.u32 %r6, [pad];
+
+    mov.u32 %r7, %ctaid.x;
+    mov.u32 %r8, %ntid.x;
+    mov.u32 %r9, %tid.x;
+    mad.lo.u32 %r10, %r7, %r8, %r9;
+    mul.lo.u32 %r11, %r4, %r5;
+    mul.lo.u32 %r12, %r1, %r11;
+    setp.ge.u32 %p1, %r10, %r12;
+    @%p1 bra DONE;
+
+    div.u32 %r13, %r10, %r11;            // nc
+    rem.u32 %r14, %r10, %r11;
+    div.u32 %r15, %r14, %r5;             // oy
+    rem.u32 %r7, %r14, %r5;              // ox
+    cvt.s32.u32 %s1, %r15;
+    cvt.s32.u32 %s2, %r6;
+    sub.s32 %s1, %s1, %s2;               // iy
+    cvt.s32.u32 %s3, %r7;
+    sub.s32 %s3, %s3, %s2;               // ix
+
+    mov.f32 %f1, 0f00000000;
+    setp.lt.s32 %p2, %s1, 0;
+    @%p2 bra STORE;
+    setp.lt.s32 %p2, %s3, 0;
+    @%p2 bra STORE;
+    cvt.s32.u32 %s4, %r2;
+    setp.ge.s32 %p2, %s1, %s4;
+    @%p2 bra STORE;
+    cvt.s32.u32 %s4, %r3;
+    setp.ge.s32 %p2, %s3, %s4;
+    @%p2 bra STORE;
+    cvt.u32.s32 %r8, %s1;
+    mad.lo.u32 %r9, %r13, %r2, %r8;
+    mul.lo.u32 %r9, %r9, %r3;
+    cvt.u32.s32 %r8, %s3;
+    add.u32 %r9, %r9, %r8;
+    mul.wide.u32 %rd3, %r9, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f1, [%rd4];
+STORE:
+    mul.wide.u32 %rd3, %r10, 4;
+    add.u64 %rd5, %rd2, %rd3;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    ret;
+}
+
+// out[c][k][r][s] = in[k][c][R-1-r][S-1-s]  (rotate 180 + swap K/C for
+// FFT/Winograd backward-data paths).
+.visible .entry rot180_swap_filter(
+    .param .u64 In, .param .u64 Out,
+    .param .u32 K, .param .u32 C, .param .u32 R, .param .u32 S
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<20>;
+    .reg .f32 %f<3>;
+    .reg .pred %p<3>;
+    ld.param.u64 %rd1, [In];
+    ld.param.u64 %rd2, [Out];
+    ld.param.u32 %r1, [K];
+    ld.param.u32 %r2, [C];
+    ld.param.u32 %r3, [R];
+    ld.param.u32 %r4, [S];
+    mov.u32 %r5, %ctaid.x;
+    mov.u32 %r6, %ntid.x;
+    mov.u32 %r7, %tid.x;
+    mad.lo.u32 %r8, %r5, %r6, %r7;       // out index over C*K*R*S
+    mul.lo.u32 %r9, %r3, %r4;            // RS
+    mul.lo.u32 %r10, %r1, %r9;           // K*R*S
+    mul.lo.u32 %r11, %r2, %r10;          // total
+    setp.ge.u32 %p1, %r8, %r11;
+    @%p1 bra DONE;
+    div.u32 %r12, %r8, %r10;             // c
+    rem.u32 %r13, %r8, %r10;
+    div.u32 %r14, %r13, %r9;             // k
+    rem.u32 %r15, %r13, %r9;
+    div.u32 %r16, %r15, %r4;             // r
+    rem.u32 %r17, %r15, %r4;             // s
+    sub.u32 %r16, %r3, %r16;
+    sub.u32 %r16, %r16, 1;               // R-1-r
+    sub.u32 %r17, %r4, %r17;
+    sub.u32 %r17, %r17, 1;               // S-1-s
+    // in[((k*C + c)*R + rr)*S + ss]
+    mad.lo.u32 %r18, %r14, %r2, %r12;
+    mad.lo.u32 %r18, %r18, %r3, %r16;
+    mad.lo.u32 %r18, %r18, %r4, %r17;
+    mul.wide.u32 %rd3, %r18, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f1, [%rd4];
+    mul.wide.u32 %rd3, %r8, 4;
+    add.u64 %rd5, %rd2, %rd3;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    ret;
+}
+
+// y[n,k,h,w] += bias[k]
+.visible .entry add_bias(
+    .param .u64 Y, .param .u64 B,
+    .param .u32 total, .param .u32 K, .param .u32 HW
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<10>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [Y];
+    ld.param.u64 %rd2, [B];
+    ld.param.u32 %r1, [total];
+    ld.param.u32 %r2, [K];
+    ld.param.u32 %r3, [HW];
+    mov.u32 %r4, %ctaid.x;
+    mov.u32 %r5, %ntid.x;
+    mov.u32 %r6, %tid.x;
+    mad.lo.u32 %r7, %r4, %r5, %r6;
+    setp.ge.u32 %p1, %r7, %r1;
+    @%p1 bra DONE;
+    div.u32 %r8, %r7, %r3;
+    rem.u32 %r9, %r8, %r2;               // k
+    mul.wide.u32 %rd3, %r9, 4;
+    add.u64 %rd4, %rd2, %rd3;
+    ld.global.f32 %f1, [%rd4];
+    mul.wide.u32 %rd3, %r7, 4;
+    add.u64 %rd5, %rd1, %rd3;
+    ld.global.f32 %f2, [%rd5];
+    add.f32 %f3, %f2, %f1;
+    st.global.f32 [%rd5], %f3;
+DONE:
+    ret;
+}
+
+// db[k] = sum_{n,h,w} dy[n,k,h,w]
+.visible .entry bias_bwd(
+    .param .u64 DY, .param .u64 DB,
+    .param .u32 N, .param .u32 K, .param .u32 HW
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<12>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<3>;
+    ld.param.u64 %rd1, [DY];
+    ld.param.u64 %rd2, [DB];
+    ld.param.u32 %r1, [N];
+    ld.param.u32 %r2, [K];
+    ld.param.u32 %r3, [HW];
+    mov.u32 %r4, %ctaid.x;
+    mov.u32 %r5, %ntid.x;
+    mov.u32 %r6, %tid.x;
+    mad.lo.u32 %r7, %r4, %r5, %r6;       // k
+    setp.ge.u32 %p1, %r7, %r2;
+    @%p1 bra DONE;
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r8, 0;                      // n
+NLOOP:
+    setp.ge.u32 %p2, %r8, %r1;
+    @%p2 bra NDONE;
+    mad.lo.u32 %r9, %r8, %r2, %r7;
+    mul.lo.u32 %r9, %r9, %r3;            // base (n*K + k)*HW
+    mov.u32 %r10, 0;
+ILOOP:
+    setp.ge.u32 %p2, %r10, %r3;
+    @%p2 bra IDONE;
+    add.u32 %r11, %r9, %r10;
+    mul.wide.u32 %rd3, %r11, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f2, [%rd4];
+    add.f32 %f1, %f1, %f2;
+    add.u32 %r10, %r10, 1;
+    bra ILOOP;
+IDONE:
+    add.u32 %r8, %r8, 1;
+    bra NLOOP;
+NDONE:
+    mul.wide.u32 %rd3, %r7, 4;
+    add.u64 %rd5, %rd2, %rd3;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    ret;
+}
+
+// Activation forward: mode 0 = relu, 1 = sigmoid, 2 = tanh.
+.visible .entry activation_fwd(
+    .param .u64 X, .param .u64 Y, .param .u32 total, .param .u32 mode
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<8>;
+    .reg .f32 %f<12>;
+    .reg .pred %p<4>;
+    ld.param.u64 %rd1, [X];
+    ld.param.u64 %rd2, [Y];
+    ld.param.u32 %r1, [total];
+    ld.param.u32 %r2, [mode];
+    mov.u32 %r3, %ctaid.x;
+    mov.u32 %r4, %ntid.x;
+    mov.u32 %r5, %tid.x;
+    mad.lo.u32 %r6, %r3, %r4, %r5;
+    setp.ge.u32 %p1, %r6, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd3, %r6, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f1, [%rd4];
+
+    setp.eq.u32 %p2, %r2, 0;
+    @!%p2 bra TRY_SIG;
+    mov.f32 %f2, 0f00000000;
+    max.f32 %f3, %f1, %f2;
+    bra STORE;
+TRY_SIG:
+    setp.eq.u32 %p2, %r2, 1;
+    @!%p2 bra DO_TANH;
+    // sigmoid = 1/(1 + 2^(-x*log2e))
+    mov.f32 %f4, 0fBFB8AA3B;             // -log2(e)
+    mul.f32 %f5, %f1, %f4;
+    ex2.approx.f32 %f6, %f5;
+    mov.f32 %f7, 0f3F800000;
+    add.f32 %f8, %f6, %f7;
+    rcp.approx.f32 %f3, %f8;
+    bra STORE;
+DO_TANH:
+    // tanh = 1 - 2/(2^(2x*log2e) + 1)
+    mov.f32 %f4, 0f4038AA3B;             // 2*log2(e)
+    mul.f32 %f5, %f1, %f4;
+    ex2.approx.f32 %f6, %f5;
+    mov.f32 %f7, 0f3F800000;
+    add.f32 %f8, %f6, %f7;
+    rcp.approx.f32 %f9, %f8;
+    mov.f32 %f10, 0fC0000000;            // -2
+    fma.rn.f32 %f3, %f9, %f10, %f7;
+STORE:
+    add.u64 %rd5, %rd2, %rd3;
+    st.global.f32 [%rd5], %f3;
+DONE:
+    ret;
+}
+
+// Activation backward from stored outputs: dx = dy * f'(y).
+.visible .entry activation_bwd(
+    .param .u64 Yv, .param .u64 DY, .param .u64 DX,
+    .param .u32 total, .param .u32 mode
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<8>;
+    .reg .f32 %f<12>;
+    .reg .pred %p<4>;
+    ld.param.u64 %rd1, [Yv];
+    ld.param.u64 %rd2, [DY];
+    ld.param.u64 %rd3, [DX];
+    ld.param.u32 %r1, [total];
+    ld.param.u32 %r2, [mode];
+    mov.u32 %r3, %ctaid.x;
+    mov.u32 %r4, %ntid.x;
+    mov.u32 %r5, %tid.x;
+    mad.lo.u32 %r6, %r3, %r4, %r5;
+    setp.ge.u32 %p1, %r6, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd4, %r6, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f1, [%rd5];           // y
+    add.u64 %rd6, %rd2, %rd4;
+    ld.global.f32 %f2, [%rd6];           // dy
+
+    setp.eq.u32 %p2, %r2, 0;
+    @!%p2 bra TRY_SIG;
+    mov.f32 %f3, 0f00000000;
+    setp.gt.f32 %p3, %f1, %f3;
+    selp.f32 %f4, %f2, %f3, %p3;         // relu'
+    bra STORE;
+TRY_SIG:
+    setp.eq.u32 %p2, %r2, 1;
+    @!%p2 bra DO_TANH;
+    mov.f32 %f5, 0f3F800000;
+    sub.f32 %f6, %f5, %f1;               // 1-y
+    mul.f32 %f7, %f1, %f6;
+    mul.f32 %f4, %f2, %f7;
+    bra STORE;
+DO_TANH:
+    mul.f32 %f5, %f1, %f1;
+    mov.f32 %f6, 0f3F800000;
+    sub.f32 %f7, %f6, %f5;               // 1-y^2
+    mul.f32 %f4, %f2, %f7;
+STORE:
+    add.u64 %rd7, %rd3, %rd4;
+    st.global.f32 [%rd7], %f4;
+DONE:
+    ret;
+}
+
+// Max pooling forward; stores argmax (flat input offset) for backward.
+.visible .entry maxpool_fwd(
+    .param .u64 X, .param .u64 Y, .param .u64 Mask,
+    .param .u32 NC, .param .u32 H, .param .u32 W,
+    .param .u32 win, .param .u32 stride,
+    .param .u32 OH, .param .u32 OW
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<24>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<5>;
+    ld.param.u64 %rd1, [X];
+    ld.param.u64 %rd2, [Y];
+    ld.param.u64 %rd3, [Mask];
+    ld.param.u32 %r1, [NC];
+    ld.param.u32 %r2, [H];
+    ld.param.u32 %r3, [W];
+    ld.param.u32 %r4, [win];
+    ld.param.u32 %r5, [stride];
+    ld.param.u32 %r6, [OH];
+    ld.param.u32 %r7, [OW];
+
+    mov.u32 %r8, %ctaid.x;
+    mov.u32 %r9, %ntid.x;
+    mov.u32 %r10, %tid.x;
+    mad.lo.u32 %r11, %r8, %r9, %r10;
+    mul.lo.u32 %r12, %r6, %r7;
+    mul.lo.u32 %r13, %r1, %r12;
+    setp.ge.u32 %p1, %r11, %r13;
+    @%p1 bra DONE;
+
+    div.u32 %r14, %r11, %r12;            // nc
+    rem.u32 %r15, %r11, %r12;
+    div.u32 %r16, %r15, %r7;             // oy
+    rem.u32 %r17, %r15, %r7;             // ox
+    mul.lo.u32 %r16, %r16, %r5;          // iy0
+    mul.lo.u32 %r17, %r17, %r5;          // ix0
+
+    mov.f32 %f1, 0fFF7FFFFF;             // -FLT_MAX
+    mov.u32 %r18, 0;                     // best index
+    mov.u32 %r19, 0;                     // dy
+WLOOP:
+    setp.ge.u32 %p2, %r19, %r4;
+    @%p2 bra WDONE;
+    mov.u32 %r20, 0;                     // dx
+XLOOP:
+    setp.ge.u32 %p2, %r20, %r4;
+    @%p2 bra XDONE;
+    add.u32 %r21, %r16, %r19;            // iy
+    add.u32 %r22, %r17, %r20;            // ix
+    setp.ge.u32 %p3, %r21, %r2;
+    @%p3 bra SKIP;
+    setp.ge.u32 %p3, %r22, %r3;
+    @%p3 bra SKIP;
+    mad.lo.u32 %r23, %r14, %r2, %r21;
+    mad.lo.u32 %r23, %r23, %r3, %r22;    // flat input idx
+    mul.wide.u32 %rd4, %r23, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    setp.gt.f32 %p4, %f2, %f1;
+    @!%p4 bra SKIP;
+    mov.f32 %f1, %f2;
+    mov.u32 %r18, %r23;
+SKIP:
+    add.u32 %r20, %r20, 1;
+    bra XLOOP;
+XDONE:
+    add.u32 %r19, %r19, 1;
+    bra WLOOP;
+WDONE:
+    mul.wide.u32 %rd4, %r11, 4;
+    add.u64 %rd6, %rd2, %rd4;
+    st.global.f32 [%rd6], %f1;
+    add.u64 %rd7, %rd3, %rd4;
+    st.global.u32 [%rd7], %r18;
+DONE:
+    ret;
+}
+
+// dx[mask[i]] += dy[i]; dx must be zeroed first. Non-overlapping windows
+// make the scatter race-free, but atomics keep it correct regardless.
+.visible .entry maxpool_bwd(
+    .param .u64 DY, .param .u64 Mask, .param .u64 DX, .param .u32 total
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<8>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [DY];
+    ld.param.u64 %rd2, [Mask];
+    ld.param.u64 %rd3, [DX];
+    ld.param.u32 %r1, [total];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd4, %r5, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f1, [%rd5];
+    add.u64 %rd6, %rd2, %rd4;
+    ld.global.u32 %r6, [%rd6];
+    mul.wide.u32 %rd7, %r6, 4;
+    add.u64 %rd7, %rd3, %rd7;
+    red.global.add.f32 [%rd7], %f1;
+DONE:
+    ret;
+}
+
+// Softmax over rows of [rows, cols]; one thread per row (cols small).
+.visible .entry softmax_fwd(
+    .param .u64 X, .param .u64 Y, .param .u32 rows, .param .u32 cols
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<10>;
+    .reg .f32 %f<12>;
+    .reg .pred %p<4>;
+    ld.param.u64 %rd1, [X];
+    ld.param.u64 %rd2, [Y];
+    ld.param.u32 %r1, [rows];
+    ld.param.u32 %r2, [cols];
+    mov.u32 %r3, %ctaid.x;
+    mov.u32 %r4, %ntid.x;
+    mov.u32 %r5, %tid.x;
+    mad.lo.u32 %r6, %r3, %r4, %r5;
+    setp.ge.u32 %p1, %r6, %r1;
+    @%p1 bra DONE;
+    mul.lo.u32 %r7, %r6, %r2;            // row base
+
+    // pass 1: max
+    mov.f32 %f1, 0fFF7FFFFF;
+    mov.u32 %r8, 0;
+M1:
+    setp.ge.u32 %p2, %r8, %r2;
+    @%p2 bra M1D;
+    add.u32 %r9, %r7, %r8;
+    mul.wide.u32 %rd3, %r9, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f2, [%rd4];
+    max.f32 %f1, %f1, %f2;
+    add.u32 %r8, %r8, 1;
+    bra M1;
+M1D:
+    // pass 2: exp + sum (exp(v) = 2^(v*log2 e)), store exp into Y
+    mov.f32 %f3, 0f00000000;
+    mov.u32 %r8, 0;
+M2:
+    setp.ge.u32 %p2, %r8, %r2;
+    @%p2 bra M2D;
+    add.u32 %r9, %r7, %r8;
+    mul.wide.u32 %rd3, %r9, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f2, [%rd4];
+    sub.f32 %f4, %f2, %f1;
+    mov.f32 %f5, 0f3FB8AA3B;             // log2(e)
+    mul.f32 %f6, %f4, %f5;
+    ex2.approx.f32 %f7, %f6;
+    add.f32 %f3, %f3, %f7;
+    add.u64 %rd5, %rd2, %rd3;
+    st.global.f32 [%rd5], %f7;
+    add.u32 %r8, %r8, 1;
+    bra M2;
+M2D:
+    rcp.approx.f32 %f8, %f3;
+    mov.u32 %r8, 0;
+M3:
+    setp.ge.u32 %p2, %r8, %r2;
+    @%p2 bra DONE;
+    add.u32 %r9, %r7, %r8;
+    mul.wide.u32 %rd3, %r9, 4;
+    add.u64 %rd5, %rd2, %rd3;
+    ld.global.f32 %f7, [%rd5];
+    mul.f32 %f9, %f7, %f8;
+    st.global.f32 [%rd5], %f9;
+    add.u32 %r8, %r8, 1;
+    bra M3;
+DONE:
+    ret;
+}
+
+// dx = (y - onehot(label)) * scale   (softmax + NLL fused backward)
+.visible .entry softmax_nll_bwd(
+    .param .u64 Yv, .param .u64 Labels, .param .u64 DX,
+    .param .u32 rows, .param .u32 cols, .param .f32 scale
+)
+{
+    .reg .u64 %rd<10>;
+    .reg .u32 %r<12>;
+    .reg .f32 %f<8>;
+    .reg .pred %p<4>;
+    ld.param.u64 %rd1, [Yv];
+    ld.param.u64 %rd2, [Labels];
+    ld.param.u64 %rd3, [DX];
+    ld.param.u32 %r1, [rows];
+    ld.param.u32 %r2, [cols];
+    mov.u32 %r3, %ctaid.x;
+    mov.u32 %r4, %ntid.x;
+    mov.u32 %r5, %tid.x;
+    mad.lo.u32 %r6, %r3, %r4, %r5;       // element index
+    mul.lo.u32 %r7, %r1, %r2;
+    setp.ge.u32 %p1, %r6, %r7;
+    @%p1 bra DONE;
+    div.u32 %r8, %r6, %r2;               // row
+    rem.u32 %r9, %r6, %r2;               // col
+    mul.wide.u32 %rd4, %r8, 4;
+    add.u64 %rd5, %rd2, %rd4;
+    ld.global.u32 %r10, [%rd5];          // label
+    mul.wide.u32 %rd6, %r6, 4;
+    add.u64 %rd7, %rd1, %rd6;
+    ld.global.f32 %f1, [%rd7];           // y
+    setp.eq.u32 %p2, %r9, %r10;
+    mov.f32 %f2, 0f3F800000;
+    mov.f32 %f3, 0f00000000;
+    selp.f32 %f4, %f2, %f3, %p2;
+    sub.f32 %f5, %f1, %f4;
+    ld.param.f32 %f6, [scale];
+    mul.f32 %f7, %f5, %f6;
+    add.u64 %rd8, %rd3, %rd6;
+    st.global.f32 [%rd8], %f7;
+DONE:
+    ret;
+}
+
+// loss[row] = -ln(y[row, label])
+.visible .entry nll_loss(
+    .param .u64 Yv, .param .u64 Labels, .param .u64 Loss,
+    .param .u32 rows, .param .u32 cols
+)
+{
+    .reg .u64 %rd<10>;
+    .reg .u32 %r<10>;
+    .reg .f32 %f<8>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [Yv];
+    ld.param.u64 %rd2, [Labels];
+    ld.param.u64 %rd3, [Loss];
+    ld.param.u32 %r1, [rows];
+    ld.param.u32 %r2, [cols];
+    mov.u32 %r3, %ctaid.x;
+    mov.u32 %r4, %ntid.x;
+    mov.u32 %r5, %tid.x;
+    mad.lo.u32 %r6, %r3, %r4, %r5;
+    setp.ge.u32 %p1, %r6, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd4, %r6, 4;
+    add.u64 %rd5, %rd2, %rd4;
+    ld.global.u32 %r7, [%rd5];
+    mad.lo.u32 %r8, %r6, %r2, %r7;
+    mul.wide.u32 %rd6, %r8, 4;
+    add.u64 %rd7, %rd1, %rd6;
+    ld.global.f32 %f1, [%rd7];
+    lg2.approx.f32 %f2, %f1;
+    mov.f32 %f3, 0fBF317218;             // -ln(2)
+    mul.f32 %f4, %f2, %f3;
+    add.u64 %rd8, %rd3, %rd4;
+    st.global.f32 [%rd8], %f4;
+DONE:
+    ret;
+}
+
+// p[i] -= lr * g[i]
+.visible .entry sgd_step(
+    .param .u64 P, .param .u64 G, .param .u32 total, .param .f32 lr
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<8>;
+    .reg .f32 %f<6>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [P];
+    ld.param.u64 %rd2, [G];
+    ld.param.u32 %r1, [total];
+    ld.param.f32 %f1, [lr];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd3, %r5, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    add.u64 %rd5, %rd2, %rd3;
+    ld.global.f32 %f2, [%rd4];
+    ld.global.f32 %f3, [%rd5];
+    neg.f32 %f4, %f1;
+    fma.rn.f32 %f5, %f3, %f4, %f2;
+    st.global.f32 [%rd4], %f5;
+DONE:
+    ret;
+}
+
+// out[i] = sum_b in[b*stride + i]  (workspace reduction, bwd-filter algo 3)
+.visible .entry reduce_batch_sum(
+    .param .u64 In, .param .u64 Out,
+    .param .u32 count, .param .u32 batch, .param .u32 stride
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<10>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<3>;
+    ld.param.u64 %rd1, [In];
+    ld.param.u64 %rd2, [Out];
+    ld.param.u32 %r1, [count];
+    ld.param.u32 %r2, [batch];
+    ld.param.u32 %r3, [stride];
+    mov.u32 %r4, %ctaid.x;
+    mov.u32 %r5, %ntid.x;
+    mov.u32 %r6, %tid.x;
+    mad.lo.u32 %r7, %r4, %r5, %r6;
+    setp.ge.u32 %p1, %r7, %r1;
+    @%p1 bra DONE;
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r8, 0;
+LOOP:
+    setp.ge.u32 %p2, %r8, %r2;
+    @%p2 bra LDONE;
+    mad.lo.u32 %r9, %r8, %r3, %r7;
+    mul.wide.u32 %rd3, %r9, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f2, [%rd4];
+    add.f32 %f1, %f1, %f2;
+    add.u32 %r8, %r8, 1;
+    bra LOOP;
+LDONE:
+    mul.wide.u32 %rd3, %r7, 4;
+    add.u64 %rd5, %rd2, %rd3;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    ret;
+}
+)PTX";
+
+} // namespace mlgs::cudnn

@@ -1,0 +1,621 @@
+/**
+ * @file
+ * cuDNN-lite PTX: direct convolution kernels — IMPLICIT_GEMM forward and the
+ * numbered backward algorithms (scatter/atomic and gather variants).
+ *
+ * conv_bwd_data_algo1 decides tap validity with a signed remainder
+ * (`rem.s32` on a possibly negative value): exactly the instruction class
+ * whose untyped legacy implementation the paper debugged (Section III-D).
+ */
+#include "cudnn/kernels.h"
+
+namespace mlgs::cudnn
+{
+
+const char *kConvPtx = R"PTX(
+.version 6.4
+.target sm_61
+.address_size 64
+
+// Forward IMPLICIT_GEMM: one thread per output element (n,k,oy,ox), looping
+// over (c,r,s) with boundary guards. Correlation convention (no flip).
+.visible .entry implicit_gemm_fwd(
+    .param .u64 X, .param .u64 Wf, .param .u64 Y,
+    .param .u32 N, .param .u32 C, .param .u32 H, .param .u32 Wd,
+    .param .u32 K, .param .u32 R, .param .u32 S,
+    .param .u32 OH, .param .u32 OW,
+    .param .u32 pad, .param .u32 stride
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<30>;
+    .reg .s32 %s<10>;
+    .reg .f32 %f<6>;
+    .reg .pred %p<6>;
+
+    ld.param.u64 %rd1, [X];
+    ld.param.u64 %rd2, [Wf];
+    ld.param.u64 %rd3, [Y];
+    ld.param.u32 %r1, [N];
+    ld.param.u32 %r2, [C];
+    ld.param.u32 %r3, [H];
+    ld.param.u32 %r4, [Wd];
+    ld.param.u32 %r5, [K];
+    ld.param.u32 %r6, [R];
+    ld.param.u32 %r7, [S];
+    ld.param.u32 %r8, [OH];
+    ld.param.u32 %r9, [OW];
+    ld.param.u32 %r10, [pad];
+    ld.param.u32 %r11, [stride];
+
+    mov.u32 %r12, %ctaid.x;
+    mov.u32 %r13, %ntid.x;
+    mov.u32 %r14, %tid.x;
+    mad.lo.u32 %r15, %r12, %r13, %r14;   // flat (n,k,oy,ox)
+    mul.lo.u32 %r16, %r8, %r9;           // OHW
+    mul.lo.u32 %r17, %r5, %r16;          // K*OHW
+    mul.lo.u32 %r18, %r1, %r17;
+    setp.ge.u32 %p1, %r15, %r18;
+    @%p1 bra DONE;
+
+    div.u32 %r19, %r15, %r17;            // n
+    rem.u32 %r20, %r15, %r17;
+    div.u32 %r21, %r20, %r16;            // k
+    rem.u32 %r22, %r20, %r16;
+    div.u32 %r23, %r22, %r9;             // oy
+    rem.u32 %r24, %r22, %r9;             // ox
+
+    // iy0 = oy*stride - pad ; ix0 = ox*stride - pad (can be negative)
+    mul.lo.u32 %r12, %r23, %r11;
+    cvt.s32.u32 %s1, %r12;
+    cvt.s32.u32 %s2, %r10;
+    sub.s32 %s1, %s1, %s2;
+    mul.lo.u32 %r12, %r24, %r11;
+    cvt.s32.u32 %s3, %r12;
+    sub.s32 %s3, %s3, %s2;
+
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r25, 0;                     // c
+CLOOP:
+    setp.ge.u32 %p2, %r25, %r2;
+    @%p2 bra CDONE;
+    mov.u32 %r26, 0;                     // r
+RLOOP:
+    setp.ge.u32 %p3, %r26, %r6;
+    @%p3 bra RDONE;
+    cvt.s32.u32 %s4, %r26;
+    add.s32 %s5, %s1, %s4;               // iy
+    setp.lt.s32 %p4, %s5, 0;
+    @%p4 bra RNEXT;
+    cvt.s32.u32 %s6, %r3;
+    setp.ge.s32 %p4, %s5, %s6;
+    @%p4 bra RNEXT;
+    mov.u32 %r27, 0;                     // s
+SLOOP:
+    setp.ge.u32 %p5, %r27, %r7;
+    @%p5 bra SDONE;
+    cvt.s32.u32 %s4, %r27;
+    add.s32 %s7, %s3, %s4;               // ix
+    setp.lt.s32 %p4, %s7, 0;
+    @%p4 bra SNEXT;
+    cvt.s32.u32 %s6, %r4;
+    setp.ge.s32 %p4, %s7, %s6;
+    @%p4 bra SNEXT;
+    // x[((n*C + c)*H + iy)*W + ix]
+    mad.lo.u32 %r28, %r19, %r2, %r25;
+    cvt.u32.s32 %r12, %s5;
+    mad.lo.u32 %r28, %r28, %r3, %r12;
+    cvt.u32.s32 %r12, %s7;
+    mad.lo.u32 %r28, %r28, %r4, %r12;
+    mul.wide.u32 %rd4, %r28, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    // w[((k*C + c)*R + r)*S + s]
+    mad.lo.u32 %r29, %r21, %r2, %r25;
+    mad.lo.u32 %r29, %r29, %r6, %r26;
+    mad.lo.u32 %r29, %r29, %r7, %r27;
+    mul.wide.u32 %rd6, %r29, 4;
+    add.u64 %rd7, %rd2, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    fma.rn.f32 %f1, %f2, %f3, %f1;
+SNEXT:
+    add.u32 %r27, %r27, 1;
+    bra SLOOP;
+SDONE:
+RNEXT:
+    add.u32 %r26, %r26, 1;
+    bra RLOOP;
+RDONE:
+    add.u32 %r25, %r25, 1;
+    bra CLOOP;
+CDONE:
+    mul.wide.u32 %rd4, %r15, 4;
+    add.u64 %rd5, %rd3, %rd4;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    ret;
+}
+
+// Backward data, ALGO_0: atomic scatter. One thread per dy element,
+// scattering x-gradient contributions with red.global.add.
+.visible .entry conv_bwd_data_algo0(
+    .param .u64 DY, .param .u64 Wf, .param .u64 DX,
+    .param .u32 N, .param .u32 C, .param .u32 H, .param .u32 Wd,
+    .param .u32 K, .param .u32 R, .param .u32 S,
+    .param .u32 OH, .param .u32 OW,
+    .param .u32 pad, .param .u32 stride
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<30>;
+    .reg .s32 %s<10>;
+    .reg .f32 %f<6>;
+    .reg .pred %p<6>;
+
+    ld.param.u64 %rd1, [DY];
+    ld.param.u64 %rd2, [Wf];
+    ld.param.u64 %rd3, [DX];
+    ld.param.u32 %r1, [N];
+    ld.param.u32 %r2, [C];
+    ld.param.u32 %r3, [H];
+    ld.param.u32 %r4, [Wd];
+    ld.param.u32 %r5, [K];
+    ld.param.u32 %r6, [R];
+    ld.param.u32 %r7, [S];
+    ld.param.u32 %r8, [OH];
+    ld.param.u32 %r9, [OW];
+    ld.param.u32 %r10, [pad];
+    ld.param.u32 %r11, [stride];
+
+    mov.u32 %r12, %ctaid.x;
+    mov.u32 %r13, %ntid.x;
+    mov.u32 %r14, %tid.x;
+    mad.lo.u32 %r15, %r12, %r13, %r14;   // flat (n,k,oy,ox)
+    mul.lo.u32 %r16, %r8, %r9;
+    mul.lo.u32 %r17, %r5, %r16;
+    mul.lo.u32 %r18, %r1, %r17;
+    setp.ge.u32 %p1, %r15, %r18;
+    @%p1 bra DONE;
+
+    div.u32 %r19, %r15, %r17;            // n
+    rem.u32 %r20, %r15, %r17;
+    div.u32 %r21, %r20, %r16;            // k
+    rem.u32 %r22, %r20, %r16;
+    div.u32 %r23, %r22, %r9;             // oy
+    rem.u32 %r24, %r22, %r9;             // ox
+
+    mul.wide.u32 %rd4, %r15, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f1, [%rd5];           // dy value
+
+    mul.lo.u32 %r12, %r23, %r11;
+    cvt.s32.u32 %s1, %r12;
+    cvt.s32.u32 %s2, %r10;
+    sub.s32 %s1, %s1, %s2;               // iy0
+    mul.lo.u32 %r12, %r24, %r11;
+    cvt.s32.u32 %s3, %r12;
+    sub.s32 %s3, %s3, %s2;               // ix0
+
+    mov.u32 %r25, 0;                     // c
+CLOOP:
+    setp.ge.u32 %p2, %r25, %r2;
+    @%p2 bra DONE;
+    mov.u32 %r26, 0;                     // r
+RLOOP:
+    setp.ge.u32 %p3, %r26, %r6;
+    @%p3 bra RDONE;
+    cvt.s32.u32 %s4, %r26;
+    add.s32 %s5, %s1, %s4;               // iy
+    setp.lt.s32 %p4, %s5, 0;
+    @%p4 bra RNEXT;
+    cvt.s32.u32 %s6, %r3;
+    setp.ge.s32 %p4, %s5, %s6;
+    @%p4 bra RNEXT;
+    mov.u32 %r27, 0;                     // s
+SLOOP:
+    setp.ge.u32 %p5, %r27, %r7;
+    @%p5 bra SDONE;
+    cvt.s32.u32 %s4, %r27;
+    add.s32 %s7, %s3, %s4;               // ix
+    setp.lt.s32 %p4, %s7, 0;
+    @%p4 bra SNEXT;
+    cvt.s32.u32 %s6, %r4;
+    setp.ge.s32 %p4, %s7, %s6;
+    @%p4 bra SNEXT;
+    // dw contribution: dx[n,c,iy,ix] += dy * w[k,c,r,s]
+    mad.lo.u32 %r28, %r21, %r2, %r25;
+    mad.lo.u32 %r28, %r28, %r6, %r26;
+    mad.lo.u32 %r28, %r28, %r7, %r27;
+    mul.wide.u32 %rd6, %r28, 4;
+    add.u64 %rd7, %rd2, %rd6;
+    ld.global.f32 %f2, [%rd7];
+    mul.f32 %f3, %f1, %f2;
+    mad.lo.u32 %r29, %r19, %r2, %r25;
+    cvt.u32.s32 %r12, %s5;
+    mad.lo.u32 %r29, %r29, %r3, %r12;
+    cvt.u32.s32 %r12, %s7;
+    mad.lo.u32 %r29, %r29, %r4, %r12;
+    mul.wide.u32 %rd6, %r29, 4;
+    add.u64 %rd7, %rd3, %rd6;
+    red.global.add.f32 [%rd7], %f3;
+SNEXT:
+    add.u32 %r27, %r27, 1;
+    bra SLOOP;
+SDONE:
+RNEXT:
+    add.u32 %r26, %r26, 1;
+    bra RLOOP;
+RDONE:
+    add.u32 %r25, %r25, 1;
+    bra CLOOP;
+DONE:
+    ret;
+}
+
+// Backward data, ALGO_1: deterministic gather. One thread per dx element:
+//   dx[n,c,iy,ix] = sum_{k,r,s : (iy+pad-r) % stride == 0, ...}
+//                   dy[n,k,(iy+pad-r)/stride,(ix+pad-s)/stride] * w[k,c,r,s]
+// (iy + pad - r) can be negative: the remainder must honour the sign, which
+// is the rem bug class the paper fixed.
+.visible .entry conv_bwd_data_algo1(
+    .param .u64 DY, .param .u64 Wf, .param .u64 DX,
+    .param .u32 N, .param .u32 C, .param .u32 H, .param .u32 Wd,
+    .param .u32 K, .param .u32 R, .param .u32 S,
+    .param .u32 OH, .param .u32 OW,
+    .param .u32 pad, .param .u32 stride
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<30>;
+    .reg .s32 %s<16>;
+    .reg .f32 %f<6>;
+    .reg .pred %p<8>;
+
+    ld.param.u64 %rd1, [DY];
+    ld.param.u64 %rd2, [Wf];
+    ld.param.u64 %rd3, [DX];
+    ld.param.u32 %r1, [N];
+    ld.param.u32 %r2, [C];
+    ld.param.u32 %r3, [H];
+    ld.param.u32 %r4, [Wd];
+    ld.param.u32 %r5, [K];
+    ld.param.u32 %r6, [R];
+    ld.param.u32 %r7, [S];
+    ld.param.u32 %r8, [OH];
+    ld.param.u32 %r9, [OW];
+    ld.param.u32 %r10, [pad];
+    ld.param.u32 %r11, [stride];
+
+    mov.u32 %r12, %ctaid.x;
+    mov.u32 %r13, %ntid.x;
+    mov.u32 %r14, %tid.x;
+    mad.lo.u32 %r15, %r12, %r13, %r14;   // flat (n,c,iy,ix)
+    mul.lo.u32 %r16, %r3, %r4;           // HW
+    mul.lo.u32 %r17, %r2, %r16;
+    mul.lo.u32 %r18, %r1, %r17;
+    setp.ge.u32 %p1, %r15, %r18;
+    @%p1 bra DONE;
+
+    div.u32 %r19, %r15, %r17;            // n
+    rem.u32 %r20, %r15, %r17;
+    div.u32 %r21, %r20, %r16;            // c
+    rem.u32 %r22, %r20, %r16;
+    div.u32 %r23, %r22, %r4;             // iy
+    rem.u32 %r24, %r22, %r4;             // ix
+
+    cvt.s32.u32 %s10, %r11;              // stride (signed)
+    cvt.s32.u32 %s11, %r8;               // OH
+    cvt.s32.u32 %s12, %r9;               // OW
+
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r25, 0;                     // k
+KLOOP:
+    setp.ge.u32 %p2, %r25, %r5;
+    @%p2 bra KDONE;
+    mov.u32 %r26, 0;                     // r
+RLOOP:
+    setp.ge.u32 %p3, %r26, %r6;
+    @%p3 bra RDONE;
+    // ty = iy + pad - r  (may be negative)
+    cvt.s32.u32 %s1, %r23;
+    cvt.s32.u32 %s2, %r10;
+    add.s32 %s1, %s1, %s2;
+    cvt.s32.u32 %s3, %r26;
+    sub.s32 %s1, %s1, %s3;
+    // tap valid iff ty % stride == 0 and 0 <= ty/stride < OH
+    rem.s32 %s4, %s1, %s10;
+    setp.ne.s32 %p4, %s4, 0;
+    @%p4 bra RNEXT;
+    setp.lt.s32 %p4, %s1, 0;
+    @%p4 bra RNEXT;
+    div.s32 %s5, %s1, %s10;              // oy
+    setp.ge.s32 %p4, %s5, %s11;
+    @%p4 bra RNEXT;
+    mov.u32 %r27, 0;                     // s
+SLOOP:
+    setp.ge.u32 %p5, %r27, %r7;
+    @%p5 bra SDONE;
+    cvt.s32.u32 %s6, %r24;
+    add.s32 %s6, %s6, %s2;
+    cvt.s32.u32 %s7, %r27;
+    sub.s32 %s6, %s6, %s7;               // tx
+    rem.s32 %s8, %s6, %s10;
+    setp.ne.s32 %p6, %s8, 0;
+    @%p6 bra SNEXT;
+    setp.lt.s32 %p6, %s6, 0;
+    @%p6 bra SNEXT;
+    div.s32 %s9, %s6, %s10;              // ox
+    setp.ge.s32 %p6, %s9, %s12;
+    @%p6 bra SNEXT;
+    // dy[((n*K + k)*OH + oy)*OW + ox]
+    mad.lo.u32 %r28, %r19, %r5, %r25;
+    cvt.u32.s32 %r12, %s5;
+    mad.lo.u32 %r28, %r28, %r8, %r12;
+    cvt.u32.s32 %r12, %s9;
+    mad.lo.u32 %r28, %r28, %r9, %r12;
+    mul.wide.u32 %rd4, %r28, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    // w[((k*C + c)*R + r)*S + s]
+    mad.lo.u32 %r29, %r25, %r2, %r21;
+    mad.lo.u32 %r29, %r29, %r6, %r26;
+    mad.lo.u32 %r29, %r29, %r7, %r27;
+    mul.wide.u32 %rd6, %r29, 4;
+    add.u64 %rd7, %rd2, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    fma.rn.f32 %f1, %f2, %f3, %f1;
+SNEXT:
+    add.u32 %r27, %r27, 1;
+    bra SLOOP;
+SDONE:
+RNEXT:
+    add.u32 %r26, %r26, 1;
+    bra RLOOP;
+RDONE:
+    add.u32 %r25, %r25, 1;
+    bra KLOOP;
+KDONE:
+    mul.wide.u32 %rd4, %r15, 4;
+    add.u64 %rd5, %rd3, %rd4;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    ret;
+}
+
+// Backward filter, ALGO_0: atomic scatter. One thread per dy element.
+.visible .entry conv_bwd_filter_algo0(
+    .param .u64 X, .param .u64 DY, .param .u64 DW,
+    .param .u32 N, .param .u32 C, .param .u32 H, .param .u32 Wd,
+    .param .u32 K, .param .u32 R, .param .u32 S,
+    .param .u32 OH, .param .u32 OW,
+    .param .u32 pad, .param .u32 stride
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<30>;
+    .reg .s32 %s<10>;
+    .reg .f32 %f<6>;
+    .reg .pred %p<6>;
+
+    ld.param.u64 %rd1, [X];
+    ld.param.u64 %rd2, [DY];
+    ld.param.u64 %rd3, [DW];
+    ld.param.u32 %r1, [N];
+    ld.param.u32 %r2, [C];
+    ld.param.u32 %r3, [H];
+    ld.param.u32 %r4, [Wd];
+    ld.param.u32 %r5, [K];
+    ld.param.u32 %r6, [R];
+    ld.param.u32 %r7, [S];
+    ld.param.u32 %r8, [OH];
+    ld.param.u32 %r9, [OW];
+    ld.param.u32 %r10, [pad];
+    ld.param.u32 %r11, [stride];
+
+    mov.u32 %r12, %ctaid.x;
+    mov.u32 %r13, %ntid.x;
+    mov.u32 %r14, %tid.x;
+    mad.lo.u32 %r15, %r12, %r13, %r14;   // flat (n,k,oy,ox)
+    mul.lo.u32 %r16, %r8, %r9;
+    mul.lo.u32 %r17, %r5, %r16;
+    mul.lo.u32 %r18, %r1, %r17;
+    setp.ge.u32 %p1, %r15, %r18;
+    @%p1 bra DONE;
+
+    div.u32 %r19, %r15, %r17;            // n
+    rem.u32 %r20, %r15, %r17;
+    div.u32 %r21, %r20, %r16;            // k
+    rem.u32 %r22, %r20, %r16;
+    div.u32 %r23, %r22, %r9;             // oy
+    rem.u32 %r24, %r22, %r9;             // ox
+
+    mul.wide.u32 %rd4, %r15, 4;
+    add.u64 %rd5, %rd2, %rd4;
+    ld.global.f32 %f1, [%rd5];           // dy
+
+    mul.lo.u32 %r12, %r23, %r11;
+    cvt.s32.u32 %s1, %r12;
+    cvt.s32.u32 %s2, %r10;
+    sub.s32 %s1, %s1, %s2;               // iy0
+    mul.lo.u32 %r12, %r24, %r11;
+    cvt.s32.u32 %s3, %r12;
+    sub.s32 %s3, %s3, %s2;               // ix0
+
+    mov.u32 %r25, 0;                     // c
+CLOOP:
+    setp.ge.u32 %p2, %r25, %r2;
+    @%p2 bra DONE;
+    mov.u32 %r26, 0;                     // r
+RLOOP:
+    setp.ge.u32 %p3, %r26, %r6;
+    @%p3 bra RDONE;
+    cvt.s32.u32 %s4, %r26;
+    add.s32 %s5, %s1, %s4;
+    setp.lt.s32 %p4, %s5, 0;
+    @%p4 bra RNEXT;
+    cvt.s32.u32 %s6, %r3;
+    setp.ge.s32 %p4, %s5, %s6;
+    @%p4 bra RNEXT;
+    mov.u32 %r27, 0;                     // s
+SLOOP:
+    setp.ge.u32 %p5, %r27, %r7;
+    @%p5 bra SDONE;
+    cvt.s32.u32 %s4, %r27;
+    add.s32 %s7, %s3, %s4;
+    setp.lt.s32 %p4, %s7, 0;
+    @%p4 bra SNEXT;
+    cvt.s32.u32 %s6, %r4;
+    setp.ge.s32 %p4, %s7, %s6;
+    @%p4 bra SNEXT;
+    mad.lo.u32 %r28, %r19, %r2, %r25;
+    cvt.u32.s32 %r12, %s5;
+    mad.lo.u32 %r28, %r28, %r3, %r12;
+    cvt.u32.s32 %r12, %s7;
+    mad.lo.u32 %r28, %r28, %r4, %r12;
+    mul.wide.u32 %rd4, %r28, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f2, [%rd5];           // x
+    mul.f32 %f3, %f1, %f2;
+    mad.lo.u32 %r29, %r21, %r2, %r25;
+    mad.lo.u32 %r29, %r29, %r6, %r26;
+    mad.lo.u32 %r29, %r29, %r7, %r27;
+    mul.wide.u32 %rd6, %r29, 4;
+    add.u64 %rd7, %rd3, %rd6;
+    red.global.add.f32 [%rd7], %f3;
+SNEXT:
+    add.u32 %r27, %r27, 1;
+    bra SLOOP;
+SDONE:
+RNEXT:
+    add.u32 %r26, %r26, 1;
+    bra RLOOP;
+RDONE:
+    add.u32 %r25, %r25, 1;
+    bra CLOOP;
+DONE:
+    ret;
+}
+
+// Backward filter, ALGO_1 (deterministic gather): one thread per dw element
+// (k,c,r,s) looping over (n,oy,ox). batch_lo/batch_hi select a sub-batch so
+// ALGO_3 can reuse this kernel to build per-image partials in a workspace.
+.visible .entry conv_bwd_filter_algo1(
+    .param .u64 X, .param .u64 DY, .param .u64 DW,
+    .param .u32 N, .param .u32 C, .param .u32 H, .param .u32 Wd,
+    .param .u32 K, .param .u32 R, .param .u32 S,
+    .param .u32 OH, .param .u32 OW,
+    .param .u32 pad, .param .u32 stride,
+    .param .u32 batch_lo, .param .u32 batch_hi
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<32>;
+    .reg .s32 %s<12>;
+    .reg .f32 %f<6>;
+    .reg .pred %p<8>;
+
+    ld.param.u64 %rd1, [X];
+    ld.param.u64 %rd2, [DY];
+    ld.param.u64 %rd3, [DW];
+    ld.param.u32 %r1, [N];
+    ld.param.u32 %r2, [C];
+    ld.param.u32 %r3, [H];
+    ld.param.u32 %r4, [Wd];
+    ld.param.u32 %r5, [K];
+    ld.param.u32 %r6, [R];
+    ld.param.u32 %r7, [S];
+    ld.param.u32 %r8, [OH];
+    ld.param.u32 %r9, [OW];
+    ld.param.u32 %r10, [pad];
+    ld.param.u32 %r11, [stride];
+
+    mov.u32 %r12, %ctaid.x;
+    mov.u32 %r13, %ntid.x;
+    mov.u32 %r14, %tid.x;
+    mad.lo.u32 %r15, %r12, %r13, %r14;   // flat (k,c,r,s)
+    mul.lo.u32 %r16, %r6, %r7;           // RS
+    mul.lo.u32 %r17, %r2, %r16;          // C*RS
+    mul.lo.u32 %r18, %r5, %r17;
+    setp.ge.u32 %p1, %r15, %r18;
+    @%p1 bra DONE;
+
+    div.u32 %r19, %r15, %r17;            // k
+    rem.u32 %r20, %r15, %r17;
+    div.u32 %r21, %r20, %r16;            // c
+    rem.u32 %r22, %r20, %r16;
+    div.u32 %r23, %r22, %r7;             // r
+    rem.u32 %r24, %r22, %r7;             // s
+
+    mov.f32 %f1, 0f00000000;
+    ld.param.u32 %r25, [batch_lo];       // n
+    ld.param.u32 %r31, [batch_hi];
+NLOOP:
+    setp.ge.u32 %p2, %r25, %r31;
+    @%p2 bra NDONE;
+    mov.u32 %r26, 0;                     // oy
+OYLOOP:
+    setp.ge.u32 %p3, %r26, %r8;
+    @%p3 bra OYDONE;
+    // iy = oy*stride - pad + r
+    mul.lo.u32 %r12, %r26, %r11;
+    cvt.s32.u32 %s1, %r12;
+    cvt.s32.u32 %s2, %r10;
+    sub.s32 %s1, %s1, %s2;
+    cvt.s32.u32 %s3, %r23;
+    add.s32 %s1, %s1, %s3;
+    setp.lt.s32 %p4, %s1, 0;
+    @%p4 bra OYNEXT;
+    cvt.s32.u32 %s4, %r3;
+    setp.ge.s32 %p4, %s1, %s4;
+    @%p4 bra OYNEXT;
+    mov.u32 %r27, 0;                     // ox
+OXLOOP:
+    setp.ge.u32 %p5, %r27, %r9;
+    @%p5 bra OXDONE;
+    mul.lo.u32 %r12, %r27, %r11;
+    cvt.s32.u32 %s5, %r12;
+    sub.s32 %s5, %s5, %s2;
+    cvt.s32.u32 %s6, %r24;
+    add.s32 %s5, %s5, %s6;               // ix
+    setp.lt.s32 %p6, %s5, 0;
+    @%p6 bra OXNEXT;
+    cvt.s32.u32 %s4, %r4;
+    setp.ge.s32 %p6, %s5, %s4;
+    @%p6 bra OXNEXT;
+    // x[((n*C + c)*H + iy)*W + ix]
+    mad.lo.u32 %r28, %r25, %r2, %r21;
+    cvt.u32.s32 %r12, %s1;
+    mad.lo.u32 %r28, %r28, %r3, %r12;
+    cvt.u32.s32 %r12, %s5;
+    mad.lo.u32 %r28, %r28, %r4, %r12;
+    mul.wide.u32 %rd4, %r28, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    // dy[((n*K + k)*OH + oy)*OW + ox]
+    mad.lo.u32 %r29, %r25, %r5, %r19;
+    mad.lo.u32 %r29, %r29, %r8, %r26;
+    mad.lo.u32 %r29, %r29, %r9, %r27;
+    mul.wide.u32 %rd6, %r29, 4;
+    add.u64 %rd7, %rd2, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    fma.rn.f32 %f1, %f2, %f3, %f1;
+OXNEXT:
+    add.u32 %r27, %r27, 1;
+    bra OXLOOP;
+OXDONE:
+OYNEXT:
+    add.u32 %r26, %r26, 1;
+    bra OYLOOP;
+OYDONE:
+    add.u32 %r25, %r25, 1;
+    bra NLOOP;
+NDONE:
+    mul.wide.u32 %rd4, %r15, 4;
+    add.u64 %rd5, %rd3, %rd4;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    ret;
+}
+)PTX";
+
+} // namespace mlgs::cudnn

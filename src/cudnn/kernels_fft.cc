@@ -1,0 +1,680 @@
+/**
+ * @file
+ * cuDNN-lite PTX: FFT convolution kernels. A single template is instantiated
+ * for 32x32 and 16x16 tiles, mirroring cuDNN's fft2d_r2c_32x32 /
+ * fft2d_r2c_16x16 / fft2d_c2r_* kernel families. The kernels exercise
+ * exactly the instruction set the paper's debugging war stories revolve
+ * around: `brev` for the bit-reversal permutation (added for FFT-based
+ * convolution kernels, Section III-B) and a signed remainder with negative
+ * dividend in the circular-shift load (the rem bug family, Section III-D).
+ */
+#include "cudnn/kernels.h"
+
+#include <string>
+
+namespace mlgs::cudnn
+{
+
+namespace
+{
+
+// @N@ tile size, @LOGN@ log2, @SHBYTES@ = N*N*2*4, @SIGN@ twiddle sign token
+// (fwd: 0fC0C90FDB = -pi ... we pass the +/-2*pi constant), @SFX@ suffix.
+const char *kFftTemplate = R"PTX(
+.version 6.4
+.target sm_61
+.address_size 64
+
+// 2D FFT of one @N@x@N@ tile per CTA (block = @N@ threads, one per row).
+// Loads real data with a circular shift (shift may be negative) and writes
+// an interleaved-complex tile.
+.visible .entry fft2d_r2c_@SFX@(
+    .param .u64 In, .param .u64 Out,
+    .param .u32 H, .param .u32 Wd, .param .u32 img_stride,
+    .param .u32 tilesX, .param .u32 step, .param .s32 shift
+)
+{
+    .reg .u64 %rd<10>;
+    .reg .u32 %r<26>;
+    .reg .s32 %s<10>;
+    .reg .f32 %f<20>;
+    .reg .pred %p<8>;
+    .shared .align 8 .b8 tilebuf[@SHBYTES@];
+
+    ld.param.u64 %rd1, [In];
+    ld.param.u32 %r1, [H];
+    ld.param.u32 %r2, [Wd];
+    ld.param.u32 %r3, [img_stride];
+    ld.param.u32 %r4, [step];
+    ld.param.s32 %s1, [shift];
+
+    mov.u32 %r5, %ctaid.x;               // img
+    mov.u32 %r6, %ctaid.y;               // ty
+    mov.u32 %r7, %ctaid.z;               // tx
+    mov.u32 %r8, %tid.x;                 // row
+
+    // Row source index with circular shift: sy = ((row + shift) mod N + N) mod N.
+    cvt.s32.u32 %s2, %r8;
+    add.s32 %s2, %s2, %s1;
+    rem.s32 %s3, %s2, @N@;
+    setp.lt.s32 %p1, %s3, 0;
+    @%p1 add.s32 %s3, %s3, @N@;
+    cvt.u32.s32 %r9, %s3;                // sy
+    mad.lo.u32 %r10, %r6, %r4, %r9;      // gy = ty*step + sy
+
+    mov.u64 %rd2, tilebuf;
+    mul.lo.u32 %r11, %r8, @N@;           // row base (complex elements)
+    mul.wide.u32 %rd3, %r11, 8;
+    add.u64 %rd3, %rd2, %rd3;            // &tile[row][0]
+
+    mov.u32 %r12, 0;                     // x
+LOAD:
+    setp.ge.u32 %p2, %r12, @N@;
+    @%p2 bra LOADED;
+    cvt.s32.u32 %s4, %r12;
+    add.s32 %s4, %s4, %s1;
+    rem.s32 %s5, %s4, @N@;
+    setp.lt.s32 %p3, %s5, 0;
+    @%p3 add.s32 %s5, %s5, @N@;
+    cvt.u32.s32 %r13, %s5;               // sx
+    mad.lo.u32 %r14, %r7, %r4, %r13;     // gx = tx*step + sx
+    mov.f32 %f1, 0f00000000;
+    setp.ge.u32 %p3, %r10, %r1;
+    @%p3 bra LZERO;
+    setp.ge.u32 %p3, %r14, %r2;
+    @%p3 bra LZERO;
+    mad.lo.u32 %r15, %r5, %r3, 0;
+    mad.lo.u32 %r16, %r10, %r2, %r14;
+    add.u32 %r15, %r15, %r16;
+    mul.wide.u32 %rd4, %r15, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f1, [%rd5];
+LZERO:
+    mul.wide.u32 %rd4, %r12, 8;
+    add.u64 %rd5, %rd3, %rd4;
+    mov.f32 %f2, 0f00000000;
+    st.shared.v2.f32 [%rd5], {%f1, %f2};
+    add.u32 %r12, %r12, 1;
+    bra LOAD;
+LOADED:
+
+    // ---- row FFT (thread-serial, in shared memory) ----
+    // Bit-reversal permutation using brev.
+    mov.u32 %r12, 0;
+BREV:
+    setp.ge.u32 %p2, %r12, @N@;
+    @%p2 bra BREVD;
+    brev.b32 %r13, %r12;
+    shr.u32 %r13, %r13, @BREVSH@;        // 32 - LOGN
+    setp.ge.u32 %p3, %r13, %r12;
+    @!%p3 bra BNEXT;
+    setp.eq.u32 %p3, %r13, %r12;
+    @%p3 bra BNEXT;
+    mul.wide.u32 %rd4, %r12, 8;
+    add.u64 %rd5, %rd3, %rd4;
+    mul.wide.u32 %rd6, %r13, 8;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.shared.v2.f32 {%f1, %f2}, [%rd5];
+    ld.shared.v2.f32 {%f3, %f4}, [%rd7];
+    st.shared.v2.f32 [%rd5], {%f3, %f4};
+    st.shared.v2.f32 [%rd7], {%f1, %f2};
+BNEXT:
+    add.u32 %r12, %r12, 1;
+    bra BREV;
+BREVD:
+    // Butterfly stages.
+    mov.u32 %r17, 2;                     // len
+STAGE:
+    setp.gt.u32 %p2, %r17, @N@;
+    @%p2 bra ROWFFTD;
+    shr.u32 %r18, %r17, 1;               // half
+    // ang_step = SIGN * 2*pi / len
+    cvt.rn.f32.u32 %f3, %r17;
+    mov.f32 %f4, @TWOPI@;
+    div.approx.f32 %f5, %f4, %f3;        // signed 2pi/len
+    mov.u32 %r19, 0;                     // i0
+GROUP:
+    setp.ge.u32 %p3, %r19, @N@;
+    @%p3 bra STAGED;
+    mov.u32 %r20, 0;                     // j
+BFLY:
+    setp.ge.u32 %p4, %r20, %r18;
+    @%p4 bra GROUPD;
+    cvt.rn.f32.u32 %f6, %r20;
+    mul.f32 %f7, %f5, %f6;               // angle
+    cos.approx.f32 %f8, %f7;
+    sin.approx.f32 %f9, %f7;
+    add.u32 %r21, %r19, %r20;            // i0 + j
+    add.u32 %r22, %r21, %r18;            // + half
+    mul.wide.u32 %rd4, %r21, 8;
+    add.u64 %rd5, %rd3, %rd4;
+    mul.wide.u32 %rd6, %r22, 8;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.shared.v2.f32 {%f1, %f2}, [%rd5]; // u
+    ld.shared.v2.f32 {%f3, %f4}, [%rd7]; // v
+    // t = v * w
+    mul.f32 %f10, %f3, %f8;
+    mul.f32 %f11, %f4, %f9;
+    sub.f32 %f12, %f10, %f11;            // tr
+    mul.f32 %f10, %f3, %f9;
+    mul.f32 %f11, %f4, %f8;
+    add.f32 %f13, %f10, %f11;            // ti
+    add.f32 %f14, %f1, %f12;
+    add.f32 %f15, %f2, %f13;
+    st.shared.v2.f32 [%rd5], {%f14, %f15};
+    sub.f32 %f14, %f1, %f12;
+    sub.f32 %f15, %f2, %f13;
+    st.shared.v2.f32 [%rd7], {%f14, %f15};
+    add.u32 %r20, %r20, 1;
+    bra BFLY;
+GROUPD:
+    add.u32 %r19, %r19, %r17;
+    bra GROUP;
+STAGED:
+    shl.b32 %r17, %r17, 1;
+    bra STAGE;
+ROWFFTD:
+    bar.sync 0;
+
+    // ---- column FFT: this thread owns column `row` ----
+    // Re-point %rd3 at &tile[0][col] and use stride N complex elements.
+    mul.wide.u32 %rd3, %r8, 8;
+    add.u64 %rd3, %rd2, %rd3;
+    mov.u32 %r12, 0;
+CBREV:
+    setp.ge.u32 %p2, %r12, @N@;
+    @%p2 bra CBREVD;
+    brev.b32 %r13, %r12;
+    shr.u32 %r13, %r13, @BREVSH@;
+    setp.ge.u32 %p3, %r13, %r12;
+    @!%p3 bra CBNEXT;
+    setp.eq.u32 %p3, %r13, %r12;
+    @%p3 bra CBNEXT;
+    mul.lo.u32 %r14, %r12, @N@;
+    mul.wide.u32 %rd4, %r14, 8;
+    add.u64 %rd5, %rd3, %rd4;
+    mul.lo.u32 %r14, %r13, @N@;
+    mul.wide.u32 %rd6, %r14, 8;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.shared.v2.f32 {%f1, %f2}, [%rd5];
+    ld.shared.v2.f32 {%f3, %f4}, [%rd7];
+    st.shared.v2.f32 [%rd5], {%f3, %f4};
+    st.shared.v2.f32 [%rd7], {%f1, %f2};
+CBNEXT:
+    add.u32 %r12, %r12, 1;
+    bra CBREV;
+CBREVD:
+    mov.u32 %r17, 2;
+CSTAGE:
+    setp.gt.u32 %p2, %r17, @N@;
+    @%p2 bra CFFTD;
+    shr.u32 %r18, %r17, 1;
+    cvt.rn.f32.u32 %f3, %r17;
+    mov.f32 %f4, @TWOPI@;
+    div.approx.f32 %f5, %f4, %f3;
+    mov.u32 %r19, 0;
+CGROUP:
+    setp.ge.u32 %p3, %r19, @N@;
+    @%p3 bra CSTAGED;
+    mov.u32 %r20, 0;
+CBFLY:
+    setp.ge.u32 %p4, %r20, %r18;
+    @%p4 bra CGROUPD;
+    cvt.rn.f32.u32 %f6, %r20;
+    mul.f32 %f7, %f5, %f6;
+    cos.approx.f32 %f8, %f7;
+    sin.approx.f32 %f9, %f7;
+    add.u32 %r21, %r19, %r20;
+    add.u32 %r22, %r21, %r18;
+    mul.lo.u32 %r23, %r21, @N@;
+    mul.wide.u32 %rd4, %r23, 8;
+    add.u64 %rd5, %rd3, %rd4;
+    mul.lo.u32 %r23, %r22, @N@;
+    mul.wide.u32 %rd6, %r23, 8;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.shared.v2.f32 {%f1, %f2}, [%rd5];
+    ld.shared.v2.f32 {%f3, %f4}, [%rd7];
+    mul.f32 %f10, %f3, %f8;
+    mul.f32 %f11, %f4, %f9;
+    sub.f32 %f12, %f10, %f11;
+    mul.f32 %f10, %f3, %f9;
+    mul.f32 %f11, %f4, %f8;
+    add.f32 %f13, %f10, %f11;
+    add.f32 %f14, %f1, %f12;
+    add.f32 %f15, %f2, %f13;
+    st.shared.v2.f32 [%rd5], {%f14, %f15};
+    sub.f32 %f14, %f1, %f12;
+    sub.f32 %f15, %f2, %f13;
+    st.shared.v2.f32 [%rd7], {%f14, %f15};
+    add.u32 %r20, %r20, 1;
+    bra CBFLY;
+CGROUPD:
+    add.u32 %r19, %r19, %r17;
+    bra CGROUP;
+CSTAGED:
+    shl.b32 %r17, %r17, 1;
+    bra CSTAGE;
+CFFTD:
+    bar.sync 0;
+
+    // ---- store tile (thread per row again) ----
+    ld.param.u64 %rd8, [Out];
+    ld.param.u32 %r24, [tilesX];
+    mov.u32 %r12, %nctaid.y;
+    mul.lo.u32 %r13, %r5, %r12;          // img * tilesY
+    add.u32 %r13, %r13, %r6;
+    mul.lo.u32 %r13, %r13, %r24;
+    add.u32 %r13, %r13, %r7;             // tile linear id
+    mul.lo.u32 %r13, %r13, @NSQ@;        // * N*N (complex elems)
+    mul.lo.u32 %r14, %r8, @N@;           // + row*N
+    add.u32 %r13, %r13, %r14;
+    mul.wide.u32 %rd9, %r13, 8;
+    add.u64 %rd8, %rd8, %rd9;
+    mul.wide.u32 %rd3, %r14, 8;
+    add.u64 %rd3, %rd2, %rd3;
+    mov.u32 %r12, 0;
+STORE:
+    setp.ge.u32 %p2, %r12, @N@;
+    @%p2 bra DONE;
+    mul.wide.u32 %rd4, %r12, 8;
+    add.u64 %rd5, %rd3, %rd4;
+    ld.shared.v2.f32 {%f1, %f2}, [%rd5];
+    add.u64 %rd6, %rd8, %rd4;
+    st.global.v2.f32 [%rd6], {%f1, %f2};
+    add.u32 %r12, %r12, 1;
+    bra STORE;
+DONE:
+    ret;
+}
+
+// Inverse 2D FFT of a complex tile + crop of the valid correlation window
+// into the real output (scaled by 1/N^2).
+.visible .entry fft2d_c2r_@SFX@(
+    .param .u64 In, .param .u64 Out,
+    .param .u32 OH, .param .u32 OW, .param .u32 img_stride,
+    .param .u32 tilesX, .param .u32 step, .param .u32 crop
+)
+{
+    .reg .u64 %rd<10>;
+    .reg .u32 %r<28>;
+    .reg .f32 %f<20>;
+    .reg .pred %p<8>;
+    .shared .align 8 .b8 tilebuf[@SHBYTES@];
+
+    ld.param.u64 %rd1, [In];
+    ld.param.u32 %r1, [tilesX];
+
+    mov.u32 %r5, %ctaid.x;               // img
+    mov.u32 %r6, %ctaid.y;               // ty
+    mov.u32 %r7, %ctaid.z;               // tx
+    mov.u32 %r8, %tid.x;                 // row
+
+    mov.u64 %rd2, tilebuf;
+    // Load this row of the tile.
+    mov.u32 %r12, %nctaid.y;
+    mul.lo.u32 %r13, %r5, %r12;
+    add.u32 %r13, %r13, %r6;
+    mul.lo.u32 %r13, %r13, %r1;
+    add.u32 %r13, %r13, %r7;
+    mul.lo.u32 %r13, %r13, @NSQ@;
+    mul.lo.u32 %r14, %r8, @N@;
+    add.u32 %r13, %r13, %r14;
+    mul.wide.u32 %rd9, %r13, 8;
+    add.u64 %rd8, %rd1, %rd9;
+    mul.wide.u32 %rd3, %r14, 8;
+    add.u64 %rd3, %rd2, %rd3;            // &tile[row][0]
+    mov.u32 %r12, 0;
+LOAD:
+    setp.ge.u32 %p2, %r12, @N@;
+    @%p2 bra LOADED;
+    mul.wide.u32 %rd4, %r12, 8;
+    add.u64 %rd5, %rd8, %rd4;
+    ld.global.v2.f32 {%f1, %f2}, [%rd5];
+    add.u64 %rd6, %rd3, %rd4;
+    st.shared.v2.f32 [%rd6], {%f1, %f2};
+    add.u32 %r12, %r12, 1;
+    bra LOAD;
+LOADED:
+
+    // Inverse row FFT (positive twiddle sign).
+    mov.u32 %r12, 0;
+BREV:
+    setp.ge.u32 %p2, %r12, @N@;
+    @%p2 bra BREVD;
+    brev.b32 %r13, %r12;
+    shr.u32 %r13, %r13, @BREVSH@;
+    setp.ge.u32 %p3, %r13, %r12;
+    @!%p3 bra BNEXT;
+    setp.eq.u32 %p3, %r13, %r12;
+    @%p3 bra BNEXT;
+    mul.wide.u32 %rd4, %r12, 8;
+    add.u64 %rd5, %rd3, %rd4;
+    mul.wide.u32 %rd6, %r13, 8;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.shared.v2.f32 {%f1, %f2}, [%rd5];
+    ld.shared.v2.f32 {%f3, %f4}, [%rd7];
+    st.shared.v2.f32 [%rd5], {%f3, %f4};
+    st.shared.v2.f32 [%rd7], {%f1, %f2};
+BNEXT:
+    add.u32 %r12, %r12, 1;
+    bra BREV;
+BREVD:
+    mov.u32 %r17, 2;
+STAGE:
+    setp.gt.u32 %p2, %r17, @N@;
+    @%p2 bra ROWD;
+    shr.u32 %r18, %r17, 1;
+    cvt.rn.f32.u32 %f3, %r17;
+    mov.f32 %f4, @TWOPII@;
+    div.approx.f32 %f5, %f4, %f3;
+    mov.u32 %r19, 0;
+GROUP:
+    setp.ge.u32 %p3, %r19, @N@;
+    @%p3 bra STAGED;
+    mov.u32 %r20, 0;
+BFLY:
+    setp.ge.u32 %p4, %r20, %r18;
+    @%p4 bra GROUPD;
+    cvt.rn.f32.u32 %f6, %r20;
+    mul.f32 %f7, %f5, %f6;
+    cos.approx.f32 %f8, %f7;
+    sin.approx.f32 %f9, %f7;
+    add.u32 %r21, %r19, %r20;
+    add.u32 %r22, %r21, %r18;
+    mul.wide.u32 %rd4, %r21, 8;
+    add.u64 %rd5, %rd3, %rd4;
+    mul.wide.u32 %rd6, %r22, 8;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.shared.v2.f32 {%f1, %f2}, [%rd5];
+    ld.shared.v2.f32 {%f3, %f4}, [%rd7];
+    mul.f32 %f10, %f3, %f8;
+    mul.f32 %f11, %f4, %f9;
+    sub.f32 %f12, %f10, %f11;
+    mul.f32 %f10, %f3, %f9;
+    mul.f32 %f11, %f4, %f8;
+    add.f32 %f13, %f10, %f11;
+    add.f32 %f14, %f1, %f12;
+    add.f32 %f15, %f2, %f13;
+    st.shared.v2.f32 [%rd5], {%f14, %f15};
+    sub.f32 %f14, %f1, %f12;
+    sub.f32 %f15, %f2, %f13;
+    st.shared.v2.f32 [%rd7], {%f14, %f15};
+    add.u32 %r20, %r20, 1;
+    bra BFLY;
+GROUPD:
+    add.u32 %r19, %r19, %r17;
+    bra GROUP;
+STAGED:
+    shl.b32 %r17, %r17, 1;
+    bra STAGE;
+ROWD:
+    bar.sync 0;
+
+    // Inverse column FFT on column `row`.
+    mul.wide.u32 %rd3, %r8, 8;
+    add.u64 %rd3, %rd2, %rd3;
+    mov.u32 %r12, 0;
+CBREV:
+    setp.ge.u32 %p2, %r12, @N@;
+    @%p2 bra CBREVD;
+    brev.b32 %r13, %r12;
+    shr.u32 %r13, %r13, @BREVSH@;
+    setp.ge.u32 %p3, %r13, %r12;
+    @!%p3 bra CBNEXT;
+    setp.eq.u32 %p3, %r13, %r12;
+    @%p3 bra CBNEXT;
+    mul.lo.u32 %r14, %r12, @N@;
+    mul.wide.u32 %rd4, %r14, 8;
+    add.u64 %rd5, %rd3, %rd4;
+    mul.lo.u32 %r14, %r13, @N@;
+    mul.wide.u32 %rd6, %r14, 8;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.shared.v2.f32 {%f1, %f2}, [%rd5];
+    ld.shared.v2.f32 {%f3, %f4}, [%rd7];
+    st.shared.v2.f32 [%rd5], {%f3, %f4};
+    st.shared.v2.f32 [%rd7], {%f1, %f2};
+CBNEXT:
+    add.u32 %r12, %r12, 1;
+    bra CBREV;
+CBREVD:
+    mov.u32 %r17, 2;
+CSTAGE:
+    setp.gt.u32 %p2, %r17, @N@;
+    @%p2 bra CFFTD;
+    shr.u32 %r18, %r17, 1;
+    cvt.rn.f32.u32 %f3, %r17;
+    mov.f32 %f4, @TWOPII@;
+    div.approx.f32 %f5, %f4, %f3;
+    mov.u32 %r19, 0;
+CGROUP:
+    setp.ge.u32 %p3, %r19, @N@;
+    @%p3 bra CSTAGED;
+    mov.u32 %r20, 0;
+CBFLY:
+    setp.ge.u32 %p4, %r20, %r18;
+    @%p4 bra CGROUPD;
+    cvt.rn.f32.u32 %f6, %r20;
+    mul.f32 %f7, %f5, %f6;
+    cos.approx.f32 %f8, %f7;
+    sin.approx.f32 %f9, %f7;
+    add.u32 %r21, %r19, %r20;
+    add.u32 %r22, %r21, %r18;
+    mul.lo.u32 %r23, %r21, @N@;
+    mul.wide.u32 %rd4, %r23, 8;
+    add.u64 %rd5, %rd3, %rd4;
+    mul.lo.u32 %r23, %r22, @N@;
+    mul.wide.u32 %rd6, %r23, 8;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.shared.v2.f32 {%f1, %f2}, [%rd5];
+    ld.shared.v2.f32 {%f3, %f4}, [%rd7];
+    mul.f32 %f10, %f3, %f8;
+    mul.f32 %f11, %f4, %f9;
+    sub.f32 %f12, %f10, %f11;
+    mul.f32 %f10, %f3, %f9;
+    mul.f32 %f11, %f4, %f8;
+    add.f32 %f13, %f10, %f11;
+    add.f32 %f14, %f1, %f12;
+    add.f32 %f15, %f2, %f13;
+    st.shared.v2.f32 [%rd5], {%f14, %f15};
+    sub.f32 %f14, %f1, %f12;
+    sub.f32 %f15, %f2, %f13;
+    st.shared.v2.f32 [%rd7], {%f14, %f15};
+    add.u32 %r20, %r20, 1;
+    bra CBFLY;
+CGROUPD:
+    add.u32 %r19, %r19, %r17;
+    bra CGROUP;
+CSTAGED:
+    shl.b32 %r17, %r17, 1;
+    bra CSTAGE;
+CFFTD:
+    bar.sync 0;
+
+    // Crop + store: local output row p = tid.x (only p < step used).
+    ld.param.u64 %rd8, [Out];
+    ld.param.u32 %r2, [OH];
+    ld.param.u32 %r3, [OW];
+    ld.param.u32 %r4, [img_stride];
+    ld.param.u32 %r9, [step];
+    ld.param.u32 %r10, [crop];
+    setp.ge.u32 %p2, %r8, %r9;
+    @%p2 bra DONE;
+    mad.lo.u32 %r15, %r6, %r9, %r8;      // oy = ty*step + p
+    setp.ge.u32 %p2, %r15, %r2;
+    @%p2 bra DONE;
+    add.u32 %r16, %r8, %r10;             // tile row p + crop
+    mul.lo.u32 %r16, %r16, @N@;
+    mov.u32 %r12, 0;
+CROP:
+    setp.ge.u32 %p3, %r12, %r9;
+    @%p3 bra DONE;
+    mad.lo.u32 %r17, %r7, %r9, %r12;     // ox
+    setp.ge.u32 %p4, %r17, %r3;
+    @%p4 bra CNEXT;
+    add.u32 %r18, %r12, %r10;            // col + crop
+    add.u32 %r19, %r16, %r18;
+    mul.wide.u32 %rd4, %r19, 8;
+    add.u64 %rd5, %rd2, %rd4;
+    ld.shared.f32 %f1, [%rd5];           // real part
+    mov.f32 %f2, @SCALE@;                // 1/N^2
+    mul.f32 %f3, %f1, %f2;
+    mad.lo.u32 %r20, %r5, %r4, 0;
+    mad.lo.u32 %r21, %r15, %r3, %r17;
+    add.u32 %r20, %r20, %r21;
+    mul.wide.u32 %rd6, %r20, 4;
+    add.u64 %rd7, %rd8, %rd6;
+    st.global.f32 [%rd7], %f3;
+CNEXT:
+    add.u32 %r12, %r12, 1;
+    bra CROP;
+DONE:
+    ret;
+}
+)PTX";
+
+const char *kCgemmPtx = R"PTX(
+.version 6.4
+.target sm_61
+.address_size 64
+
+// Pointwise complex GEMM over frequency bins ("CGEMM"):
+//   O[p*o_p + q*o_q + bin] (+)= sum_l A[p*a_p + l*a_l + bin]
+//                                    * maybe_conj(B[q*b_q + l*b_l + bin])
+// All strides in complex elements. grid = (ceil(bins/ntid), Q, P).
+.visible .entry cgemm(
+    .param .u64 A, .param .u64 B, .param .u64 O,
+    .param .u32 Q, .param .u32 L, .param .u32 bins,
+    .param .u32 a_p, .param .u32 a_l,
+    .param .u32 b_q, .param .u32 b_l,
+    .param .u32 o_p, .param .u32 o_q,
+    .param .u32 conjB, .param .f32 beta
+)
+{
+    .reg .u64 %rd<12>;
+    .reg .u32 %r<20>;
+    .reg .f32 %f<16>;
+    .reg .pred %p<4>;
+
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [B];
+    ld.param.u64 %rd3, [O];
+    ld.param.u32 %r2, [L];
+    ld.param.u32 %r3, [bins];
+
+    mov.u32 %r4, %ctaid.x;
+    mov.u32 %r5, %ntid.x;
+    mov.u32 %r6, %tid.x;
+    mad.lo.u32 %r7, %r4, %r5, %r6;       // bin
+    setp.ge.u32 %p1, %r7, %r3;
+    @%p1 bra DONE;
+    mov.u32 %r8, %ctaid.y;               // q
+    mov.u32 %r9, %ctaid.z;               // p
+
+    ld.param.u32 %r10, [a_p];
+    ld.param.u32 %r11, [a_l];
+    mul.lo.u32 %r12, %r9, %r10;
+    add.u32 %r12, %r12, %r7;             // A base + bin
+    ld.param.u32 %r13, [b_q];
+    ld.param.u32 %r14, [b_l];
+    mul.lo.u32 %r15, %r8, %r13;
+    add.u32 %r15, %r15, %r7;
+
+    mov.f32 %f1, 0f00000000;             // acc re
+    mov.f32 %f2, 0f00000000;             // acc im
+    ld.param.u32 %r16, [conjB];
+    mov.u32 %r17, 0;                     // l
+LLOOP:
+    setp.ge.u32 %p2, %r17, %r2;
+    @%p2 bra LDONE;
+    mad.lo.u32 %r18, %r17, %r11, %r12;
+    mul.wide.u32 %rd4, %r18, 8;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.v2.f32 {%f3, %f4}, [%rd5]; // a
+    mad.lo.u32 %r19, %r17, %r14, %r15;
+    mul.wide.u32 %rd6, %r19, 8;
+    add.u64 %rd7, %rd2, %rd6;
+    ld.global.v2.f32 {%f5, %f6}, [%rd7]; // b
+    setp.ne.u32 %p3, %r16, 0;
+    @!%p3 bra NOCONJ;
+    neg.f32 %f6, %f6;
+NOCONJ:
+    // acc += a*b
+    mul.f32 %f7, %f3, %f5;
+    mul.f32 %f8, %f4, %f6;
+    sub.f32 %f9, %f7, %f8;
+    add.f32 %f1, %f1, %f9;
+    mul.f32 %f7, %f3, %f6;
+    mul.f32 %f8, %f4, %f5;
+    add.f32 %f9, %f7, %f8;
+    add.f32 %f2, %f2, %f9;
+    add.u32 %r17, %r17, 1;
+    bra LLOOP;
+LDONE:
+    ld.param.u32 %r10, [o_p];
+    ld.param.u32 %r11, [o_q];
+    mul.lo.u32 %r12, %r9, %r10;
+    mad.lo.u32 %r12, %r8, %r11, %r12;
+    add.u32 %r12, %r12, %r7;
+    mul.wide.u32 %rd8, %r12, 8;
+    add.u64 %rd9, %rd3, %rd8;
+    ld.param.f32 %f10, [beta];
+    ld.global.v2.f32 {%f11, %f12}, [%rd9];
+    fma.rn.f32 %f13, %f11, %f10, %f1;
+    fma.rn.f32 %f14, %f12, %f10, %f2;
+    st.global.v2.f32 [%rd9], {%f13, %f14};
+DONE:
+    ret;
+}
+)PTX";
+
+std::string
+replaceAll(std::string s, const std::string &from, const std::string &to)
+{
+    size_t pos = 0;
+    while ((pos = s.find(from, pos)) != std::string::npos) {
+        s.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return s;
+}
+
+std::string
+instantiateFft(unsigned n, unsigned logn, const char *sfx, const char *scale_hex)
+{
+    std::string s = kFftTemplate;
+    s = replaceAll(s, "@SFX@", sfx);
+    s = replaceAll(s, "@NSQ@", std::to_string(n * n));
+    s = replaceAll(s, "@SHBYTES@", std::to_string(n * n * 8));
+    s = replaceAll(s, "@BREVSH@", std::to_string(32 - logn));
+    s = replaceAll(s, "@N@", std::to_string(n));
+    s = replaceAll(s, "@TWOPII@", "0f40C90FDB");  // +2*pi (inverse)
+    s = replaceAll(s, "@TWOPI@", "0fC0C90FDB");   // -2*pi (forward)
+    s = replaceAll(s, "@SCALE@", scale_hex);
+    return s;
+}
+
+} // namespace
+
+std::string
+buildFftPtx32()
+{
+    // 1/1024 = 0x3A800000
+    return instantiateFft(32, 5, "32x32", "0f3A800000");
+}
+
+std::string
+buildFftPtx16()
+{
+    // 1/256 = 0x3B800000
+    return instantiateFft(16, 4, "16x16", "0f3B800000");
+}
+
+const char *kCgemmModulePtx = nullptr;
+
+std::string
+buildCgemmPtx()
+{
+    return kCgemmPtx;
+}
+
+} // namespace mlgs::cudnn

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * cuDNN-lite PTX: cross-channel LRN. The forward kernel reads its input
+ * through a texture reference ("tex_lrn_src"), exercising the texture path
+ * whose name->texref mapping the paper fixed (Section III-C).
+ */
+#include "cudnn/kernels.h"
+
+namespace mlgs::cudnn
+{
+
+const char *kLrnPtx = R"PTX(
+.version 6.4
+.target sm_61
+.address_size 64
+
+.tex .u64 tex_lrn_src;
+
+// y = x * scale^-beta, scale = k + (alpha/n) * sum_{window} x^2.
+// Also stores scale for the backward pass. Input fetched via texture.
+.visible .entry lrn_forward(
+    .param .u64 Y, .param .u64 Scale,
+    .param .u32 N, .param .u32 C, .param .u32 HW,
+    .param .u32 win, .param .f32 alpha_over_n, .param .f32 beta,
+    .param .f32 kconst
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<20>;
+    .reg .s32 %s<8>;
+    .reg .f32 %f<16>;
+    .reg .pred %p<6>;
+
+    ld.param.u64 %rd1, [Y];
+    ld.param.u64 %rd2, [Scale];
+    ld.param.u32 %r1, [N];
+    ld.param.u32 %r2, [C];
+    ld.param.u32 %r3, [HW];
+    ld.param.u32 %r4, [win];
+
+    mov.u32 %r5, %ctaid.x;
+    mov.u32 %r6, %ntid.x;
+    mov.u32 %r7, %tid.x;
+    mad.lo.u32 %r8, %r5, %r6, %r7;       // flat (n,c,pos)
+    mul.lo.u32 %r9, %r2, %r3;
+    mul.lo.u32 %r10, %r1, %r9;
+    setp.ge.u32 %p1, %r8, %r10;
+    @%p1 bra DONE;
+
+    div.u32 %r11, %r8, %r9;              // n
+    rem.u32 %r12, %r8, %r9;
+    div.u32 %r13, %r12, %r3;             // c
+    rem.u32 %r14, %r12, %r3;             // pos
+
+    // window [c - win/2, c + win/2] clamped to [0, C)
+    shr.u32 %r15, %r4, 1;
+    cvt.s32.u32 %s1, %r13;
+    cvt.s32.u32 %s2, %r15;
+    sub.s32 %s3, %s1, %s2;               // lo
+    add.s32 %s4, %s1, %s2;               // hi
+    mov.s32 %s5, 0;
+    max.s32 %s3, %s3, %s5;
+    cvt.s32.u32 %s6, %r2;
+    sub.s32 %s6, %s6, 1;
+    min.s32 %s4, %s4, %s6;
+
+    mul.lo.u32 %r16, %r11, %r9;          // image base = n*C*HW
+    mov.f32 %f1, 0f00000000;             // sum of squares
+CLOOP:
+    setp.gt.s32 %p2, %s3, %s4;
+    @%p2 bra CDONE;
+    cvt.u32.s32 %r17, %s3;
+    mad.lo.u32 %r18, %r17, %r3, %r14;
+    add.u32 %r18, %r18, %r16;            // flat index of (n, cc, pos)
+    cvt.s32.u32 %s7, %r18;
+    tex.1d.v4.f32.s32 {%f2, %f3, %f4, %f5}, [tex_lrn_src, {%s7}];
+    fma.rn.f32 %f1, %f2, %f2, %f1;
+    add.s32 %s3, %s3, 1;
+    bra CLOOP;
+CDONE:
+    ld.param.f32 %f6, [alpha_over_n];
+    ld.param.f32 %f7, [kconst];
+    fma.rn.f32 %f8, %f1, %f6, %f7;       // scale
+    mul.wide.u32 %rd3, %r8, 4;
+    add.u64 %rd4, %rd2, %rd3;
+    st.global.f32 [%rd4], %f8;
+
+    // y = x * scale^-beta = x * 2^(-beta * log2(scale))
+    cvt.s32.u32 %s7, %r8;
+    tex.1d.v4.f32.s32 {%f2, %f3, %f4, %f5}, [tex_lrn_src, {%s7}];
+    lg2.approx.f32 %f9, %f8;
+    ld.param.f32 %f10, [beta];
+    neg.f32 %f11, %f10;
+    mul.f32 %f12, %f9, %f11;
+    ex2.approx.f32 %f13, %f12;
+    mul.f32 %f14, %f2, %f13;
+    add.u64 %rd5, %rd1, %rd3;
+    st.global.f32 [%rd5], %f14;
+DONE:
+    ret;
+}
+
+// dx[i] = dy[i]*scale[i]^-beta
+//         - 2*alpha_over_n*beta * x[i] * sum_{j in win(i)} dy[j]*y[j]/scale[j]
+.visible .entry lrn_backward(
+    .param .u64 X, .param .u64 Yv, .param .u64 DY, .param .u64 Scale,
+    .param .u64 DX,
+    .param .u32 N, .param .u32 C, .param .u32 HW,
+    .param .u32 win, .param .f32 alpha_over_n, .param .f32 beta
+)
+{
+    .reg .u64 %rd<16>;
+    .reg .u32 %r<20>;
+    .reg .s32 %s<8>;
+    .reg .f32 %f<20>;
+    .reg .pred %p<6>;
+
+    ld.param.u64 %rd1, [X];
+    ld.param.u64 %rd2, [Yv];
+    ld.param.u64 %rd3, [DY];
+    ld.param.u64 %rd4, [Scale];
+    ld.param.u64 %rd5, [DX];
+    ld.param.u32 %r1, [N];
+    ld.param.u32 %r2, [C];
+    ld.param.u32 %r3, [HW];
+    ld.param.u32 %r4, [win];
+
+    mov.u32 %r5, %ctaid.x;
+    mov.u32 %r6, %ntid.x;
+    mov.u32 %r7, %tid.x;
+    mad.lo.u32 %r8, %r5, %r6, %r7;
+    mul.lo.u32 %r9, %r2, %r3;
+    mul.lo.u32 %r10, %r1, %r9;
+    setp.ge.u32 %p1, %r8, %r10;
+    @%p1 bra DONE;
+
+    div.u32 %r11, %r8, %r9;              // n
+    rem.u32 %r12, %r8, %r9;
+    div.u32 %r13, %r12, %r3;             // c
+    rem.u32 %r14, %r12, %r3;             // pos
+
+    shr.u32 %r15, %r4, 1;
+    cvt.s32.u32 %s1, %r13;
+    cvt.s32.u32 %s2, %r15;
+    sub.s32 %s3, %s1, %s2;
+    add.s32 %s4, %s1, %s2;
+    mov.s32 %s5, 0;
+    max.s32 %s3, %s3, %s5;
+    cvt.s32.u32 %s6, %r2;
+    sub.s32 %s6, %s6, 1;
+    min.s32 %s4, %s4, %s6;
+
+    mul.lo.u32 %r16, %r11, %r9;
+    mov.f32 %f1, 0f00000000;             // sum dy*y/scale
+CLOOP:
+    setp.gt.s32 %p2, %s3, %s4;
+    @%p2 bra CDONE;
+    cvt.u32.s32 %r17, %s3;
+    mad.lo.u32 %r18, %r17, %r3, %r14;
+    add.u32 %r18, %r18, %r16;
+    mul.wide.u32 %rd6, %r18, 4;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.global.f32 %f2, [%rd7];           // dy
+    add.u64 %rd8, %rd2, %rd6;
+    ld.global.f32 %f3, [%rd8];           // y
+    add.u64 %rd9, %rd4, %rd6;
+    ld.global.f32 %f4, [%rd9];           // scale
+    mul.f32 %f5, %f2, %f3;
+    div.approx.f32 %f6, %f5, %f4;
+    add.f32 %f1, %f1, %f6;
+    add.s32 %s3, %s3, 1;
+    bra CLOOP;
+CDONE:
+    mul.wide.u32 %rd6, %r8, 4;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.global.f32 %f2, [%rd7];           // dy[i]
+    add.u64 %rd8, %rd4, %rd6;
+    ld.global.f32 %f4, [%rd8];           // scale[i]
+    lg2.approx.f32 %f7, %f4;
+    ld.param.f32 %f8, [beta];
+    neg.f32 %f9, %f8;
+    mul.f32 %f10, %f7, %f9;
+    ex2.approx.f32 %f11, %f10;           // scale^-beta
+    mul.f32 %f12, %f2, %f11;             // first term
+    add.u64 %rd9, %rd1, %rd6;
+    ld.global.f32 %f13, [%rd9];          // x[i]
+    ld.param.f32 %f14, [alpha_over_n];
+    mul.f32 %f15, %f14, %f8;
+    mov.f32 %f16, 0fC0000000;            // -2
+    mul.f32 %f15, %f15, %f16;            // -2*a/n*beta
+    mul.f32 %f17, %f13, %f1;
+    fma.rn.f32 %f18, %f17, %f15, %f12;
+    add.u64 %rd10, %rd5, %rd6;
+    st.global.f32 [%rd10], %f18;
+DONE:
+    ret;
+}
+)PTX";
+
+} // namespace mlgs::cudnn

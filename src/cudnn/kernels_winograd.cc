@@ -1,0 +1,803 @@
+/**
+ * @file
+ * cuDNN-lite PTX: Winograd convolution kernels. The transform matrices
+ * (B^T, G, A^T, generated host-side by the Cook-Toom builder) are passed as
+ * device buffers, so the same kernels serve F(2x2,3x3) and F(2x2,5x5).
+ *
+ * WINOGRAD_NONFUSED = winograd_input_tx + winograd_filter_tx +
+ * winograd_bgemm (one GEMM per transform bin) + winograd_output_tx.
+ * WINOGRAD (fused) = winograd_fused, one kernel doing everything per tile,
+ * using per-thread .local scratch.
+ */
+#include "cudnn/kernels.h"
+
+namespace mlgs::cudnn
+{
+
+const char *kWinogradPtx = R"PTX(
+.version 6.4
+.target sm_61
+.address_size 64
+
+// Xw[((n*TILES + tile)*C + c)*t*t + i*t + j] =
+//     sum_{a,b} BT[i*t+a] * BT[j*t+b] * x[n,c, ty*m - pad + a, tx*m - pad + b]
+.visible .entry winograd_input_tx(
+    .param .u64 X, .param .u64 Out, .param .u64 BT,
+    .param .u32 C, .param .u32 H, .param .u32 Wd,
+    .param .u32 tilesY, .param .u32 tilesX,
+    .param .u32 m, .param .u32 t, .param .u32 pad, .param .u32 total
+)
+{
+    .reg .u64 %rd<12>;
+    .reg .u32 %r<32>;
+    .reg .s32 %s<10>;
+    .reg .f32 %f<10>;
+    .reg .pred %p<8>;
+
+    ld.param.u64 %rd1, [X];
+    ld.param.u64 %rd2, [Out];
+    ld.param.u64 %rd3, [BT];
+    ld.param.u32 %r1, [C];
+    ld.param.u32 %r2, [H];
+    ld.param.u32 %r3, [Wd];
+    ld.param.u32 %r4, [tilesY];
+    ld.param.u32 %r5, [tilesX];
+    ld.param.u32 %r6, [m];
+    ld.param.u32 %r7, [t];
+    ld.param.u32 %r8, [pad];
+    ld.param.u32 %r9, [total];
+
+    mov.u32 %r10, %ctaid.x;
+    mov.u32 %r11, %ntid.x;
+    mov.u32 %r12, %tid.x;
+    mad.lo.u32 %r13, %r10, %r11, %r12;   // flat
+    setp.ge.u32 %p1, %r13, %r9;
+    @%p1 bra DONE;
+
+    mul.lo.u32 %r14, %r7, %r7;           // tt
+    // decompose: flat = (((n*TILES + tile)*C + c)*t + i)*t + j
+    rem.u32 %r15, %r13, %r7;             // j
+    div.u32 %r16, %r13, %r7;
+    rem.u32 %r17, %r16, %r7;             // i
+    div.u32 %r18, %r16, %r7;
+    rem.u32 %r19, %r18, %r1;             // c
+    div.u32 %r20, %r18, %r1;             // nt = n*TILES + tile
+    mul.lo.u32 %r21, %r4, %r5;           // TILES
+    rem.u32 %r22, %r20, %r21;            // tile
+    div.u32 %r23, %r20, %r21;            // n
+    rem.u32 %r24, %r22, %r5;             // tx
+    div.u32 %r25, %r22, %r5;             // ty
+
+    // tile origin (can be negative with padding)
+    mul.lo.u32 %r26, %r25, %r6;
+    cvt.s32.u32 %s1, %r26;
+    cvt.s32.u32 %s2, %r8;
+    sub.s32 %s1, %s1, %s2;               // oy0
+    mul.lo.u32 %r26, %r24, %r6;
+    cvt.s32.u32 %s3, %r26;
+    sub.s32 %s3, %s3, %s2;               // ox0
+
+    // x channel base: (n*C + c)*H*W
+    mad.lo.u32 %r27, %r23, %r1, %r19;
+    mul.lo.u32 %r28, %r2, %r3;
+    mul.lo.u32 %r27, %r27, %r28;
+
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r29, 0;                     // a
+ALOOP:
+    setp.ge.u32 %p2, %r29, %r7;
+    @%p2 bra ADONE;
+    cvt.s32.u32 %s4, %r29;
+    add.s32 %s5, %s1, %s4;               // y
+    mov.u32 %r30, 0;                     // b
+BLOOP:
+    setp.ge.u32 %p3, %r30, %r7;
+    @%p3 bra BDONE;
+    cvt.s32.u32 %s6, %r30;
+    add.s32 %s7, %s3, %s6;               // x
+    mov.f32 %f2, 0f00000000;
+    setp.lt.s32 %p4, %s5, 0;
+    @%p4 bra HAVE;
+    cvt.s32.u32 %s8, %r2;
+    setp.ge.s32 %p4, %s5, %s8;
+    @%p4 bra HAVE;
+    setp.lt.s32 %p4, %s7, 0;
+    @%p4 bra HAVE;
+    cvt.s32.u32 %s8, %r3;
+    setp.ge.s32 %p4, %s7, %s8;
+    @%p4 bra HAVE;
+    cvt.u32.s32 %r26, %s5;
+    mul.lo.u32 %r31, %r26, %r3;
+    cvt.u32.s32 %r26, %s7;
+    add.u32 %r31, %r31, %r26;
+    add.u32 %r31, %r31, %r27;
+    mul.wide.u32 %rd4, %r31, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f2, [%rd5];
+HAVE:
+    // coef = BT[i*t+a] * BT[j*t+b]
+    mad.lo.u32 %r26, %r17, %r7, %r29;
+    mul.wide.u32 %rd6, %r26, 4;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    mad.lo.u32 %r26, %r15, %r7, %r30;
+    mul.wide.u32 %rd8, %r26, 4;
+    add.u64 %rd9, %rd3, %rd8;
+    ld.global.f32 %f4, [%rd9];
+    mul.f32 %f5, %f3, %f4;
+    fma.rn.f32 %f1, %f5, %f2, %f1;
+    add.u32 %r30, %r30, 1;
+    bra BLOOP;
+BDONE:
+    add.u32 %r29, %r29, 1;
+    bra ALOOP;
+ADONE:
+    mul.wide.u32 %rd10, %r13, 4;
+    add.u64 %rd11, %rd2, %rd10;
+    st.global.f32 [%rd11], %f1;
+DONE:
+    ret;
+}
+
+// Ww[(k*C + c)*t*t + i*t + j] = sum_{p,q<r} G[i*r+p] G[j*r+q] w[k,c,p,q]
+.visible .entry winograd_filter_tx(
+    .param .u64 Wf, .param .u64 Out, .param .u64 G,
+    .param .u32 C, .param .u32 r, .param .u32 t, .param .u32 total
+)
+{
+    .reg .u64 %rd<12>;
+    .reg .u32 %r<24>;
+    .reg .f32 %f<10>;
+    .reg .pred %p<6>;
+
+    ld.param.u64 %rd1, [Wf];
+    ld.param.u64 %rd2, [Out];
+    ld.param.u64 %rd3, [G];
+    ld.param.u32 %r1, [C];
+    ld.param.u32 %r2, [r];
+    ld.param.u32 %r3, [t];
+    ld.param.u32 %r4, [total];
+
+    mov.u32 %r5, %ctaid.x;
+    mov.u32 %r6, %ntid.x;
+    mov.u32 %r7, %tid.x;
+    mad.lo.u32 %r8, %r5, %r6, %r7;       // flat = (kc*t + i)*t + j
+    setp.ge.u32 %p1, %r8, %r4;
+    @%p1 bra DONE;
+    rem.u32 %r9, %r8, %r3;               // j
+    div.u32 %r10, %r8, %r3;
+    rem.u32 %r11, %r10, %r3;             // i
+    div.u32 %r12, %r10, %r3;             // kc
+    mul.lo.u32 %r13, %r2, %r2;
+    mul.lo.u32 %r14, %r12, %r13;         // filter base
+
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r15, 0;                     // p
+PLOOP:
+    setp.ge.u32 %p2, %r15, %r2;
+    @%p2 bra PDONE;
+    mov.u32 %r16, 0;                     // q
+QLOOP:
+    setp.ge.u32 %p3, %r16, %r2;
+    @%p3 bra QDONE;
+    mad.lo.u32 %r17, %r15, %r2, %r16;
+    add.u32 %r17, %r17, %r14;
+    mul.wide.u32 %rd4, %r17, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    mad.lo.u32 %r18, %r11, %r2, %r15;    // G[i*r+p]
+    mul.wide.u32 %rd6, %r18, 4;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    mad.lo.u32 %r19, %r9, %r2, %r16;     // G[j*r+q]
+    mul.wide.u32 %rd8, %r19, 4;
+    add.u64 %rd9, %rd3, %rd8;
+    ld.global.f32 %f4, [%rd9];
+    mul.f32 %f5, %f3, %f4;
+    fma.rn.f32 %f1, %f5, %f2, %f1;
+    add.u32 %r16, %r16, 1;
+    bra QLOOP;
+QDONE:
+    add.u32 %r15, %r15, 1;
+    bra PLOOP;
+PDONE:
+    mul.wide.u32 %rd10, %r8, 4;
+    add.u64 %rd11, %rd2, %rd10;
+    st.global.f32 [%rd11], %f1;
+DONE:
+    ret;
+}
+
+// y[n,k, ty*m+oy, tx*m+ox] = sum_{i,j<t} AT[oy*t+i] AT[ox*t+j]
+//                                 Yw[((n*TILES+tile)*K + k)*t*t + i*t + j]
+.visible .entry winograd_output_tx(
+    .param .u64 Yw, .param .u64 Y, .param .u64 AT,
+    .param .u32 K, .param .u32 OH, .param .u32 OW,
+    .param .u32 tilesY, .param .u32 tilesX,
+    .param .u32 m, .param .u32 t, .param .u32 total
+)
+{
+    .reg .u64 %rd<12>;
+    .reg .u32 %r<32>;
+    .reg .f32 %f<10>;
+    .reg .pred %p<6>;
+
+    ld.param.u64 %rd1, [Yw];
+    ld.param.u64 %rd2, [Y];
+    ld.param.u64 %rd3, [AT];
+    ld.param.u32 %r1, [K];
+    ld.param.u32 %r2, [OH];
+    ld.param.u32 %r3, [OW];
+    ld.param.u32 %r4, [tilesY];
+    ld.param.u32 %r5, [tilesX];
+    ld.param.u32 %r6, [m];
+    ld.param.u32 %r7, [t];
+    ld.param.u32 %r8, [total];
+
+    mov.u32 %r9, %ctaid.x;
+    mov.u32 %r10, %ntid.x;
+    mov.u32 %r11, %tid.x;
+    mad.lo.u32 %r12, %r9, %r10, %r11;    // flat = ((nt*K + k)*m + oy)*m + ox
+    setp.ge.u32 %p1, %r12, %r8;
+    @%p1 bra DONE;
+    rem.u32 %r13, %r12, %r6;             // ox
+    div.u32 %r14, %r12, %r6;
+    rem.u32 %r15, %r14, %r6;             // oy
+    div.u32 %r16, %r14, %r6;
+    rem.u32 %r17, %r16, %r1;             // k
+    div.u32 %r18, %r16, %r1;             // nt
+    mul.lo.u32 %r19, %r4, %r5;
+    rem.u32 %r20, %r18, %r19;            // tile
+    div.u32 %r21, %r18, %r19;            // n
+    rem.u32 %r22, %r20, %r5;             // tx
+    div.u32 %r23, %r20, %r5;             // ty
+
+    // global output coords
+    mad.lo.u32 %r24, %r23, %r6, %r15;    // gy
+    mad.lo.u32 %r25, %r22, %r6, %r13;    // gx
+    setp.ge.u32 %p2, %r24, %r2;
+    @%p2 bra DONE;
+    setp.ge.u32 %p2, %r25, %r3;
+    @%p2 bra DONE;
+
+    mul.lo.u32 %r26, %r7, %r7;           // tt
+    mad.lo.u32 %r27, %r18, %r1, %r17;    // nt*K + k
+    mul.lo.u32 %r27, %r27, %r26;         // tile base
+
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r28, 0;                     // i
+ILOOP:
+    setp.ge.u32 %p3, %r28, %r7;
+    @%p3 bra IDONE;
+    mad.lo.u32 %r29, %r15, %r7, %r28;    // AT[oy*t+i]
+    mul.wide.u32 %rd4, %r29, 4;
+    add.u64 %rd5, %rd3, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    mov.u32 %r30, 0;                     // j
+JLOOP:
+    setp.ge.u32 %p4, %r30, %r7;
+    @%p4 bra JDONE;
+    mad.lo.u32 %r29, %r13, %r7, %r30;    // AT[ox*t+j]
+    mul.wide.u32 %rd6, %r29, 4;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    mad.lo.u32 %r31, %r28, %r7, %r30;
+    add.u32 %r31, %r31, %r27;
+    mul.wide.u32 %rd8, %r31, 4;
+    add.u64 %rd9, %rd1, %rd8;
+    ld.global.f32 %f4, [%rd9];
+    mul.f32 %f5, %f2, %f3;
+    fma.rn.f32 %f1, %f5, %f4, %f1;
+    add.u32 %r30, %r30, 1;
+    bra JLOOP;
+JDONE:
+    add.u32 %r28, %r28, 1;
+    bra ILOOP;
+IDONE:
+    // y[((n*K + k)*OH + gy)*OW + gx]
+    mad.lo.u32 %r26, %r21, %r1, %r17;
+    mad.lo.u32 %r26, %r26, %r2, %r24;
+    mad.lo.u32 %r26, %r26, %r3, %r25;
+    mul.wide.u32 %rd10, %r26, 4;
+    add.u64 %rd11, %rd2, %rd10;
+    st.global.f32 [%rd11], %f1;
+DONE:
+    ret;
+}
+
+// DYw[((n*TILES+tile)*K + k)*t*t + i*t + j] =
+//     sum_{a,b<m} AT[a*t+i] AT[b*t+j] dy[n,k, ty*m+a, tx*m+b]
+// (projects output-gradient tiles into the transform domain for wgrad).
+.visible .entry winograd_dy_tx(
+    .param .u64 DY, .param .u64 Out, .param .u64 AT,
+    .param .u32 K, .param .u32 OH, .param .u32 OW,
+    .param .u32 tilesY, .param .u32 tilesX,
+    .param .u32 m, .param .u32 t, .param .u32 total
+)
+{
+    .reg .u64 %rd<12>;
+    .reg .u32 %r<32>;
+    .reg .f32 %f<10>;
+    .reg .pred %p<8>;
+
+    ld.param.u64 %rd1, [DY];
+    ld.param.u64 %rd2, [Out];
+    ld.param.u64 %rd3, [AT];
+    ld.param.u32 %r1, [K];
+    ld.param.u32 %r2, [OH];
+    ld.param.u32 %r3, [OW];
+    ld.param.u32 %r4, [tilesY];
+    ld.param.u32 %r5, [tilesX];
+    ld.param.u32 %r6, [m];
+    ld.param.u32 %r7, [t];
+    ld.param.u32 %r8, [total];
+
+    mov.u32 %r9, %ctaid.x;
+    mov.u32 %r10, %ntid.x;
+    mov.u32 %r11, %tid.x;
+    mad.lo.u32 %r12, %r9, %r10, %r11;    // flat = ((nt*K + k)*t + i)*t + j
+    setp.ge.u32 %p1, %r12, %r8;
+    @%p1 bra DONE;
+    rem.u32 %r13, %r12, %r7;             // j
+    div.u32 %r14, %r12, %r7;
+    rem.u32 %r15, %r14, %r7;             // i
+    div.u32 %r16, %r14, %r7;
+    rem.u32 %r17, %r16, %r1;             // k
+    div.u32 %r18, %r16, %r1;             // nt
+    mul.lo.u32 %r19, %r4, %r5;
+    rem.u32 %r20, %r18, %r19;            // tile
+    div.u32 %r21, %r18, %r19;            // n
+    rem.u32 %r22, %r20, %r5;             // tx
+    div.u32 %r23, %r20, %r5;             // ty
+
+    // dy channel base
+    mad.lo.u32 %r24, %r21, %r1, %r17;
+    mul.lo.u32 %r25, %r2, %r3;
+    mul.lo.u32 %r24, %r24, %r25;
+
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r26, 0;                     // a
+ALOOP:
+    setp.ge.u32 %p2, %r26, %r6;
+    @%p2 bra ADONE;
+    mad.lo.u32 %r27, %r23, %r6, %r26;    // gy
+    setp.ge.u32 %p3, %r27, %r2;
+    @%p3 bra ANEXT;
+    mad.lo.u32 %r28, %r26, %r7, %r15;    // AT[a*t+i]
+    mul.wide.u32 %rd4, %r28, 4;
+    add.u64 %rd5, %rd3, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    mov.u32 %r29, 0;                     // b
+BLOOP:
+    setp.ge.u32 %p4, %r29, %r6;
+    @%p4 bra BDONE;
+    mad.lo.u32 %r30, %r22, %r6, %r29;    // gx
+    setp.ge.u32 %p5, %r30, %r3;
+    @%p5 bra BNEXT;
+    mad.lo.u32 %r28, %r29, %r7, %r13;    // AT[b*t+j]
+    mul.wide.u32 %rd6, %r28, 4;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    mad.lo.u32 %r31, %r27, %r3, %r30;
+    add.u32 %r31, %r31, %r24;
+    mul.wide.u32 %rd8, %r31, 4;
+    add.u64 %rd9, %rd1, %rd8;
+    ld.global.f32 %f4, [%rd9];
+    mul.f32 %f5, %f2, %f3;
+    fma.rn.f32 %f1, %f5, %f4, %f1;
+BNEXT:
+    add.u32 %r29, %r29, 1;
+    bra BLOOP;
+BDONE:
+ANEXT:
+    add.u32 %r26, %r26, 1;
+    bra ALOOP;
+ADONE:
+    mul.wide.u32 %rd10, %r12, 4;
+    add.u64 %rd11, %rd2, %rd10;
+    st.global.f32 [%rd11], %f1;
+DONE:
+    ret;
+}
+
+// dw[k,c,p,q] = sum_{i,j<t} G[i*r+p] G[j*r+q] dWw[(k*C + c)*t*t + i*t + j]
+.visible .entry winograd_grad_tx(
+    .param .u64 DWw, .param .u64 DW, .param .u64 G,
+    .param .u32 C, .param .u32 r, .param .u32 t, .param .u32 total
+)
+{
+    .reg .u64 %rd<12>;
+    .reg .u32 %r<24>;
+    .reg .f32 %f<10>;
+    .reg .pred %p<6>;
+
+    ld.param.u64 %rd1, [DWw];
+    ld.param.u64 %rd2, [DW];
+    ld.param.u64 %rd3, [G];
+    ld.param.u32 %r1, [C];
+    ld.param.u32 %r2, [r];
+    ld.param.u32 %r3, [t];
+    ld.param.u32 %r4, [total];
+
+    mov.u32 %r5, %ctaid.x;
+    mov.u32 %r6, %ntid.x;
+    mov.u32 %r7, %tid.x;
+    mad.lo.u32 %r8, %r5, %r6, %r7;       // flat = (kc*r + p)*r + q
+    setp.ge.u32 %p1, %r8, %r4;
+    @%p1 bra DONE;
+    rem.u32 %r9, %r8, %r2;               // q
+    div.u32 %r10, %r8, %r2;
+    rem.u32 %r11, %r10, %r2;             // p
+    div.u32 %r12, %r10, %r2;             // kc
+    mul.lo.u32 %r13, %r3, %r3;
+    mul.lo.u32 %r14, %r12, %r13;
+
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r15, 0;                     // i
+ILOOP:
+    setp.ge.u32 %p2, %r15, %r3;
+    @%p2 bra IDONE;
+    mad.lo.u32 %r16, %r15, %r2, %r11;    // G[i*r+p]
+    mul.wide.u32 %rd4, %r16, 4;
+    add.u64 %rd5, %rd3, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    mov.u32 %r17, 0;                     // j
+JLOOP:
+    setp.ge.u32 %p3, %r17, %r3;
+    @%p3 bra JDONE;
+    mad.lo.u32 %r16, %r17, %r2, %r9;     // G[j*r+q]
+    mul.wide.u32 %rd6, %r16, 4;
+    add.u64 %rd7, %rd3, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    mad.lo.u32 %r18, %r15, %r3, %r17;
+    add.u32 %r18, %r18, %r14;
+    mul.wide.u32 %rd8, %r18, 4;
+    add.u64 %rd9, %rd1, %rd8;
+    ld.global.f32 %f4, [%rd9];
+    mul.f32 %f5, %f2, %f3;
+    fma.rn.f32 %f1, %f5, %f4, %f1;
+    add.u32 %r17, %r17, 1;
+    bra JLOOP;
+JDONE:
+    add.u32 %r15, %r15, 1;
+    bra ILOOP;
+IDONE:
+    mul.wide.u32 %rd10, %r8, 4;
+    add.u64 %rd11, %rd2, %rd10;
+    st.global.f32 [%rd11], %f1;
+DONE:
+    ret;
+}
+
+// Same contract as blas' bgemm_strided, shipped in this "PTX file" too —
+// cuDNN really does duplicate symbols across its embedded modules, which is
+// the Section III-A scenario our per-module loader exists for.
+.visible .entry winograd_bgemm(
+    .param .u64 Aptr, .param .u64 Bptr, .param .u64 Cptr,
+    .param .u32 M, .param .u32 N, .param .u32 K,
+    .param .u32 as_b, .param .u32 as_m, .param .u32 as_k,
+    .param .u32 bs_b, .param .u32 bs_k, .param .u32 bs_n,
+    .param .u32 cs_b, .param .u32 cs_m, .param .u32 cs_n,
+    .param .f32 beta
+)
+{
+    .reg .u64 %rd<12>;
+    .reg .u32 %r<24>;
+    .reg .f32 %f<8>;
+    .reg .pred %p<4>;
+
+    ld.param.u64 %rd1, [Aptr];
+    ld.param.u64 %rd2, [Bptr];
+    ld.param.u64 %rd3, [Cptr];
+    ld.param.u32 %r1, [M];
+    ld.param.u32 %r2, [N];
+    ld.param.u32 %r3, [K];
+
+    mov.u32 %r4, %ctaid.x;
+    mov.u32 %r5, %ntid.x;
+    mov.u32 %r6, %tid.x;
+    mad.lo.u32 %r7, %r4, %r5, %r6;
+    mov.u32 %r8, %ctaid.y;
+    mov.u32 %r9, %ctaid.z;
+    setp.ge.u32 %p1, %r7, %r2;
+    @%p1 bra DONE;
+    setp.ge.u32 %p1, %r8, %r1;
+    @%p1 bra DONE;
+
+    ld.param.u32 %r10, [as_b];
+    ld.param.u32 %r11, [as_m];
+    ld.param.u32 %r12, [as_k];
+    mul.lo.u32 %r13, %r9, %r10;
+    mad.lo.u32 %r13, %r8, %r11, %r13;
+
+    ld.param.u32 %r10, [bs_b];
+    ld.param.u32 %r14, [bs_k];
+    ld.param.u32 %r15, [bs_n];
+    mul.lo.u32 %r16, %r9, %r10;
+    mad.lo.u32 %r16, %r7, %r15, %r16;
+
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r17, 0;
+KLOOP:
+    setp.ge.u32 %p2, %r17, %r3;
+    @%p2 bra KDONE;
+    mad.lo.u32 %r18, %r17, %r12, %r13;
+    mul.wide.u32 %rd4, %r18, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f2, [%rd5];
+    mad.lo.u32 %r19, %r17, %r14, %r16;
+    mul.wide.u32 %rd6, %r19, 4;
+    add.u64 %rd7, %rd2, %rd6;
+    ld.global.f32 %f3, [%rd7];
+    fma.rn.f32 %f1, %f2, %f3, %f1;
+    add.u32 %r17, %r17, 1;
+    bra KLOOP;
+KDONE:
+    ld.param.u32 %r10, [cs_b];
+    ld.param.u32 %r20, [cs_m];
+    ld.param.u32 %r21, [cs_n];
+    mul.lo.u32 %r22, %r9, %r10;
+    mad.lo.u32 %r22, %r8, %r20, %r22;
+    mad.lo.u32 %r22, %r7, %r21, %r22;
+    mul.wide.u32 %rd8, %r22, 4;
+    add.u64 %rd9, %rd3, %rd8;
+    ld.param.f32 %f4, [beta];
+    ld.global.f32 %f5, [%rd9];
+    mul.f32 %f6, %f5, %f4;
+    add.f32 %f6, %f6, %f1;
+    st.global.f32 [%rd9], %f6;
+DONE:
+    ret;
+}
+
+// Fused Winograd: one thread per (n, k, tile). Accumulates the transform-
+// domain product over channels in per-thread .local scratch, then applies
+// the output transform — the single-kernel WINOGRAD algorithm.
+.visible .entry winograd_fused(
+    .param .u64 X, .param .u64 Wf, .param .u64 Y,
+    .param .u64 BT, .param .u64 G, .param .u64 AT,
+    .param .u32 C, .param .u32 H, .param .u32 Wd,
+    .param .u32 K, .param .u32 OH, .param .u32 OW,
+    .param .u32 tilesY, .param .u32 tilesX,
+    .param .u32 m, .param .u32 t, .param .u32 r, .param .u32 pad,
+    .param .u32 total
+)
+{
+    .reg .u64 %rd<16>;
+    .reg .u32 %r<40>;
+    .reg .s32 %s<10>;
+    .reg .f32 %f<12>;
+    .reg .pred %p<10>;
+    .local .align 4 .b8 accbuf[144];     // t*t <= 36 floats
+
+    ld.param.u64 %rd1, [X];
+    ld.param.u64 %rd2, [Wf];
+    ld.param.u64 %rd4, [BT];
+    ld.param.u64 %rd5, [G];
+    ld.param.u32 %r1, [C];
+    ld.param.u32 %r2, [H];
+    ld.param.u32 %r3, [Wd];
+    ld.param.u32 %r4, [K];
+    ld.param.u32 %r7, [tilesY];
+    ld.param.u32 %r8, [tilesX];
+    ld.param.u32 %r9, [m];
+    ld.param.u32 %r10, [t];
+    ld.param.u32 %r11, [r];
+    ld.param.u32 %r12, [pad];
+    ld.param.u32 %r13, [total];
+
+    mov.u32 %r14, %ctaid.x;
+    mov.u32 %r15, %ntid.x;
+    mov.u32 %r16, %tid.x;
+    mad.lo.u32 %r17, %r14, %r15, %r16;   // flat = (n*K + k)*TILES + tile
+    setp.ge.u32 %p1, %r17, %r13;
+    @%p1 bra DONE;
+    mul.lo.u32 %r18, %r7, %r8;           // TILES
+    rem.u32 %r19, %r17, %r18;            // tile
+    div.u32 %r20, %r17, %r18;
+    rem.u32 %r21, %r20, %r4;             // k
+    div.u32 %r22, %r20, %r4;             // n
+    rem.u32 %r23, %r19, %r8;             // tx
+    div.u32 %r24, %r19, %r8;             // ty
+
+    mul.lo.u32 %r25, %r24, %r9;
+    cvt.s32.u32 %s1, %r25;
+    cvt.s32.u32 %s2, %r12;
+    sub.s32 %s1, %s1, %s2;               // oy0
+    mul.lo.u32 %r25, %r23, %r9;
+    cvt.s32.u32 %s3, %r25;
+    sub.s32 %s3, %s3, %s2;               // ox0
+
+    mul.lo.u32 %r26, %r10, %r10;         // tt
+    // zero the accumulator
+    mov.u64 %rd6, accbuf;
+    mov.u32 %r27, 0;
+ZERO:
+    setp.ge.u32 %p2, %r27, %r26;
+    @%p2 bra ZEROD;
+    mul.wide.u32 %rd7, %r27, 4;
+    add.u64 %rd8, %rd6, %rd7;
+    mov.f32 %f1, 0f00000000;
+    st.local.f32 [%rd8], %f1;
+    add.u32 %r27, %r27, 1;
+    bra ZERO;
+ZEROD:
+
+    mov.u32 %r28, 0;                     // c
+CLOOP:
+    setp.ge.u32 %p2, %r28, %r1;
+    @%p2 bra CDONE;
+    // per (i,j) bin: D = sum_ab BT[i,a]BT[j,b] x ; U = sum_pq G[i,p]G[j,q] w
+    mov.u32 %r29, 0;                     // bin = i*t + j
+BINLOOP:
+    setp.ge.u32 %p3, %r29, %r26;
+    @%p3 bra BINDONE;
+    div.u32 %r30, %r29, %r10;            // i
+    rem.u32 %r31, %r29, %r10;            // j
+
+    // ---- D ----
+    mov.f32 %f2, 0f00000000;
+    mov.u32 %r32, 0;                     // a
+DA:
+    setp.ge.u32 %p4, %r32, %r10;
+    @%p4 bra DAD;
+    cvt.s32.u32 %s4, %r32;
+    add.s32 %s5, %s1, %s4;               // y
+    mov.u32 %r33, 0;                     // b
+DB:
+    setp.ge.u32 %p5, %r33, %r10;
+    @%p5 bra DBD;
+    cvt.s32.u32 %s6, %r33;
+    add.s32 %s7, %s3, %s6;               // x
+    mov.f32 %f3, 0f00000000;
+    setp.lt.s32 %p6, %s5, 0;
+    @%p6 bra DHAVE;
+    cvt.s32.u32 %s8, %r2;
+    setp.ge.s32 %p6, %s5, %s8;
+    @%p6 bra DHAVE;
+    setp.lt.s32 %p6, %s7, 0;
+    @%p6 bra DHAVE;
+    cvt.s32.u32 %s8, %r3;
+    setp.ge.s32 %p6, %s7, %s8;
+    @%p6 bra DHAVE;
+    mad.lo.u32 %r34, %r22, %r1, %r28;    // n*C + c
+    cvt.u32.s32 %r35, %s5;
+    mad.lo.u32 %r34, %r34, %r2, %r35;
+    cvt.u32.s32 %r35, %s7;
+    mad.lo.u32 %r34, %r34, %r3, %r35;
+    mul.wide.u32 %rd7, %r34, 4;
+    add.u64 %rd8, %rd1, %rd7;
+    ld.global.f32 %f3, [%rd8];
+DHAVE:
+    mad.lo.u32 %r34, %r30, %r10, %r32;   // BT[i*t+a]
+    mul.wide.u32 %rd7, %r34, 4;
+    add.u64 %rd8, %rd4, %rd7;
+    ld.global.f32 %f4, [%rd8];
+    mad.lo.u32 %r34, %r31, %r10, %r33;   // BT[j*t+b]
+    mul.wide.u32 %rd7, %r34, 4;
+    add.u64 %rd8, %rd4, %rd7;
+    ld.global.f32 %f5, [%rd8];
+    mul.f32 %f6, %f4, %f5;
+    fma.rn.f32 %f2, %f6, %f3, %f2;
+    add.u32 %r33, %r33, 1;
+    bra DB;
+DBD:
+    add.u32 %r32, %r32, 1;
+    bra DA;
+DAD:
+
+    // ---- U ----
+    mov.f32 %f7, 0f00000000;
+    mov.u32 %r32, 0;                     // p
+UP:
+    setp.ge.u32 %p4, %r32, %r11;
+    @%p4 bra UPD;
+    mov.u32 %r33, 0;                     // q
+UQ:
+    setp.ge.u32 %p5, %r33, %r11;
+    @%p5 bra UQD;
+    mad.lo.u32 %r34, %r21, %r1, %r28;    // k*C + c
+    mul.lo.u32 %r35, %r11, %r11;
+    mul.lo.u32 %r34, %r34, %r35;
+    mad.lo.u32 %r36, %r32, %r11, %r33;
+    add.u32 %r34, %r34, %r36;
+    mul.wide.u32 %rd7, %r34, 4;
+    add.u64 %rd8, %rd2, %rd7;
+    ld.global.f32 %f8, [%rd8];
+    mad.lo.u32 %r34, %r30, %r11, %r32;   // G[i*r+p]
+    mul.wide.u32 %rd7, %r34, 4;
+    add.u64 %rd8, %rd5, %rd7;
+    ld.global.f32 %f9, [%rd8];
+    mad.lo.u32 %r34, %r31, %r11, %r33;   // G[j*r+q]
+    mul.wide.u32 %rd7, %r34, 4;
+    add.u64 %rd8, %rd5, %rd7;
+    ld.global.f32 %f10, [%rd8];
+    mul.f32 %f11, %f9, %f10;
+    fma.rn.f32 %f7, %f11, %f8, %f7;
+    add.u32 %r33, %r33, 1;
+    bra UQ;
+UQD:
+    add.u32 %r32, %r32, 1;
+    bra UP;
+UPD:
+
+    // acc[bin] += D * U
+    mul.wide.u32 %rd7, %r29, 4;
+    add.u64 %rd8, %rd6, %rd7;
+    ld.local.f32 %f1, [%rd8];
+    fma.rn.f32 %f1, %f2, %f7, %f1;
+    st.local.f32 [%rd8], %f1;
+    add.u32 %r29, %r29, 1;
+    bra BINLOOP;
+BINDONE:
+    add.u32 %r28, %r28, 1;
+    bra CLOOP;
+CDONE:
+
+    // Output transform: y[oy][ox] = sum_ij AT[oy*t+i] AT[ox*t+j] acc[ij]
+    ld.param.u64 %rd3, [Y];
+    ld.param.u64 %rd9, [AT];
+    ld.param.u32 %r5, [OH];
+    ld.param.u32 %r6, [OW];
+    mov.u32 %r36, 0;                     // oy
+OYL:
+    setp.ge.u32 %p2, %r36, %r9;
+    @%p2 bra DONE;
+    mad.lo.u32 %r37, %r24, %r9, %r36;    // gy
+    setp.ge.u32 %p3, %r37, %r5;
+    @%p3 bra OYN;
+    mov.u32 %r38, 0;                     // ox
+OXL:
+    setp.ge.u32 %p4, %r38, %r9;
+    @%p4 bra OXD;
+    mad.lo.u32 %r39, %r23, %r9, %r38;    // gx
+    setp.ge.u32 %p5, %r39, %r6;
+    @%p5 bra OXN;
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r29, 0;                     // i
+FI:
+    setp.ge.u32 %p6, %r29, %r10;
+    @%p6 bra FID;
+    mad.lo.u32 %r34, %r36, %r10, %r29;
+    mul.wide.u32 %rd7, %r34, 4;
+    add.u64 %rd8, %rd9, %rd7;
+    ld.global.f32 %f2, [%rd8];
+    mov.u32 %r30, 0;                     // j
+FJ:
+    setp.ge.u32 %p7, %r30, %r10;
+    @%p7 bra FJD;
+    mad.lo.u32 %r34, %r38, %r10, %r30;
+    mul.wide.u32 %rd7, %r34, 4;
+    add.u64 %rd8, %rd9, %rd7;
+    ld.global.f32 %f3, [%rd8];
+    mad.lo.u32 %r34, %r29, %r10, %r30;
+    mul.wide.u32 %rd7, %r34, 4;
+    add.u64 %rd8, %rd6, %rd7;
+    ld.local.f32 %f4, [%rd8];
+    mul.f32 %f5, %f2, %f3;
+    fma.rn.f32 %f1, %f5, %f4, %f1;
+    add.u32 %r30, %r30, 1;
+    bra FJ;
+FJD:
+    add.u32 %r29, %r29, 1;
+    bra FI;
+FID:
+    mad.lo.u32 %r34, %r22, %r4, %r21;    // n*K + k
+    mad.lo.u32 %r34, %r34, %r5, %r37;
+    mad.lo.u32 %r34, %r34, %r6, %r39;
+    mul.wide.u32 %rd7, %r34, 4;
+    add.u64 %rd10, %rd3, %rd7;
+    st.global.f32 [%rd10], %f1;
+OXN:
+    add.u32 %r38, %r38, 1;
+    bra OXL;
+OXD:
+OYN:
+    add.u32 %r36, %r36, 1;
+    bra OYL;
+DONE:
+    ret;
+}
+)PTX";
+
+} // namespace mlgs::cudnn

@@ -1,0 +1,233 @@
+#include "cudnn/reference.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlgs::cudnn::ref
+{
+
+std::vector<float>
+convForward(const ConvShape &cs, const std::vector<float> &x,
+            const std::vector<float> &w)
+{
+    std::vector<float> y(cs.yCount(), 0.0f);
+    const int oh = cs.oh(), ow = cs.ow();
+    for (int n = 0; n < cs.n; n++)
+        for (int k = 0; k < cs.k; k++)
+            for (int oy = 0; oy < oh; oy++)
+                for (int ox = 0; ox < ow; ox++) {
+                    double acc = 0;
+                    for (int c = 0; c < cs.c; c++)
+                        for (int r = 0; r < cs.r; r++)
+                            for (int s = 0; s < cs.s; s++) {
+                                const int iy = oy * cs.stride - cs.pad + r;
+                                const int ix = ox * cs.stride - cs.pad + s;
+                                if (iy < 0 || iy >= cs.h || ix < 0 ||
+                                    ix >= cs.w)
+                                    continue;
+                                acc += double(x[((size_t(n) * cs.c + c) *
+                                                     cs.h + iy) * cs.w + ix]) *
+                                       w[((size_t(k) * cs.c + c) * cs.r + r) *
+                                             cs.s + s];
+                            }
+                    y[((size_t(n) * cs.k + k) * oh + oy) * ow + ox] =
+                        float(acc);
+                }
+    return y;
+}
+
+std::vector<float>
+convBackwardData(const ConvShape &cs, const std::vector<float> &dy,
+                 const std::vector<float> &w)
+{
+    std::vector<float> dx(cs.xCount(), 0.0f);
+    const int oh = cs.oh(), ow = cs.ow();
+    for (int n = 0; n < cs.n; n++)
+        for (int k = 0; k < cs.k; k++)
+            for (int oy = 0; oy < oh; oy++)
+                for (int ox = 0; ox < ow; ox++) {
+                    const float g =
+                        dy[((size_t(n) * cs.k + k) * oh + oy) * ow + ox];
+                    for (int c = 0; c < cs.c; c++)
+                        for (int r = 0; r < cs.r; r++)
+                            for (int s = 0; s < cs.s; s++) {
+                                const int iy = oy * cs.stride - cs.pad + r;
+                                const int ix = ox * cs.stride - cs.pad + s;
+                                if (iy < 0 || iy >= cs.h || ix < 0 ||
+                                    ix >= cs.w)
+                                    continue;
+                                dx[((size_t(n) * cs.c + c) * cs.h + iy) *
+                                       cs.w + ix] +=
+                                    g * w[((size_t(k) * cs.c + c) * cs.r + r) *
+                                              cs.s + s];
+                            }
+                }
+    return dx;
+}
+
+std::vector<float>
+convBackwardFilter(const ConvShape &cs, const std::vector<float> &x,
+                   const std::vector<float> &dy)
+{
+    std::vector<float> dw(cs.wCount(), 0.0f);
+    const int oh = cs.oh(), ow = cs.ow();
+    for (int n = 0; n < cs.n; n++)
+        for (int k = 0; k < cs.k; k++)
+            for (int oy = 0; oy < oh; oy++)
+                for (int ox = 0; ox < ow; ox++) {
+                    const float g =
+                        dy[((size_t(n) * cs.k + k) * oh + oy) * ow + ox];
+                    for (int c = 0; c < cs.c; c++)
+                        for (int r = 0; r < cs.r; r++)
+                            for (int s = 0; s < cs.s; s++) {
+                                const int iy = oy * cs.stride - cs.pad + r;
+                                const int ix = ox * cs.stride - cs.pad + s;
+                                if (iy < 0 || iy >= cs.h || ix < 0 ||
+                                    ix >= cs.w)
+                                    continue;
+                                dw[((size_t(k) * cs.c + c) * cs.r + r) * cs.s +
+                                   s] +=
+                                    g * x[((size_t(n) * cs.c + c) * cs.h +
+                                           iy) * cs.w + ix];
+                            }
+                }
+    return dw;
+}
+
+void
+maxPoolForward(int nc, int h, int w, int win, const std::vector<float> &x,
+               std::vector<float> &y, std::vector<uint32_t> &mask)
+{
+    const int oh = h / win, ow = w / win;
+    y.assign(size_t(nc) * oh * ow, 0.0f);
+    mask.assign(y.size(), 0);
+    for (int i = 0; i < nc; i++)
+        for (int oy = 0; oy < oh; oy++)
+            for (int ox = 0; ox < ow; ox++) {
+                float best = -3.4e38f;
+                uint32_t arg = 0;
+                for (int dy = 0; dy < win; dy++)
+                    for (int dx = 0; dx < win; dx++) {
+                        const int iy = oy * win + dy, ix = ox * win + dx;
+                        const size_t idx = (size_t(i) * h + iy) * w + ix;
+                        if (x[idx] > best) {
+                            best = x[idx];
+                            arg = uint32_t(idx);
+                        }
+                    }
+                const size_t oidx = (size_t(i) * oh + oy) * ow + ox;
+                y[oidx] = best;
+                mask[oidx] = arg;
+            }
+}
+
+std::vector<float>
+maxPoolBackward(int nc, int h, int w, int win, const std::vector<float> &dy,
+                const std::vector<uint32_t> &mask)
+{
+    std::vector<float> dx(size_t(nc) * h * w, 0.0f);
+    (void)win;
+    for (size_t i = 0; i < dy.size(); i++)
+        dx[mask[i]] += dy[i];
+    return dx;
+}
+
+void
+lrnForward(int n, int c, int hw, int win, float alpha, float beta, float k,
+           const std::vector<float> &x, std::vector<float> &y,
+           std::vector<float> &scale)
+{
+    y.assign(x.size(), 0.0f);
+    scale.assign(x.size(), 0.0f);
+    const float an = alpha / float(win);
+    for (int img = 0; img < n; img++)
+        for (int ch = 0; ch < c; ch++)
+            for (int pos = 0; pos < hw; pos++) {
+                const int lo = std::max(0, ch - win / 2);
+                const int hi = std::min(c - 1, ch + win / 2);
+                double ss = 0;
+                for (int j = lo; j <= hi; j++) {
+                    const float v = x[(size_t(img) * c + j) * hw + pos];
+                    ss += double(v) * v;
+                }
+                const size_t idx = (size_t(img) * c + ch) * hw + pos;
+                const float sc = k + an * float(ss);
+                scale[idx] = sc;
+                y[idx] = x[idx] * std::pow(sc, -beta);
+            }
+}
+
+std::vector<float>
+lrnBackward(int n, int c, int hw, int win, float alpha, float beta,
+            const std::vector<float> &x, const std::vector<float> &y,
+            const std::vector<float> &scale, const std::vector<float> &dy)
+{
+    std::vector<float> dx(x.size(), 0.0f);
+    const float an = alpha / float(win);
+    for (int img = 0; img < n; img++)
+        for (int ch = 0; ch < c; ch++)
+            for (int pos = 0; pos < hw; pos++) {
+                const int lo = std::max(0, ch - win / 2);
+                const int hi = std::min(c - 1, ch + win / 2);
+                double acc = 0;
+                for (int j = lo; j <= hi; j++) {
+                    const size_t jdx = (size_t(img) * c + j) * hw + pos;
+                    acc += double(dy[jdx]) * y[jdx] / scale[jdx];
+                }
+                const size_t idx = (size_t(img) * c + ch) * hw + pos;
+                dx[idx] = dy[idx] * std::pow(scale[idx], -beta) -
+                          2.0f * an * beta * x[idx] * float(acc);
+            }
+    return dx;
+}
+
+std::vector<float>
+softmaxForward(int rows, int cols, const std::vector<float> &x)
+{
+    std::vector<float> y(x.size());
+    for (int r = 0; r < rows; r++) {
+        float mx = -3.4e38f;
+        for (int c = 0; c < cols; c++)
+            mx = std::max(mx, x[size_t(r) * cols + c]);
+        double sum = 0;
+        for (int c = 0; c < cols; c++) {
+            const float e = std::exp(x[size_t(r) * cols + c] - mx);
+            y[size_t(r) * cols + c] = e;
+            sum += e;
+        }
+        for (int c = 0; c < cols; c++)
+            y[size_t(r) * cols + c] = float(y[size_t(r) * cols + c] / sum);
+    }
+    return y;
+}
+
+std::vector<float>
+activationForward(int mode, const std::vector<float> &x)
+{
+    std::vector<float> y(x.size());
+    for (size_t i = 0; i < x.size(); i++) {
+        switch (mode) {
+          case 0: y[i] = std::max(0.0f, x[i]); break;
+          case 1: y[i] = 1.0f / (1.0f + std::exp(-x[i])); break;
+          default: y[i] = std::tanh(x[i]); break;
+        }
+    }
+    return y;
+}
+
+std::vector<float>
+activationBackward(int mode, const std::vector<float> &y,
+                   const std::vector<float> &dy)
+{
+    std::vector<float> dx(y.size());
+    for (size_t i = 0; i < y.size(); i++) {
+        switch (mode) {
+          case 0: dx[i] = y[i] > 0 ? dy[i] : 0.0f; break;
+          case 1: dx[i] = dy[i] * y[i] * (1.0f - y[i]); break;
+          default: dx[i] = dy[i] * (1.0f - y[i] * y[i]); break;
+        }
+    }
+    return dx;
+}
+
+} // namespace mlgs::cudnn::ref

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CPU golden reference for every cudnn-lite operation (NCHW float). Used by
+ * tests and by the debug tool's "hardware" comparisons.
+ */
+#ifndef MLGS_CUDNN_REFERENCE_H
+#define MLGS_CUDNN_REFERENCE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mlgs::cudnn::ref
+{
+
+/** Convolution (correlation) shape description. */
+struct ConvShape
+{
+    int n = 1, c = 1, h = 1, w = 1;  ///< input
+    int k = 1, r = 1, s = 1;         ///< filter
+    int pad = 0, stride = 1;
+
+    int oh() const { return (h + 2 * pad - r) / stride + 1; }
+    int ow() const { return (w + 2 * pad - s) / stride + 1; }
+    size_t xCount() const { return size_t(n) * c * h * w; }
+    size_t wCount() const { return size_t(k) * c * r * s; }
+    size_t yCount() const { return size_t(n) * k * oh() * ow(); }
+};
+
+std::vector<float> convForward(const ConvShape &cs, const std::vector<float> &x,
+                               const std::vector<float> &w);
+std::vector<float> convBackwardData(const ConvShape &cs,
+                                    const std::vector<float> &dy,
+                                    const std::vector<float> &w);
+std::vector<float> convBackwardFilter(const ConvShape &cs,
+                                      const std::vector<float> &x,
+                                      const std::vector<float> &dy);
+
+/** Max pooling (window = stride), returns outputs and argmax indices. */
+void maxPoolForward(int nc, int h, int w, int win, const std::vector<float> &x,
+                    std::vector<float> &y, std::vector<uint32_t> &mask);
+std::vector<float> maxPoolBackward(int nc, int h, int w, int win,
+                                   const std::vector<float> &dy,
+                                   const std::vector<uint32_t> &mask);
+
+/** Cross-channel LRN. */
+void lrnForward(int n, int c, int hw, int win, float alpha, float beta,
+                float k, const std::vector<float> &x, std::vector<float> &y,
+                std::vector<float> &scale);
+std::vector<float> lrnBackward(int n, int c, int hw, int win, float alpha,
+                               float beta, const std::vector<float> &x,
+                               const std::vector<float> &y,
+                               const std::vector<float> &scale,
+                               const std::vector<float> &dy);
+
+std::vector<float> softmaxForward(int rows, int cols,
+                                  const std::vector<float> &x);
+
+/** mode 0 = relu, 1 = sigmoid, 2 = tanh. */
+std::vector<float> activationForward(int mode, const std::vector<float> &x);
+std::vector<float> activationBackward(int mode, const std::vector<float> &y,
+                                      const std::vector<float> &dy);
+
+} // namespace mlgs::cudnn::ref
+
+#endif // MLGS_CUDNN_REFERENCE_H

@@ -1,0 +1,114 @@
+#include "cudnn/winograd_tx.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace mlgs::cudnn
+{
+
+namespace
+{
+
+/** Invert a small dense matrix with partial pivoting (doubles). */
+std::vector<double>
+invert(std::vector<double> a, unsigned n)
+{
+    std::vector<double> inv(size_t(n) * n, 0.0);
+    for (unsigned i = 0; i < n; i++)
+        inv[size_t(i) * n + i] = 1.0;
+    for (unsigned col = 0; col < n; col++) {
+        unsigned piv = col;
+        for (unsigned row = col + 1; row < n; row++)
+            if (std::fabs(a[size_t(row) * n + col]) >
+                std::fabs(a[size_t(piv) * n + col]))
+                piv = row;
+        MLGS_REQUIRE(std::fabs(a[size_t(piv) * n + col]) > 1e-12,
+                     "singular evaluation matrix in Winograd construction");
+        if (piv != col)
+            for (unsigned j = 0; j < n; j++) {
+                std::swap(a[size_t(piv) * n + j], a[size_t(col) * n + j]);
+                std::swap(inv[size_t(piv) * n + j], inv[size_t(col) * n + j]);
+            }
+        const double d = a[size_t(col) * n + col];
+        for (unsigned j = 0; j < n; j++) {
+            a[size_t(col) * n + j] /= d;
+            inv[size_t(col) * n + j] /= d;
+        }
+        for (unsigned row = 0; row < n; row++) {
+            if (row == col)
+                continue;
+            const double f = a[size_t(row) * n + col];
+            if (f == 0.0)
+                continue;
+            for (unsigned j = 0; j < n; j++) {
+                a[size_t(row) * n + j] -= f * a[size_t(col) * n + j];
+                inv[size_t(row) * n + j] -= f * inv[size_t(col) * n + j];
+            }
+        }
+    }
+    return inv;
+}
+
+} // namespace
+
+WinogradTx
+makeWinogradTx(unsigned m, unsigned r)
+{
+    const unsigned t = m + r - 1;
+    MLGS_REQUIRE(t >= 2 && t <= 6, "unsupported Winograd tile F(", m, ",", r,
+                 ")");
+    static const double kPoints[] = {0.0, 1.0, -1.0, 2.0, -2.0};
+    // t-1 finite points + the point at infinity.
+    const unsigned nf = t - 1;
+
+    // Evaluation matrix M (t x t): coefficients -> values at points
+    // (last row: the degree-(t-1) coefficient, i.e. the infinity point).
+    std::vector<double> eval(size_t(t) * t, 0.0);
+    for (unsigned i = 0; i < nf; i++) {
+        double p = 1.0;
+        for (unsigned j = 0; j < t; j++) {
+            eval[size_t(i) * t + j] = p;
+            p *= kPoints[i];
+        }
+    }
+    eval[size_t(nf) * t + (t - 1)] = 1.0;
+
+    // Interpolation matrix L = M^{-1}; the transposed full-convolution
+    // algorithm gives B^T = L^T.
+    const std::vector<double> interp = invert(eval, t);
+
+    WinogradTx tx;
+    tx.m = m;
+    tx.r = r;
+    tx.t = t;
+    tx.bt.assign(size_t(t) * t, 0.0f);
+    for (unsigned i = 0; i < t; i++)
+        for (unsigned j = 0; j < t; j++)
+            tx.bt[size_t(i) * t + j] = float(interp[size_t(j) * t + i]);
+
+    // G (t x r): evaluate the filter polynomial at the points.
+    tx.g.assign(size_t(t) * r, 0.0f);
+    for (unsigned i = 0; i < nf; i++) {
+        double p = 1.0;
+        for (unsigned j = 0; j < r; j++) {
+            tx.g[size_t(i) * r + j] = float(p);
+            p *= kPoints[i];
+        }
+    }
+    tx.g[size_t(nf) * r + (r - 1)] = 1.0f;
+
+    // A^T (m x t): evaluate the data polynomial, transposed.
+    tx.at.assign(size_t(m) * t, 0.0f);
+    for (unsigned i = 0; i < nf; i++) {
+        double p = 1.0;
+        for (unsigned j = 0; j < m; j++) {
+            tx.at[size_t(j) * t + i] = float(p);
+            p *= kPoints[i];
+        }
+    }
+    tx.at[size_t(m - 1) * t + (t - 1)] = 1.0f;
+    return tx;
+}
+
+} // namespace mlgs::cudnn

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cook-Toom construction of Winograd convolution transforms F(m, r):
+ * matrices A^T (m x t), G (t x r), B^T (t x t) with t = m + r - 1 such that
+ * for the correlation Y[i] = sum_j d[i+j] g[j]:
+ *     Y = A^T [ (G g) 	⊙ (B^T d) ].
+ * The 2D transforms used by the kernels are the Kronecker form
+ * (B^T d B etc.), applied elementwise by the PTX.
+ */
+#ifndef MLGS_CUDNN_WINOGRAD_TX_H
+#define MLGS_CUDNN_WINOGRAD_TX_H
+
+#include <vector>
+
+namespace mlgs::cudnn
+{
+
+/** Transform matrices, row-major float. */
+struct WinogradTx
+{
+    unsigned m = 0; ///< outputs per tile side
+    unsigned r = 0; ///< filter side
+    unsigned t = 0; ///< tile side = m + r - 1
+
+    std::vector<float> at; ///< m x t
+    std::vector<float> g;  ///< t x r
+    std::vector<float> bt; ///< t x t
+};
+
+/**
+ * Build transforms for F(m, r). Supported up to t = 6 (i.e. F(2,3), F(4,3),
+ * F(2,5)) with interpolation points {0, 1, -1, 2, -2} + infinity.
+ */
+WinogradTx makeWinogradTx(unsigned m, unsigned r);
+
+} // namespace mlgs::cudnn
+
+#endif // MLGS_CUDNN_WINOGRAD_TX_H

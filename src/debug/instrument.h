@@ -1,0 +1,51 @@
+/**
+ * @file
+ * PTX instrumentation pass (the paper's LLVM-based store-injection tool,
+ * Fig 3, re-implemented over our IR): after every instruction that writes a
+ * register, inject stores of the written value into a global log buffer so
+ * two executions can be compared write-by-write.
+ */
+#ifndef MLGS_DEBUG_INSTRUMENT_H
+#define MLGS_DEBUG_INSTRUMENT_H
+
+#include "ptx/ir.h"
+
+namespace mlgs::debug
+{
+
+/** Log layout constants. */
+constexpr unsigned kLogHeaderBytes = 16; ///< [0]=record counter (u64), pad
+constexpr unsigned kLogRecordBytes = 16; ///< {u64 tag, u64 value}
+
+/** tag = (pc << 16) | reg_id of the original instruction. */
+inline uint64_t
+makeTag(uint32_t pc, int reg)
+{
+    return (uint64_t(pc) << 16) | uint64_t(uint16_t(reg));
+}
+
+inline uint32_t
+tagPc(uint64_t tag)
+{
+    return uint32_t(tag >> 16);
+}
+
+inline int
+tagReg(uint64_t tag)
+{
+    return int(tag & 0xffffu);
+}
+
+/**
+ * Produce an instrumented copy of the kernel. The copy has one extra .param
+ * (named `__log`, u64) holding the log-buffer device address; every
+ * register-writing instruction is followed by an atomic slot allocation and
+ * stores of (tag, value). Predicate-typed destinations are skipped (their
+ * effects surface through later control flow). Branch targets and
+ * reconvergence analysis are rebuilt.
+ */
+ptx::KernelDef instrumentKernel(const ptx::KernelDef &in);
+
+} // namespace mlgs::debug
+
+#endif // MLGS_DEBUG_INSTRUMENT_H

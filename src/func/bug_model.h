@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Switchable reproductions of the functional-simulation bugs the paper found
+ * and fixed (Section III-D). All default to off, i.e. correct semantics; the
+ * debug-tool tests and demos inject them to exercise the localization flow.
+ */
+#ifndef MLGS_FUNC_BUG_MODEL_H
+#define MLGS_FUNC_BUG_MODEL_H
+
+namespace mlgs::func
+{
+
+/** Injectable legacy-bug switches for the functional model. */
+struct BugModel
+{
+    /**
+     * Execute every rem as `u64 % u64` regardless of the type specifier —
+     * the original GPGPU-Sim rem_impl the paper fixed. Wrong for signed
+     * operands and for 32-bit registers whose upper halves hold stale bits.
+     */
+    bool legacy_rem = false;
+
+    /**
+     * Bit-field extract without sign handling — the bfe bug found by
+     * differential coverage analysis.
+     */
+    bool legacy_bfe = false;
+
+    /**
+     * Compute fma.f32 as round(a*b)+c (two roundings) instead of a fused
+     * single-rounding operation. Models the FP16 mul+add-vs-FMA contraction
+     * mismatch between simulator and hardware (Section III-D1).
+     */
+    bool split_fma = false;
+
+    bool anyEnabled() const { return legacy_rem || legacy_bfe || split_fma; }
+};
+
+} // namespace mlgs::func
+
+#endif // MLGS_FUNC_BUG_MODEL_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Execution-coverage map over instruction handler variants, supporting the
+ * "differential coverage analysis" debugging technique from Section III-D:
+ * comparing which opcode/type variants two workloads exercise localizes
+ * functional-simulator code paths only reached by the failing workload.
+ */
+#ifndef MLGS_FUNC_COVERAGE_H
+#define MLGS_FUNC_COVERAGE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mlgs::func
+{
+
+/** Counts executed instruction variants, keyed by full mnemonic text. */
+class CoverageMap
+{
+  public:
+    void hit(const std::string &variant) { counts_[variant]++; }
+
+    const std::map<std::string, uint64_t> &counts() const { return counts_; }
+
+    /** Variants present in this map but absent from base. */
+    std::vector<std::string>
+    diff(const CoverageMap &base) const
+    {
+        std::vector<std::string> only;
+        for (const auto &[k, v] : counts_)
+            if (v > 0 && !base.counts_.count(k))
+                only.push_back(k);
+        return only;
+    }
+
+    void clear() { counts_.clear(); }
+
+  private:
+    std::map<std::string, uint64_t> counts_;
+};
+
+} // namespace mlgs::func
+
+#endif // MLGS_FUNC_COVERAGE_H

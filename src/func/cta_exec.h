@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Functional state of one in-flight CTA: per-thread registers and local
+ * memory, per-warp SIMT stacks and barrier status, and the CTA's shared
+ * memory segment. This is exactly the "Data1" set the paper checkpoints.
+ */
+#ifndef MLGS_FUNC_CTA_EXEC_H
+#define MLGS_FUNC_CTA_EXEC_H
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "func/simt_stack.h"
+#include "ptx/ir.h"
+
+namespace mlgs::func
+{
+
+/** Per-thread architectural state. */
+struct ThreadState
+{
+    std::vector<ptx::RegVal> regs;
+    std::vector<uint8_t> local; ///< .local scratch
+};
+
+/** Functional state of one CTA. */
+class CtaExec
+{
+  public:
+    CtaExec(const ptx::KernelDef &kernel, const Dim3 &grid_dim,
+            const Dim3 &block_dim, const Dim3 &cta_id);
+
+    const ptx::KernelDef &kernel() const { return *kernel_; }
+    const Dim3 &gridDim() const { return grid_dim_; }
+    const Dim3 &blockDim() const { return block_dim_; }
+    const Dim3 &ctaId() const { return cta_id_; }
+
+    unsigned numThreads() const { return num_threads_; }
+    unsigned numWarps() const { return num_warps_; }
+
+    ThreadState &thread(unsigned tid) { return threads_[tid]; }
+    const ThreadState &thread(unsigned tid) const { return threads_[tid]; }
+
+    SimtStack &stack(unsigned warp) { return stacks_[warp]; }
+    const SimtStack &stack(unsigned warp) const { return stacks_[warp]; }
+
+    std::vector<uint8_t> &shared() { return shared_; }
+    const std::vector<uint8_t> &shared() const { return shared_; }
+
+    /** 3D thread index of a linear thread id. */
+    Dim3 threadIdx3(unsigned tid) const { return unflatten(tid, block_dim_); }
+
+    bool warpDone(unsigned warp) const { return stacks_[warp].empty(); }
+
+    bool
+    allDone() const
+    {
+        for (unsigned w = 0; w < num_warps_; w++)
+            if (!warpDone(w))
+                return false;
+        return true;
+    }
+
+    // ---- barrier bookkeeping ----
+
+    bool warpAtBarrier(unsigned warp) const { return at_barrier_[warp]; }
+    void setWarpAtBarrier(unsigned warp) { at_barrier_[warp] = true; }
+
+    /** True when every unfinished warp has arrived at the barrier. */
+    bool
+    barrierComplete() const
+    {
+        bool any = false;
+        for (unsigned w = 0; w < num_warps_; w++) {
+            if (warpDone(w))
+                continue;
+            if (!at_barrier_[w])
+                return false;
+            any = true;
+        }
+        return any;
+    }
+
+    void
+    releaseBarrier()
+    {
+        for (unsigned w = 0; w < num_warps_; w++)
+            at_barrier_[w] = false;
+    }
+
+    /** Per-warp dynamic instruction counters (checkpointing, stats). */
+    uint64_t &warpInstrCount(unsigned warp) { return instr_count_[warp]; }
+    uint64_t warpInstrCount(unsigned warp) const { return instr_count_[warp]; }
+
+    uint64_t
+    totalInstrCount() const
+    {
+        uint64_t sum = 0;
+        for (const auto c : instr_count_)
+            sum += c;
+        return sum;
+    }
+
+    /** Direct access to barrier flags for checkpoint restore. */
+    std::vector<uint8_t> &barrierFlags() { return at_barrier_; }
+    std::vector<uint64_t> &instrCounts() { return instr_count_; }
+
+  private:
+    const ptx::KernelDef *kernel_;
+    Dim3 grid_dim_;
+    Dim3 block_dim_;
+    Dim3 cta_id_;
+    unsigned num_threads_;
+    unsigned num_warps_;
+
+    std::vector<ThreadState> threads_;
+    std::vector<SimtStack> stacks_;
+    std::vector<uint8_t> shared_;
+    std::vector<uint8_t> at_barrier_;
+    std::vector<uint64_t> instr_count_;
+};
+
+} // namespace mlgs::func
+
+#endif // MLGS_FUNC_CTA_EXEC_H

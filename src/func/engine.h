@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Pure-functional grid execution ("Functional simulation mode"): executes
+ * kernels warp-serially with no timing, collecting aggregate counts used by
+ * the hardware oracle and by checkpointing.
+ */
+#ifndef MLGS_FUNC_ENGINE_H
+#define MLGS_FUNC_ENGINE_H
+
+#include <memory>
+
+#include "func/interpreter.h"
+
+namespace mlgs::func
+{
+
+/** Aggregate dynamic counts from a functional run. */
+struct FuncStats
+{
+    uint64_t instructions = 0;    ///< warp instructions executed
+    uint64_t thread_instructions = 0; ///< summed over active lanes
+    uint64_t alu = 0;             ///< warp ALU instructions
+    uint64_t sfu = 0;             ///< warp SFU (transcendental) instructions
+    uint64_t mem = 0;             ///< warp memory instructions
+    uint64_t global_ld_bytes = 0;
+    uint64_t global_st_bytes = 0;
+    uint64_t shared_accesses = 0;
+    uint64_t atomics = 0;
+    uint64_t barriers = 0;
+    uint64_t flops = 0;           ///< per-lane floating-point operations
+
+    void accumulate(const WarpStepResult &res);
+
+    FuncStats &
+    operator+=(const FuncStats &o)
+    {
+        instructions += o.instructions;
+        thread_instructions += o.thread_instructions;
+        alu += o.alu;
+        sfu += o.sfu;
+        mem += o.mem;
+        global_ld_bytes += o.global_ld_bytes;
+        global_st_bytes += o.global_st_bytes;
+        shared_accesses += o.shared_accesses;
+        atomics += o.atomics;
+        barriers += o.barriers;
+        flops += o.flops;
+        return *this;
+    }
+};
+
+/** Executes grids CTA-by-CTA on an Interpreter. */
+class FunctionalEngine
+{
+  public:
+    explicit FunctionalEngine(Interpreter &interp) : interp_(&interp) {}
+
+    /** Run a full grid to completion. */
+    FuncStats launch(const LaunchEnv &env, const Dim3 &grid, const Dim3 &block);
+
+    /** Create the functional state for one CTA (linear index order). */
+    std::unique_ptr<CtaExec> makeCta(const LaunchEnv &env, const Dim3 &grid,
+                                     const Dim3 &block,
+                                     uint64_t linear_cta) const;
+
+    /**
+     * Run one CTA until completion or until every warp has executed
+     * max_instr_per_warp instructions (checkpoint fast-forward).
+     *
+     * @return true when the CTA completed, false when suspended at the limit.
+     */
+    bool runCta(CtaExec &cta, const LaunchEnv &env,
+                uint64_t max_instr_per_warp = UINT64_MAX,
+                FuncStats *stats = nullptr);
+
+    Interpreter &interpreter() { return *interp_; }
+
+  private:
+    Interpreter *interp_;
+};
+
+} // namespace mlgs::func
+
+#endif // MLGS_FUNC_ENGINE_H

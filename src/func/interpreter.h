@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Functional execution of PTX warp instructions. One Interpreter instance is
+ * shared by the pure-functional engine and by the timing model (which calls
+ * stepWarp at issue time, GPGPU-Sim style).
+ */
+#ifndef MLGS_FUNC_INTERPRETER_H
+#define MLGS_FUNC_INTERPRETER_H
+
+#include <string>
+#include <unordered_map>
+
+#include "func/bug_model.h"
+#include "func/coverage.h"
+#include "func/cta_exec.h"
+#include "func/texture.h"
+#include "func/warp_step.h"
+#include "mem/gpu_memory.h"
+#include "ptx/ir.h"
+
+namespace mlgs::func
+{
+
+/** Module-level symbol addresses (globals materialized at module load). */
+using SymbolTable = std::unordered_map<std::string, addr_t>;
+
+/** Everything a kernel launch needs besides the grid itself. */
+struct LaunchEnv
+{
+    const ptx::KernelDef *kernel = nullptr;
+    std::vector<uint8_t> params;            ///< packed parameter block
+    const SymbolTable *symbols = nullptr;   ///< may be null (no module globals)
+    const TextureProvider *textures = nullptr; ///< may be null (no textures)
+};
+
+/** Executes warp instructions against a CtaExec and global memory. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(GpuMemory &mem, BugModel bugs = BugModel{})
+        : mem_(&mem), bugs_(bugs)
+    {
+    }
+
+    /** Optional coverage collection (differential coverage debugging). */
+    void setCoverage(CoverageMap *cov) { coverage_ = cov; }
+
+    const BugModel &bugs() const { return bugs_; }
+    GpuMemory &memory() { return *mem_; }
+
+    /**
+     * Execute the next instruction of a warp. The warp must not be done and
+     * must not be waiting at a barrier.
+     */
+    WarpStepResult stepWarp(CtaExec &cta, unsigned warp, const LaunchEnv &env);
+
+  private:
+    ptx::RegVal readOperand(const ptx::Instr &ins, const ptx::Operand &op,
+                            const CtaExec &cta, unsigned tid,
+                            const LaunchEnv &env) const;
+
+    addr_t symbolAddr(const std::string &sym, const ptx::KernelDef &k,
+                      const LaunchEnv &env) const;
+
+    struct Ea
+    {
+        ptx::Space space;
+        addr_t addr; ///< absolute (window-relative encoding preserved)
+    };
+    Ea resolveAddr(const ptx::Instr &ins, const ptx::Operand &op,
+                   const CtaExec &cta, unsigned tid, const LaunchEnv &env) const;
+
+    void loadTyped(const Ea &ea, ptx::Type t, unsigned vec, ptx::RegVal *out,
+                   CtaExec &cta, unsigned tid, const LaunchEnv &env) const;
+    void storeTyped(const Ea &ea, ptx::Type t, unsigned vec,
+                    const ptx::RegVal *vals, CtaExec &cta, unsigned tid,
+                    const LaunchEnv &env) const;
+
+    ptx::RegVal execAlu(const ptx::Instr &ins, const ptx::RegVal &a,
+                        const ptx::RegVal &b, const ptx::RegVal &c) const;
+
+    void execLane(const ptx::Instr &ins, CtaExec &cta, unsigned tid,
+                  unsigned lane, const LaunchEnv &env, WarpStepResult &res);
+
+    GpuMemory *mem_;
+    BugModel bugs_;
+    CoverageMap *coverage_ = nullptr;
+};
+
+} // namespace mlgs::func
+
+#endif // MLGS_FUNC_INTERPRETER_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Per-warp SIMT reconvergence stack handling branch divergence, following
+ * GPGPU-Sim's design: entries of (PC, reconvergence-PC, active mask); a
+ * divergent branch pushes taken/not-taken entries that rejoin at the
+ * branch's immediate post-dominator.
+ */
+#ifndef MLGS_FUNC_SIMT_STACK_H
+#define MLGS_FUNC_SIMT_STACK_H
+
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+#include "ptx/ir.h"
+
+namespace mlgs::func
+{
+
+/** Reconvergence stack for one warp. */
+class SimtStack
+{
+  public:
+    struct Entry
+    {
+        uint32_t pc = 0;
+        uint32_t rpc = ptx::kReconvExit;
+        warp_mask_t mask = 0;
+    };
+
+    /** Reset to a single entry at pc 0 covering the given lanes. */
+    void
+    init(warp_mask_t mask)
+    {
+        stack_.clear();
+        if (mask)
+            stack_.push_back(Entry{0, ptx::kReconvExit, mask});
+    }
+
+    bool empty() const { return stack_.empty(); }
+    const Entry &top() const { return stack_.back(); }
+    uint32_t pc() const { return stack_.back().pc; }
+    warp_mask_t activeMask() const { return empty() ? 0 : stack_.back().mask; }
+
+    /** Advance the top entry past a non-branch instruction at pc. */
+    void
+    advance()
+    {
+        stack_.back().pc++;
+        popReconverged();
+    }
+
+    /**
+     * Apply a (possibly divergent) branch executed by the top entry.
+     *
+     * @param taken_mask lanes (subset of the top mask) that take the branch
+     * @param target_pc branch target
+     * @param fallthrough_pc pc of the instruction after the branch
+     * @param reconv_pc immediate post-dominator PC of the branch
+     */
+    void
+    branch(warp_mask_t taken_mask, uint32_t target_pc, uint32_t fallthrough_pc,
+           uint32_t reconv_pc)
+    {
+        Entry &t = stack_.back();
+        MLGS_ASSERT((taken_mask & ~t.mask) == 0, "taken lanes outside active mask");
+        const warp_mask_t not_taken = t.mask & ~taken_mask;
+        if (not_taken == 0) {
+            t.pc = target_pc;
+            popReconverged();
+            return;
+        }
+        if (taken_mask == 0) {
+            t.pc = fallthrough_pc;
+            popReconverged();
+            return;
+        }
+        // Divergence: the current entry waits at the reconvergence point and
+        // both sides execute serially from the pushed entries.
+        t.pc = reconv_pc;
+        stack_.push_back(Entry{fallthrough_pc, reconv_pc, not_taken});
+        stack_.push_back(Entry{target_pc, reconv_pc, taken_mask});
+        popReconverged();
+    }
+
+    /**
+     * Remove exited lanes from every entry (handles divergent ret/exit),
+     * popping entries whose mask becomes empty. The stack may end up empty,
+     * meaning the whole warp has exited.
+     */
+    void
+    exitLanes(warp_mask_t lanes)
+    {
+        for (auto &e : stack_)
+            e.mask &= ~lanes;
+        while (!stack_.empty() && stack_.back().mask == 0)
+            stack_.pop_back();
+        if (!stack_.empty())
+            popReconverged();
+    }
+
+    /** Direct access for checkpointing. */
+    std::vector<Entry> &entries() { return stack_; }
+    const std::vector<Entry> &entries() const { return stack_; }
+
+  private:
+    void
+    popReconverged()
+    {
+        // An entry reaching its reconvergence PC pops; its lanes wait in the
+        // ancestor entry whose PC is that reconvergence point, while the
+        // sibling entry (if any) executes the other path.
+        while (stack_.size() > 1 && stack_.back().pc == stack_.back().rpc)
+            stack_.pop_back();
+    }
+
+    std::vector<Entry> stack_;
+};
+
+} // namespace mlgs::func
+
+#endif // MLGS_FUNC_SIMT_STACK_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Texture access interface between the functional model and the runtime's
+ * texture-binding tables.
+ */
+#ifndef MLGS_FUNC_TEXTURE_H
+#define MLGS_FUNC_TEXTURE_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace mlgs::func
+{
+
+/** Out-of-range coordinate policy. */
+enum class TexAddressMode { Clamp, Wrap, Border };
+
+/** Resolved binding of a texture name to backing storage. */
+struct TexBinding
+{
+    addr_t base = 0;          ///< device address of texel storage (f32 texels)
+    unsigned width = 0;       ///< texels per row
+    unsigned height = 1;      ///< rows (1 for 1D)
+    unsigned channels = 1;    ///< components per texel (1..4)
+    TexAddressMode address_mode = TexAddressMode::Clamp;
+    bool normalized_coords = false;
+};
+
+/** Supplied by the runtime: name -> current binding (paper's name-keyed map). */
+class TextureProvider
+{
+  public:
+    virtual ~TextureProvider() = default;
+
+    /** @return binding for the texture name, or nullptr if unbound. */
+    virtual const TexBinding *lookupTexture(const std::string &name) const = 0;
+};
+
+} // namespace mlgs::func
+
+#endif // MLGS_FUNC_TEXTURE_H

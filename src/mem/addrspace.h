@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Device virtual address-space layout. Each PTX state space owns a disjoint
+ * window so generic addressing (ld/st without a space qualifier) can resolve
+ * the space from the address range, and cvta is the identity.
+ */
+#ifndef MLGS_MEM_ADDRSPACE_H
+#define MLGS_MEM_ADDRSPACE_H
+
+#include "common/types.h"
+
+namespace mlgs
+{
+
+/** First valid global-heap address (0 is reserved as the null pointer). */
+constexpr addr_t kGlobalBase = 0x10000000ull;
+
+/** End of the global heap (exclusive). */
+constexpr addr_t kGlobalEnd = 0xc0000000ull;
+
+/** Param-space window base (per-launch parameter block). */
+constexpr addr_t kParamBase = 0xd0000000ull;
+
+/** Local-space window base (per-thread local memory). */
+constexpr addr_t kLocalBase = 0xe0000000ull;
+
+/** Shared-space window base (per-CTA shared memory). */
+constexpr addr_t kSharedBase = 0xf0000000ull;
+
+/** Size of each special window. */
+constexpr addr_t kWindowSize = 0x10000000ull;
+
+inline bool
+inSharedWindow(addr_t a)
+{
+    return a >= kSharedBase && a < kSharedBase + kWindowSize;
+}
+
+inline bool
+inLocalWindow(addr_t a)
+{
+    return a >= kLocalBase && a < kLocalBase + kWindowSize;
+}
+
+inline bool
+inParamWindow(addr_t a)
+{
+    return a >= kParamBase && a < kParamBase + kWindowSize;
+}
+
+inline bool
+inGlobalWindow(addr_t a)
+{
+    return a >= kGlobalBase && a < kGlobalEnd;
+}
+
+} // namespace mlgs
+
+#endif // MLGS_MEM_ADDRSPACE_H

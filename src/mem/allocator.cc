@@ -1,0 +1,87 @@
+#include "mem/allocator.h"
+
+#include "common/log.h"
+
+namespace mlgs
+{
+
+DeviceAllocator::DeviceAllocator()
+{
+    free_.emplace(kGlobalBase, size_t(kGlobalEnd - kGlobalBase));
+}
+
+addr_t
+DeviceAllocator::alloc(size_t size, size_t align)
+{
+    MLGS_REQUIRE(size > 0, "zero-byte device allocation");
+    MLGS_REQUIRE(align > 0 && (align & (align - 1)) == 0,
+                 "alignment must be a power of two");
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        const addr_t base = it->first;
+        const size_t len = it->second;
+        const addr_t aligned = (base + align - 1) & ~addr_t(align - 1);
+        const size_t head = size_t(aligned - base);
+        if (head + size > len)
+            continue;
+        const size_t tail = len - head - size;
+        free_.erase(it);
+        if (head)
+            free_.emplace(base, head);
+        if (tail)
+            free_.emplace(aligned + size, tail);
+        live_.emplace(aligned, size);
+        in_use_ += size;
+        return aligned;
+    }
+    fatal("device heap exhausted allocating ", size, " bytes");
+}
+
+void
+DeviceAllocator::free(addr_t addr)
+{
+    const auto it = live_.find(addr);
+    MLGS_REQUIRE(it != live_.end(), "free of unallocated device pointer ", addr);
+    size_t size = it->second;
+    in_use_ -= size;
+    live_.erase(it);
+
+    // Insert into the free map, coalescing with neighbours.
+    addr_t base = addr;
+    auto next = free_.lower_bound(base);
+    if (next != free_.end() && base + size == next->first) {
+        size += next->second;
+        next = free_.erase(next);
+    }
+    if (next != free_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == base) {
+            base = prev->first;
+            size += prev->second;
+            free_.erase(prev);
+        }
+    }
+    free_.emplace(base, size);
+}
+
+std::optional<Allocation>
+DeviceAllocator::find(addr_t addr) const
+{
+    const auto it = live_.find(addr);
+    if (it == live_.end())
+        return std::nullopt;
+    return Allocation{it->first, it->second};
+}
+
+std::optional<Allocation>
+DeviceAllocator::containing(addr_t addr) const
+{
+    auto it = live_.upper_bound(addr);
+    if (it == live_.begin())
+        return std::nullopt;
+    --it;
+    if (addr >= it->first && addr < it->first + it->second)
+        return Allocation{it->first, it->second};
+    return std::nullopt;
+}
+
+} // namespace mlgs

@@ -1,0 +1,107 @@
+#include "oracle/hw_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/log.h"
+
+namespace mlgs::oracle
+{
+
+double
+HwOracle::estimateCycles(const cuda::LaunchRecord &rec) const
+{
+    const func::FuncStats &fs = rec.func_stats;
+    MLGS_REQUIRE(fs.instructions > 0,
+                 "oracle needs a functional-mode launch record for ",
+                 rec.kernel_name);
+
+    const double total_warps =
+        double(rec.grid.count()) *
+        double((rec.block.count() + kWarpSize - 1) / kWarpSize);
+
+    // Pure issue-throughput limb; low-occupancy/latency effects are covered
+    // by the dependency limb below.
+    const double weighted_insts = double(fs.alu) +
+                                  double(fs.sfu) * spec_.sfu_cost +
+                                  double(fs.mem) * spec_.mem_inst_cost;
+    const double compute_cycles =
+        weighted_insts / (double(spec_.num_sms) * spec_.issue_per_sm);
+
+    const double bytes = double(fs.global_ld_bytes + fs.global_st_bytes);
+    const double mem_cycles = bytes / spec_.dram_bytes_per_cycle;
+
+    // Dependency bound: a warp's serial instruction chain cannot issue
+    // faster than one instruction per dep_latency cycles, and only
+    // warp_slots of them overlap — the limiter for long-serial kernels
+    // (e.g. the per-thread FFT butterflies).
+    const double overlap = std::min(
+        total_warps, double(spec_.num_sms) * spec_.warp_slots_per_sm);
+    const double dep_cycles =
+        overlap > 0 ? weighted_insts * spec_.dep_latency / overlap : 0.0;
+
+    return std::max({compute_cycles, mem_cycles, dep_cycles}) +
+           spec_.launch_overhead;
+}
+
+std::vector<CorrelationRow>
+HwOracle::correlate(const std::vector<cuda::LaunchRecord> &functional_log,
+                    const std::vector<cuda::LaunchRecord> &performance_log) const
+{
+    MLGS_REQUIRE(functional_log.size() == performance_log.size(),
+                 "correlation logs differ in length: ", functional_log.size(),
+                 " vs ", performance_log.size());
+    std::map<std::string, CorrelationRow> by_kernel;
+    for (size_t i = 0; i < functional_log.size(); i++) {
+        const auto &f = functional_log[i];
+        const auto &p = performance_log[i];
+        MLGS_REQUIRE(f.kernel_name == p.kernel_name,
+                     "correlation logs disagree at launch ", i, ": ",
+                     f.kernel_name, " vs ", p.kernel_name);
+        CorrelationRow &row = by_kernel[f.kernel_name];
+        row.kernel = f.kernel_name;
+        row.hw_cycles += estimateCycles(f);
+        row.sim_cycles += double(p.cycles);
+    }
+    std::vector<CorrelationRow> rows;
+    rows.reserve(by_kernel.size());
+    for (auto &[name, row] : by_kernel)
+        rows.push_back(row);
+    return rows;
+}
+
+double
+HwOracle::overallRelative(const std::vector<CorrelationRow> &rows)
+{
+    double hw = 0, sim = 0;
+    for (const auto &r : rows) {
+        hw += r.hw_cycles;
+        sim += r.sim_cycles;
+    }
+    return hw ? 100.0 * sim / hw : 0.0;
+}
+
+double
+HwOracle::pearson(const std::vector<CorrelationRow> &rows)
+{
+    const size_t n = rows.size();
+    if (n < 2)
+        return 1.0;
+    double mx = 0, my = 0;
+    for (const auto &r : rows) {
+        mx += r.hw_cycles;
+        my += r.sim_cycles;
+    }
+    mx /= double(n);
+    my /= double(n);
+    double sxy = 0, sxx = 0, syy = 0;
+    for (const auto &r : rows) {
+        sxy += (r.hw_cycles - mx) * (r.sim_cycles - my);
+        sxx += (r.hw_cycles - mx) * (r.hw_cycles - mx);
+        syy += (r.sim_cycles - my) * (r.sim_cycles - my);
+    }
+    return (sxx > 0 && syy > 0) ? sxy / std::sqrt(sxx * syy) : 0.0;
+}
+
+} // namespace mlgs::oracle

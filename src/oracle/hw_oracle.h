@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hardware-proxy ("NVProf on a GTX 1050") timing oracle.
+ *
+ * The paper correlates GPGPU-Sim cycle counts against NVProf measurements on
+ * real silicon. With no GPU available, this oracle produces an independent
+ * per-kernel cycle estimate from functional-execution counts and published
+ * machine parameters (a classic roofline: compute-issue limit vs DRAM
+ * bandwidth limit, with an occupancy correction and a fixed launch
+ * overhead). Correlation figures then compare the detailed timing model
+ * against this estimate exactly the way the paper compares against hardware.
+ */
+#ifndef MLGS_ORACLE_HW_ORACLE_H
+#define MLGS_ORACLE_HW_ORACLE_H
+
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace mlgs::oracle
+{
+
+/** Published machine parameters of the proxy GPU. */
+struct HwSpec
+{
+    std::string name = "GTX1050";
+    unsigned num_sms = 5;
+    unsigned issue_per_sm = 4;        ///< warp instructions / cycle / SM
+    double sfu_cost = 4.0;            ///< SFU warp-inst cost vs ALU
+    double mem_inst_cost = 2.0;       ///< LD/ST pipe cost vs ALU
+    double dram_bytes_per_cycle = 83; ///< 112 GB/s at 1.35 GHz
+    double launch_overhead = 2500;    ///< cycles per kernel launch
+    double dep_latency = 6.0;         ///< cycles/instr on a dependency chain
+    unsigned warp_slots_per_sm = 16;  ///< latency-hiding capacity
+    double clock_ghz = 1.35;
+
+    static HwSpec
+    gtx1050()
+    {
+        return HwSpec{};
+    }
+
+    static HwSpec
+    gtx1080ti()
+    {
+        HwSpec s;
+        s.name = "GTX1080Ti";
+        s.num_sms = 28;
+        s.dram_bytes_per_cycle = 326; // 484 GB/s at 1.48 GHz
+        s.clock_ghz = 1.48;
+        return s;
+    }
+};
+
+/** Per-kernel row in a correlation table. */
+struct CorrelationRow
+{
+    std::string kernel;
+    double hw_cycles = 0;
+    double sim_cycles = 0;
+
+    /** Sim time relative to hardware = 100. */
+    double relative() const { return hw_cycles ? 100.0 * sim_cycles / hw_cycles : 0; }
+};
+
+/** Roofline-style analytical cycle estimator. */
+class HwOracle
+{
+  public:
+    explicit HwOracle(HwSpec spec = HwSpec::gtx1050()) : spec_(spec) {}
+
+    const HwSpec &spec() const { return spec_; }
+
+    /** Estimated hardware cycles for one recorded (functional-mode) launch. */
+    double estimateCycles(const cuda::LaunchRecord &rec) const;
+
+    /**
+     * Build the per-kernel correlation table from a functional-mode launch
+     * log (oracle side) and a performance-mode launch log (simulator side).
+     * Logs must describe the same run; kernels are matched positionally and
+     * aggregated by kernel name.
+     */
+    std::vector<CorrelationRow>
+    correlate(const std::vector<cuda::LaunchRecord> &functional_log,
+              const std::vector<cuda::LaunchRecord> &performance_log) const;
+
+    /** Overall relative execution time (hardware = 100). */
+    static double overallRelative(const std::vector<CorrelationRow> &rows);
+
+    /** Pearson correlation coefficient between hw and sim columns. */
+    static double pearson(const std::vector<CorrelationRow> &rows);
+
+  private:
+    HwSpec spec_;
+};
+
+} // namespace mlgs::oracle
+
+#endif // MLGS_ORACLE_HW_ORACLE_H

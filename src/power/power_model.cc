@@ -1,0 +1,70 @@
+#include "power/power_model.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace mlgs::power
+{
+
+std::string
+PowerBreakdown::str() const
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << "core " << core_w << " W, L1 " << l1_w << " W, L2 " << l2_w
+       << " W, NOC " << noc_w << " W, DRAM " << dram_w << " W, idle " << idle_w
+       << " W (total " << total() << " W)";
+    return os.str();
+}
+
+PowerBreakdown
+PowerModel::compute(const timing::TimingTotals &t, double clock_ghz) const
+{
+    MLGS_REQUIRE(clock_ghz > 0, "clock must be positive");
+    PowerBreakdown pb;
+    if (t.cycles == 0)
+        return pb;
+    const double secs = double(t.cycles) / (clock_ghz * 1e9);
+    const double nj = 1e-9;
+
+    // Thread-level ALU/SFU mix: apportion thread instructions by the warp
+    // instruction mix.
+    const double warp_total = double(t.alu + t.sfu + t.mem_insts);
+    const double alu_frac = warp_total ? double(t.alu) / warp_total : 1.0;
+    const double sfu_frac = warp_total ? double(t.sfu) / warp_total : 0.0;
+    const double alu_threads = double(t.thread_instructions) * alu_frac;
+    const double sfu_threads = double(t.thread_instructions) * sfu_frac;
+
+    const double total_cycles_all_cores =
+        double(t.core_active_cycles + t.core_idle_cycles);
+    const double active_frac =
+        total_cycles_all_cores
+            ? double(t.core_active_cycles) / total_cycles_all_cores
+            : 0.0;
+    const double num_cores =
+        t.cycles ? total_cycles_all_cores / double(t.cycles) : 0.0;
+
+    // Core: dynamic instruction energy + active-core static share.
+    pb.core_w = (alu_threads * params_.alu_thread_nj +
+                 sfu_threads * params_.sfu_thread_nj +
+                 double(t.shared_accesses) * params_.shared_access_nj) *
+                    nj / secs +
+                params_.core_active_w * num_cores * active_frac +
+                params_.core_static_w * num_cores * active_frac;
+
+    pb.l1_w = double(t.l1_hits + t.l1_misses) * params_.l1_access_nj * nj / secs;
+    pb.l2_w = double(t.l2_hits + t.l2_misses) * params_.l2_access_nj * nj / secs;
+    pb.noc_w = double(t.icnt_flits) * params_.noc_flit_nj * nj / secs;
+    pb.dram_w = (double(t.dram_reads + t.dram_writes) * params_.dram_access_nj +
+                 double(t.dram_row_misses) * params_.dram_row_act_nj) *
+                    nj / secs +
+                params_.dram_static_w;
+
+    // Idle: baseline static plus the idle share of core static power.
+    pb.idle_w = params_.base_static_w +
+                params_.core_static_w * num_cores * (1.0 - active_frac);
+    return pb;
+}
+
+} // namespace mlgs::power

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * GPUWattch-lite: event-energy power model producing the paper's six-way
+ * average-power breakdown (Core, L1, L2, NOC, DRAM, Idle — Fig 8).
+ */
+#ifndef MLGS_POWER_POWER_MODEL_H
+#define MLGS_POWER_POWER_MODEL_H
+
+#include <string>
+
+#include "timing/gpu.h"
+
+namespace mlgs::power
+{
+
+/** Average power per component in watts. */
+struct PowerBreakdown
+{
+    double core_w = 0;
+    double l1_w = 0;
+    double l2_w = 0;
+    double noc_w = 0;
+    double dram_w = 0;
+    double idle_w = 0;
+
+    double
+    total() const
+    {
+        return core_w + l1_w + l2_w + noc_w + dram_w + idle_w;
+    }
+
+    std::string str() const;
+};
+
+/** Per-event energies (nJ) and static powers (W). */
+struct PowerParams
+{
+    // Dynamic energy per event, in nanojoules.
+    double alu_thread_nj = 0.06;    ///< per thread ALU op
+    double sfu_thread_nj = 0.24;    ///< per thread SFU op
+    double shared_access_nj = 0.05; ///< per lane shared access
+    double l1_access_nj = 0.08;     ///< per L1 line access
+    double l2_access_nj = 0.25;     ///< per L2 line access
+    double noc_flit_nj = 0.05;      ///< per 32B flit
+    double dram_access_nj = 12.0;   ///< per 128B DRAM burst
+    double dram_row_act_nj = 4.0;   ///< extra per row activation
+
+    // Static power, in watts.
+    double base_static_w = 6.5;     ///< always-on (PLLs, IO, fans share)
+    double core_static_w = 1.6;     ///< per core, split active/idle
+    double dram_static_w = 1.5;     ///< DRAM background
+
+    // Active-core overhead beyond per-instruction energy (clock tree etc.).
+    double core_active_w = 4.5;     ///< per actively-running core
+};
+
+/** Computes the average-power breakdown of a timing run. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(PowerParams params = PowerParams{}) : params_(params) {}
+
+    /**
+     * @param totals counters accumulated over the run
+     * @param clock_ghz core clock used to turn cycles into seconds
+     */
+    PowerBreakdown compute(const timing::TimingTotals &totals,
+                           double clock_ghz) const;
+
+    const PowerParams &params() const { return params_; }
+
+  private:
+    PowerParams params_;
+};
+
+} // namespace mlgs::power
+
+#endif // MLGS_POWER_POWER_MODEL_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Text parser for the MLGPUSim PTX dialect.
+ *
+ * Each call parses one translation unit ("one embedded PTX file"). The
+ * runtime loads every unit separately so duplicate symbols across units do
+ * not clash (the paper's Section III-A change 2).
+ */
+#ifndef MLGS_PTX_PARSER_H
+#define MLGS_PTX_PARSER_H
+
+#include <string>
+
+#include "ptx/ir.h"
+
+namespace mlgs::ptx
+{
+
+/** Thrown on malformed PTX; carries line/column context in what(). */
+class ParseError : public std::runtime_error
+{
+  public:
+    explicit ParseError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Parse PTX source into a Module.
+ *
+ * @param source PTX text.
+ * @param source_name pseudo file name used in diagnostics.
+ * @return parsed module with reconvergence analysis already run per kernel.
+ */
+Module parseModule(const std::string &source, const std::string &source_name);
+
+} // namespace mlgs::ptx
+
+#endif // MLGS_PTX_PARSER_H

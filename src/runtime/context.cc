@@ -1,0 +1,497 @@
+#include "runtime/context.h"
+
+#include <algorithm>
+
+namespace mlgs::cuda
+{
+
+Context::Context(ContextOptions opts)
+    : opts_(std::move(opts)),
+      interp_(mem_, opts_.bugs),
+      func_engine_(interp_),
+      gpu_(std::make_unique<timing::GpuModel>(opts_.gpu, interp_))
+{
+    streams_.push_back(std::unique_ptr<Stream>(new Stream(0))); // default
+}
+
+Context::~Context() = default;
+
+// ---- memory ----
+
+addr_t
+Context::malloc(size_t bytes, size_t align)
+{
+    return alloc_.alloc(bytes, align);
+}
+
+void
+Context::free(addr_t ptr)
+{
+    alloc_.free(ptr);
+}
+
+void
+Context::memcpyH2D(addr_t dst, const void *src, size_t bytes, Stream *stream)
+{
+    Stream::Op op;
+    op.kind = Stream::Op::Kind::MemcpyH2D;
+    op.dst = dst;
+    op.bytes = bytes;
+    op.host_data.assign(static_cast<const uint8_t *>(src),
+                        static_cast<const uint8_t *>(src) + bytes);
+    enqueue(stream, std::move(op));
+    if (!stream)
+        streamSynchronize(defaultStream()); // synchronous API form
+}
+
+void
+Context::memcpyD2H(void *dst, addr_t src, size_t bytes, Stream *stream)
+{
+    Stream::Op op;
+    op.kind = Stream::Op::Kind::MemcpyD2H;
+    op.src = src;
+    op.bytes = bytes;
+    op.host_dst = dst;
+    enqueue(stream, std::move(op));
+    // D2H must complete before the host may look at dst: drain the stream.
+    streamSynchronize(stream ? stream : defaultStream());
+}
+
+void
+Context::memcpyD2D(addr_t dst, addr_t src, size_t bytes, Stream *stream)
+{
+    Stream::Op op;
+    op.kind = Stream::Op::Kind::MemcpyD2D;
+    op.dst = dst;
+    op.src = src;
+    op.bytes = bytes;
+    enqueue(stream, std::move(op));
+}
+
+void
+Context::memsetD(addr_t dst, uint8_t value, size_t bytes, Stream *stream)
+{
+    Stream::Op op;
+    op.kind = Stream::Op::Kind::Memset;
+    op.dst = dst;
+    op.bytes = bytes;
+    op.fill = value;
+    enqueue(stream, std::move(op));
+}
+
+// ---- modules ----
+
+int
+Context::loadModule(const std::string &ptx_source, const std::string &name)
+{
+    auto mod = std::make_unique<ptx::Module>(ptx::parseModule(ptx_source, name));
+    // Materialize module-scope globals in device memory. Names are scoped to
+    // the module, but the flat symbol table keeps first-wins semantics for
+    // cudaMemcpyToSymbol-style access.
+    for (auto &g : mod->globals) {
+        g.addr = alloc_.alloc(std::max<size_t>(g.size, 1), std::max(g.align, 4u));
+        symbols_.emplace(g.name, g.addr);
+    }
+    modules_.push_back(std::move(mod));
+    return int(modules_.size()) - 1;
+}
+
+const ptx::Module &
+Context::module(int handle) const
+{
+    MLGS_REQUIRE(handle >= 0 && size_t(handle) < modules_.size(),
+                 "bad module handle");
+    return *modules_[size_t(handle)];
+}
+
+const ptx::KernelDef *
+Context::getFunction(int module_handle, const std::string &kernel) const
+{
+    return module(module_handle).findKernel(kernel);
+}
+
+const ptx::KernelDef *
+Context::findKernel(const std::string &kernel) const
+{
+    for (const auto &m : modules_)
+        if (const auto *k = m->findKernel(kernel))
+            return k;
+    return nullptr;
+}
+
+// ---- launch ----
+
+void
+Context::launch(const std::string &kernel, const Dim3 &grid, const Dim3 &block,
+                const KernelArgs &args, Stream *stream)
+{
+    const ptx::KernelDef *k = findKernel(kernel);
+    MLGS_REQUIRE(k, "cudaLaunch: kernel not found: ", kernel);
+    cuLaunchKernel(k, grid, block, args, stream);
+}
+
+void
+Context::cuLaunchKernel(const ptx::KernelDef *kernel, const Dim3 &grid,
+                        const Dim3 &block, const KernelArgs &args,
+                        Stream *stream)
+{
+    MLGS_REQUIRE(kernel, "cuLaunchKernel: null function");
+    MLGS_REQUIRE(args.bytes().size() >= kernel->param_bytes,
+                 "insufficient kernel arguments for ", kernel->name, ": got ",
+                 args.bytes().size(), " bytes, need ", kernel->param_bytes);
+    Stream::Op op;
+    op.kind = Stream::Op::Kind::Launch;
+    op.kernel = kernel;
+    op.grid = grid;
+    op.block = block;
+    op.params = args.bytes();
+    enqueue(stream, std::move(op));
+}
+
+// ---- streams & events ----
+
+Stream *
+Context::createStream()
+{
+    streams_.push_back(
+        std::unique_ptr<Stream>(new Stream(unsigned(streams_.size()))));
+    return streams_.back().get();
+}
+
+void
+Context::destroyStream(Stream *s)
+{
+    MLGS_REQUIRE(s && s->id() != 0, "cannot destroy the default stream");
+    streamSynchronize(s);
+    // Keep the slot (ids stay stable); just clear the queue.
+    s->ops_.clear();
+}
+
+Event *
+Context::createEvent()
+{
+    events_.push_back(std::make_unique<Event>());
+    return events_.back().get();
+}
+
+void
+Context::recordEvent(Event *e, Stream *stream)
+{
+    MLGS_REQUIRE(e, "recordEvent: null event");
+    Stream::Op op;
+    op.kind = Stream::Op::Kind::RecordEvent;
+    op.event = e;
+    enqueue(stream, std::move(op));
+}
+
+void
+Context::streamWaitEvent(Stream *stream, Event *e)
+{
+    MLGS_REQUIRE(e, "streamWaitEvent: null event");
+    Stream::Op op;
+    op.kind = Stream::Op::Kind::WaitEvent;
+    op.event = e;
+    enqueue(stream, std::move(op));
+}
+
+void
+Context::enqueue(Stream *stream, Stream::Op op)
+{
+    Stream &s = stream ? *stream : *defaultStream();
+    s.ops_.push_back(std::move(op));
+    pump();
+}
+
+bool
+Context::runOp(Stream &s, Stream::Op &op)
+{
+    switch (op.kind) {
+      case Stream::Op::Kind::WaitEvent:
+        if (!op.event->recorded())
+            return false; // stream stays blocked
+        s.timeline_ = std::max(s.timeline_, op.event->completeTime());
+        return true;
+      case Stream::Op::Kind::RecordEvent:
+        op.event->recorded_ = true;
+        op.event->complete_time_ = s.timeline_;
+        return true;
+      case Stream::Op::Kind::MemcpyH2D:
+        mem_.write(op.dst, op.host_data.data(), op.bytes);
+        s.timeline_ += double(op.bytes) / opts_.memcpy_bytes_per_cycle;
+        return true;
+      case Stream::Op::Kind::MemcpyD2H:
+        mem_.read(op.src, op.host_dst, op.bytes);
+        s.timeline_ += double(op.bytes) / opts_.memcpy_bytes_per_cycle;
+        return true;
+      case Stream::Op::Kind::MemcpyD2D: {
+        std::vector<uint8_t> tmp(op.bytes);
+        mem_.read(op.src, tmp.data(), op.bytes);
+        mem_.write(op.dst, tmp.data(), op.bytes);
+        s.timeline_ += double(op.bytes) / opts_.memcpy_bytes_per_cycle;
+        return true;
+      }
+      case Stream::Op::Kind::Memset:
+        mem_.memset(op.dst, op.fill, op.bytes);
+        s.timeline_ += double(op.bytes) / opts_.memcpy_bytes_per_cycle;
+        return true;
+      case Stream::Op::Kind::Launch: {
+        LaunchRecord rec;
+        rec.launch_id = next_launch_id_++;
+        rec.kernel_name = op.kernel->name;
+        rec.kernel = op.kernel;
+        rec.grid = op.grid;
+        rec.block = op.block;
+        rec.params = op.params;
+        rec.stream_id = s.id();
+        if (opts_.capture_launches)
+            captureLaunch(rec);
+        executeLaunch(rec, s);
+        launch_log_.push_back(std::move(rec));
+        return true;
+      }
+    }
+    return false;
+}
+
+void
+Context::executeLaunch(LaunchRecord &rec, Stream &s)
+{
+    if (launch_hook_ && launch_hook_(rec))
+        return;
+
+    func::LaunchEnv env;
+    env.kernel = rec.kernel;
+    env.params = rec.params;
+    env.symbols = &symbols_;
+    env.textures = this;
+
+    if (opts_.mode == SimMode::Functional) {
+        rec.func_stats = func_engine_.launch(env, rec.grid, rec.block);
+        // Charge an instruction-proportional duration so stream overlap is
+        // still meaningful in functional mode.
+        s.timeline_ += double(rec.func_stats.instructions);
+    } else {
+        rec.perf = gpu_->runKernel(env, rec.grid, rec.block, sampler_);
+        rec.cycles = rec.perf.cycles;
+        s.timeline_ += double(rec.perf.cycles);
+    }
+    total_warp_instructions_ +=
+        opts_.mode == SimMode::Functional ? rec.func_stats.instructions
+                                          : rec.perf.warp_instructions;
+}
+
+void
+Context::captureLaunch(const LaunchRecord &rec)
+{
+    CapturedLaunch cap;
+    cap.record = rec;
+    // Any 8-byte-aligned parameter that looks like a device pointer may name
+    // an output buffer; snapshot every allocation it points into (Fig 2).
+    const auto &bytes = rec.params;
+    for (size_t off = 0; off + 8 <= bytes.size(); off += 4) {
+        uint64_t v;
+        std::memcpy(&v, bytes.data() + off, 8);
+        const auto alloc = alloc_.containing(v);
+        if (!alloc)
+            continue;
+        // De-duplicate by base address.
+        bool seen = false;
+        for (const auto &b : cap.buffers)
+            if (b.addr == alloc->addr)
+                seen = true;
+        if (seen)
+            continue;
+        CapturedBuffer buf;
+        buf.addr = alloc->addr;
+        buf.data.resize(alloc->size);
+        mem_.read(alloc->addr, buf.data.data(), alloc->size);
+        cap.buffers.push_back(std::move(buf));
+    }
+    captured_.push_back(std::move(cap));
+}
+
+void
+Context::pump()
+{
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto &sp : streams_) {
+            Stream &s = *sp;
+            while (!s.ops_.empty()) {
+                if (!runOp(s, s.ops_.front()))
+                    break; // blocked on an event
+                s.ops_.pop_front();
+                progressed = true;
+            }
+        }
+    }
+}
+
+void
+Context::streamSynchronize(Stream *stream)
+{
+    MLGS_REQUIRE(stream, "streamSynchronize: null stream");
+    pump();
+    MLGS_REQUIRE(stream->ops_.empty(),
+                 "stream deadlock: stream ", stream->id(),
+                 " is blocked on an event that is never recorded");
+}
+
+void
+Context::deviceSynchronize()
+{
+    pump();
+    for (const auto &s : streams_)
+        MLGS_REQUIRE(s->ops_.empty(), "device deadlock: stream ", s->id(),
+                     " is blocked on an event that is never recorded");
+}
+
+double
+Context::elapsedCycles() const
+{
+    double t = 0;
+    for (const auto &s : streams_)
+        t = std::max(t, s->timeline_);
+    return t;
+}
+
+// ---- textures ----
+
+int
+Context::registerTexture(const std::string &name)
+{
+    TexRef ref;
+    ref.name = name;
+    ref.id = int(texrefs_.size());
+    texrefs_.push_back(ref);
+
+    TexNameEntry &entry = tex_names_[name];
+    if (opts_.legacy_texture_name_map) {
+        // Pre-fix behaviour: the name maps to exactly one texref; the old
+        // registration — including its binding — is discarded.
+        entry = TexNameEntry{};
+        entry.texrefs.push_back(ref.id);
+    } else {
+        entry.texrefs.push_back(ref.id); // fixed: name -> set of texrefs
+    }
+    return ref.id;
+}
+
+TexArray *
+Context::mallocArray(unsigned width, unsigned height, unsigned channels)
+{
+    MLGS_REQUIRE(width > 0 && height > 0 && channels >= 1 && channels <= 4,
+                 "bad cudaArray shape");
+    auto arr = std::make_unique<TexArray>();
+    arr->width = width;
+    arr->height = height;
+    arr->channels = channels;
+    arr->addr = alloc_.alloc(size_t(width) * height * channels * 4);
+    arrays_.push_back(std::move(arr));
+    return arrays_.back().get();
+}
+
+void
+Context::freeArray(TexArray *arr)
+{
+    MLGS_REQUIRE(arr, "freeArray: null array");
+    alloc_.free(arr->addr);
+    arr->addr = 0;
+}
+
+void
+Context::memcpyToArray(TexArray *arr, const float *src, size_t count)
+{
+    MLGS_REQUIRE(arr && arr->addr, "memcpyToArray: bad array");
+    MLGS_REQUIRE(count <= size_t(arr->width) * arr->height * arr->channels,
+                 "memcpyToArray overflow");
+    mem_.write(arr->addr, src, count * 4);
+}
+
+void
+Context::bindTextureToArray(int texref, TexArray *arr,
+                            func::TexAddressMode mode)
+{
+    MLGS_REQUIRE(texref >= 0 && size_t(texref) < texrefs_.size(),
+                 "bad texref handle");
+    MLGS_REQUIRE(arr && arr->addr, "bindTextureToArray: bad array");
+    const std::string &name = texrefs_[size_t(texref)].name;
+    auto it = tex_names_.find(name);
+    MLGS_REQUIRE(it != tex_names_.end(), "texture name not registered: ", name);
+    TexNameEntry &entry = it->second;
+    if (opts_.legacy_texture_name_map) {
+        // Pre-fix behaviour: binding through a stale texref is lost.
+        if (std::find(entry.texrefs.begin(), entry.texrefs.end(), texref) ==
+            entry.texrefs.end())
+            return;
+    }
+    // Re-binding with a different array implicitly unbinds the old one
+    // (the paper's second texture fix).
+    entry.bound = true;
+    entry.binding.base = arr->addr;
+    entry.binding.width = arr->width;
+    entry.binding.height = arr->height;
+    entry.binding.channels = arr->channels;
+    entry.binding.address_mode = mode;
+}
+
+void
+Context::bindTextureLinear(int texref, addr_t ptr, unsigned width,
+                           unsigned channels, func::TexAddressMode mode)
+{
+    MLGS_REQUIRE(texref >= 0 && size_t(texref) < texrefs_.size(),
+                 "bad texref handle");
+    const std::string &name = texrefs_[size_t(texref)].name;
+    auto it = tex_names_.find(name);
+    MLGS_REQUIRE(it != tex_names_.end(), "texture name not registered: ", name);
+    TexNameEntry &entry = it->second;
+    if (opts_.legacy_texture_name_map) {
+        if (std::find(entry.texrefs.begin(), entry.texrefs.end(), texref) ==
+            entry.texrefs.end())
+            return;
+    }
+    entry.bound = true;
+    entry.binding.base = ptr;
+    entry.binding.width = width;
+    entry.binding.height = 1;
+    entry.binding.channels = channels;
+    entry.binding.address_mode = mode;
+}
+
+void
+Context::unbindTexture(int texref)
+{
+    MLGS_REQUIRE(texref >= 0 && size_t(texref) < texrefs_.size(),
+                 "bad texref handle");
+    auto it = tex_names_.find(texrefs_[size_t(texref)].name);
+    if (it != tex_names_.end())
+        it->second.bound = false;
+}
+
+const func::TexBinding *
+Context::lookupTexture(const std::string &name) const
+{
+    const auto it = tex_names_.find(name);
+    if (it == tex_names_.end() || !it->second.bound)
+        return nullptr;
+    return &it->second.binding;
+}
+
+// ---- symbols ----
+
+addr_t
+Context::getSymbolAddress(const std::string &name) const
+{
+    const auto it = symbols_.find(name);
+    MLGS_REQUIRE(it != symbols_.end(), "unknown device symbol: ", name);
+    return it->second;
+}
+
+void
+Context::memcpyToSymbol(const std::string &name, const void *src, size_t bytes)
+{
+    mem_.write(getSymbolAddress(name), src, bytes);
+}
+
+} // namespace mlgs::cuda

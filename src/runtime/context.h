@@ -1,0 +1,315 @@
+/**
+ * @file
+ * The simulated CUDA runtime/driver ("libcudart" + "libcuda"): device memory,
+ * per-PTX-file module registry, kernel launch via both the Runtime-API path
+ * (by name, cudaLaunch style) and the Driver-API path (by function handle,
+ * cuLaunchKernel — added by the paper for the debug tool), streams with
+ * events and cudaStreamWaitEvent, and the texture-binding machinery with the
+ * paper's name->{texref set} fix.
+ */
+#ifndef MLGS_RUNTIME_CONTEXT_H
+#define MLGS_RUNTIME_CONTEXT_H
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "func/engine.h"
+#include "mem/allocator.h"
+#include "mem/gpu_memory.h"
+#include "power/power_model.h"
+#include "ptx/parser.h"
+#include "runtime/kernel_args.h"
+#include "stats/aerial.h"
+#include "timing/gpu.h"
+
+namespace mlgs::cuda
+{
+
+/** Functional vs Performance simulation (Section III-F terminology). */
+enum class SimMode { Functional, Performance };
+
+class Context;
+
+/** Event marker recorded into a stream. */
+class Event
+{
+  public:
+    bool recorded() const { return recorded_; }
+    double completeTime() const { return complete_time_; }
+
+  private:
+    friend class Context;
+    bool recorded_ = false;
+    double complete_time_ = 0.0; ///< stream-timeline time (cycles)
+};
+
+/** In-order command queue. */
+class Stream
+{
+  public:
+    unsigned id() const { return id_; }
+
+  private:
+    friend class Context;
+    struct Op
+    {
+        enum class Kind
+        {
+            Launch,
+            MemcpyH2D,
+            MemcpyD2H,
+            MemcpyD2D,
+            Memset,
+            RecordEvent,
+            WaitEvent,
+        };
+        Kind kind;
+        // Launch:
+        const ptx::KernelDef *kernel = nullptr;
+        const ptx::Module *module = nullptr;
+        Dim3 grid, block;
+        std::vector<uint8_t> params;
+        // Memcpy/set:
+        addr_t dst = 0, src = 0;
+        std::vector<uint8_t> host_data; ///< H2D payload
+        void *host_dst = nullptr;       ///< D2H destination
+        size_t bytes = 0;
+        uint8_t fill = 0;
+        // Events:
+        Event *event = nullptr;
+    };
+
+    explicit Stream(unsigned id) : id_(id) {}
+
+    unsigned id_;
+    std::deque<Op> ops_;
+    double timeline_ = 0.0; ///< completion time (cycles) of last executed op
+};
+
+/** One entry in the per-launch log (feeds the oracle and the debug tool). */
+struct LaunchRecord
+{
+    uint64_t launch_id = 0;
+    std::string kernel_name;
+    const ptx::KernelDef *kernel = nullptr;
+    const ptx::Module *module = nullptr;
+    Dim3 grid, block;
+    std::vector<uint8_t> params;
+    unsigned stream_id = 0;
+
+    // Filled after execution:
+    func::FuncStats func_stats;       ///< functional counts (both modes)
+    cycle_t cycles = 0;               ///< performance mode only
+    timing::KernelRunStats perf;      ///< performance mode only
+};
+
+/** Runtime configuration knobs. */
+struct ContextOptions
+{
+    SimMode mode = SimMode::Functional;
+    func::BugModel bugs;
+    timing::GpuConfig gpu;
+
+    /**
+     * Pre-fix texture behaviour: a texture name maps to a single texref, so
+     * re-registering the same name loses the previous binding (the failure
+     * MNIST exposed, Section III-C). Off = fixed behaviour.
+     */
+    bool legacy_texture_name_map = false;
+
+    /** Capture launch inputs (params + pointed-to buffers) for replay. */
+    bool capture_launches = false;
+
+    /** Host<->device copy throughput used for stream-overlap timing. */
+    double memcpy_bytes_per_cycle = 8.0;
+};
+
+/** A 2D cudaArray backing texture fetches (f32 texels). */
+struct TexArray
+{
+    addr_t addr = 0;
+    unsigned width = 0;
+    unsigned height = 1;
+    unsigned channels = 1;
+};
+
+/** Captured buffer snapshot for kernel replay (debug tool). */
+struct CapturedBuffer
+{
+    addr_t addr = 0;
+    std::vector<uint8_t> data;
+};
+
+/** Captured launch = record + input-buffer snapshots (Fig 2 data). */
+struct CapturedLaunch
+{
+    LaunchRecord record;
+    std::vector<CapturedBuffer> buffers; ///< contents BEFORE the launch
+};
+
+/** The simulated device context. */
+class Context : public func::TextureProvider
+{
+  public:
+    explicit Context(ContextOptions opts = ContextOptions{});
+    ~Context() override;
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    // ---- mode ----
+    SimMode mode() const { return opts_.mode; }
+    void setMode(SimMode m) { opts_.mode = m; }
+    void attachSampler(stats::AerialSampler *s) { sampler_ = s; }
+
+    // ---- memory ----
+    addr_t malloc(size_t bytes, size_t align = 256);
+    void free(addr_t ptr);
+    void memcpyH2D(addr_t dst, const void *src, size_t bytes,
+                   Stream *stream = nullptr);
+    void memcpyD2H(void *dst, addr_t src, size_t bytes, Stream *stream = nullptr);
+    void memcpyD2D(addr_t dst, addr_t src, size_t bytes,
+                   Stream *stream = nullptr);
+    void memsetD(addr_t dst, uint8_t value, size_t bytes,
+                 Stream *stream = nullptr);
+
+    // ---- modules ("one per embedded PTX file") ----
+    int loadModule(const std::string &ptx_source, const std::string &name);
+    const ptx::Module &module(int handle) const;
+
+    /** Driver-API style lookup within one module (duplicate-safe). */
+    const ptx::KernelDef *getFunction(int module_handle,
+                                      const std::string &kernel) const;
+
+    /** Runtime-API style lookup across modules (first registration wins). */
+    const ptx::KernelDef *findKernel(const std::string &kernel) const;
+
+    // ---- launch ----
+    /** cudaLaunch-style: by name. */
+    void launch(const std::string &kernel, const Dim3 &grid, const Dim3 &block,
+                const KernelArgs &args, Stream *stream = nullptr);
+
+    /** cuLaunchKernel-style: by function handle (debug-tool replay path). */
+    void cuLaunchKernel(const ptx::KernelDef *kernel, const Dim3 &grid,
+                        const Dim3 &block, const KernelArgs &args,
+                        Stream *stream = nullptr);
+
+    // ---- streams & events ----
+    Stream *createStream();
+    void destroyStream(Stream *s);
+    Stream *defaultStream() { return streams_.front().get(); }
+    Event *createEvent();
+    void recordEvent(Event *e, Stream *stream = nullptr);
+    /** cudaStreamWaitEvent: stream blocks until the event is recorded. */
+    void streamWaitEvent(Stream *stream, Event *e);
+    void streamSynchronize(Stream *stream);
+    void deviceSynchronize();
+
+    // ---- textures ----
+    /** __cudaRegisterTexture: returns a texref handle; names may repeat. */
+    int registerTexture(const std::string &name);
+    TexArray *mallocArray(unsigned width, unsigned height, unsigned channels);
+    void freeArray(TexArray *arr);
+    void memcpyToArray(TexArray *arr, const float *src, size_t count);
+    void bindTextureToArray(int texref, TexArray *arr,
+                            func::TexAddressMode mode =
+                                func::TexAddressMode::Clamp);
+    void bindTextureLinear(int texref, addr_t ptr, unsigned width,
+                           unsigned channels = 1,
+                           func::TexAddressMode mode =
+                               func::TexAddressMode::Clamp);
+    void unbindTexture(int texref);
+
+    /** TextureProvider: name-keyed lookup used by tex instructions. */
+    const func::TexBinding *lookupTexture(const std::string &name) const override;
+
+    // ---- module symbols ----
+    addr_t getSymbolAddress(const std::string &name) const;
+    void memcpyToSymbol(const std::string &name, const void *src, size_t bytes);
+
+    // ---- launch interception (checkpointing, Fig 5) ----
+    /**
+     * Hook called before a launch executes; returning true marks the launch
+     * handled (the normal execution path is skipped). Used by the
+     * checkpoint writer/loader to fast-forward or skip kernels.
+     */
+    using LaunchHook = std::function<bool(LaunchRecord &)>;
+    void setLaunchHook(LaunchHook hook) { launch_hook_ = std::move(hook); }
+
+    // ---- capture / observation (debug tool, Fig 2) ----
+    void setCaptureLaunches(bool on) { opts_.capture_launches = on; }
+    const std::vector<CapturedLaunch> &capturedLaunches() const
+    {
+        return captured_;
+    }
+    void clearCapturedLaunches() { captured_.clear(); }
+
+    // ---- introspection ----
+    GpuMemory &memory() { return mem_; }
+    DeviceAllocator &allocator() { return alloc_; }
+    func::Interpreter &interpreter() { return interp_; }
+    func::FunctionalEngine &functionalEngine() { return func_engine_; }
+    timing::GpuModel &gpuModel() { return *gpu_; }
+    const timing::GpuConfig &gpuConfig() const { return opts_.gpu; }
+    const std::vector<LaunchRecord> &launchLog() const { return launch_log_; }
+    void clearLaunchLog() { launch_log_.clear(); }
+    const func::SymbolTable &symbols() const { return symbols_; }
+
+    /** Total GPU busy time (max over stream timelines), in core cycles. */
+    double elapsedCycles() const;
+
+    /** Functional-instruction grand total (sim-speed comparisons). */
+    uint64_t totalWarpInstructions() const { return total_warp_instructions_; }
+
+  private:
+    struct TexRef
+    {
+        std::string name;
+        int id = 0;
+    };
+
+    struct TexNameEntry
+    {
+        std::vector<int> texrefs;  ///< all refs registered under this name
+        func::TexBinding binding;
+        bool bound = false;
+    };
+
+    void enqueue(Stream *stream, Stream::Op op);
+    void pump();
+    bool runOp(Stream &s, Stream::Op &op);
+    void executeLaunch(LaunchRecord &rec, Stream &s);
+    void captureLaunch(const LaunchRecord &rec);
+
+    ContextOptions opts_;
+    GpuMemory mem_;
+    DeviceAllocator alloc_;
+    func::Interpreter interp_;
+    func::FunctionalEngine func_engine_;
+    std::unique_ptr<timing::GpuModel> gpu_;
+    stats::AerialSampler *sampler_ = nullptr;
+
+    std::vector<std::unique_ptr<ptx::Module>> modules_;
+    func::SymbolTable symbols_;
+
+    std::vector<std::unique_ptr<Stream>> streams_;
+    std::vector<std::unique_ptr<Event>> events_;
+
+    std::vector<TexRef> texrefs_;
+    std::map<std::string, TexNameEntry> tex_names_;
+    std::vector<std::unique_ptr<TexArray>> arrays_;
+
+    std::vector<LaunchRecord> launch_log_;
+    std::vector<CapturedLaunch> captured_;
+    LaunchHook launch_hook_;
+    uint64_t next_launch_id_ = 0;
+    uint64_t total_warp_instructions_ = 0;
+};
+
+} // namespace mlgs::cuda
+
+#endif // MLGS_RUNTIME_CONTEXT_H

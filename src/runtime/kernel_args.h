@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Kernel argument packer producing the natural-alignment parameter block the
+ * PTX parser lays out for .param declarations.
+ */
+#ifndef MLGS_RUNTIME_KERNEL_ARGS_H
+#define MLGS_RUNTIME_KERNEL_ARGS_H
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace mlgs::cuda
+{
+
+/** Builds a parameter block matching the kernel's .param layout. */
+class KernelArgs
+{
+  public:
+    template <typename T>
+    KernelArgs &
+    add(T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const size_t align = sizeof(T);
+        while (bytes_.size() % align)
+            bytes_.push_back(0);
+        const auto *p = reinterpret_cast<const uint8_t *>(&v);
+        bytes_.insert(bytes_.end(), p, p + sizeof(T));
+        return *this;
+    }
+
+    KernelArgs &ptr(uint64_t device_ptr) { return add<uint64_t>(device_ptr); }
+    KernelArgs &u32(uint32_t v) { return add<uint32_t>(v); }
+    KernelArgs &s32(int32_t v) { return add<int32_t>(v); }
+    KernelArgs &f32(float v) { return add<float>(v); }
+
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace mlgs::cuda
+
+#endif // MLGS_RUNTIME_KERNEL_ARGS_H

@@ -1,0 +1,91 @@
+#include "timing/cache.h"
+
+#include "common/log.h"
+
+namespace mlgs::timing
+{
+
+TagCache::TagCache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    MLGS_REQUIRE(cfg.line_bytes && (cfg.line_bytes & (cfg.line_bytes - 1)) == 0,
+                 "cache line size must be a power of two");
+    num_sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.assoc);
+    MLGS_REQUIRE(num_sets_ > 0, "cache too small for its associativity");
+    lines_.resize(size_t(num_sets_) * cfg.assoc);
+}
+
+unsigned
+TagCache::setIndex(addr_t line_addr) const
+{
+    return unsigned((line_addr / cfg_.line_bytes) % num_sets_);
+}
+
+TagCache::Line *
+TagCache::probe(addr_t line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    for (unsigned w = 0; w < cfg_.assoc; w++) {
+        Line &l = lines_[size_t(set) * cfg_.assoc + w];
+        if (l.valid && l.tag == line_addr)
+            return &l;
+    }
+    return nullptr;
+}
+
+CacheOutcome
+TagCache::accessRead(addr_t line_addr, cycle_t now)
+{
+    if (Line *l = probe(line_addr)) {
+        l->last_use = now;
+        hits_++;
+        return CacheOutcome::Hit;
+    }
+    misses_++;
+    const auto it = mshrs_.find(line_addr);
+    if (it != mshrs_.end()) {
+        it->second++;
+        return CacheOutcome::MissMerged;
+    }
+    if (mshrs_.size() >= cfg_.mshr_entries) {
+        misses_--; // not a real access yet; caller retries
+        return CacheOutcome::ReservationFail;
+    }
+    mshrs_.emplace(line_addr, 1);
+    return CacheOutcome::Miss;
+}
+
+bool
+TagCache::accessWrite(addr_t line_addr, cycle_t now)
+{
+    if (Line *l = probe(line_addr)) {
+        l->last_use = now;
+        hits_++;
+        return true;
+    }
+    misses_++;
+    return false;
+}
+
+void
+TagCache::fill(addr_t line_addr, cycle_t now)
+{
+    mshrs_.erase(line_addr);
+    if (probe(line_addr))
+        return;
+    const unsigned set = setIndex(line_addr);
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < cfg_.assoc; w++) {
+        Line &l = lines_[size_t(set) * cfg_.assoc + w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (!victim || l.last_use < victim->last_use)
+            victim = &l;
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->last_use = now;
+}
+
+} // namespace mlgs::timing

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tag-only set-associative cache with LRU replacement and MSHR merging.
+ * Functional data lives in GpuMemory; this models hit/miss timing only,
+ * which is all the performance model needs.
+ */
+#ifndef MLGS_TIMING_CACHE_H
+#define MLGS_TIMING_CACHE_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "timing/config.h"
+
+namespace mlgs::timing
+{
+
+/** Cache access outcomes. */
+enum class CacheOutcome
+{
+    Hit,
+    Miss,          ///< allocated an MSHR; fill expected
+    MissMerged,    ///< merged into an existing MSHR for the same line
+    ReservationFail, ///< MSHR full: retry later
+};
+
+/** Tag array + MSHR bookkeeping. */
+class TagCache
+{
+  public:
+    explicit TagCache(const CacheConfig &cfg);
+
+    /**
+     * Probe for a read. On Miss the caller must eventually call fill();
+     * MissMerged means a fill for the line is already outstanding.
+     */
+    CacheOutcome accessRead(addr_t line_addr, cycle_t now);
+
+    /** Probe for a write-through write (updates LRU on hit, never allocates). */
+    bool accessWrite(addr_t line_addr, cycle_t now);
+
+    /** Install a line on fill response; frees its MSHR. */
+    void fill(addr_t line_addr, cycle_t now);
+
+    /** True if an MSHR is outstanding for the line. */
+    bool mshrPending(addr_t line_addr) const
+    {
+        return mshrs_.count(line_addr) != 0;
+    }
+
+    size_t mshrInUse() const { return mshrs_.size(); }
+
+    // Statistics.
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t accesses() const { return hits_ + misses_; }
+
+  private:
+    struct Line
+    {
+        addr_t tag = 0;
+        bool valid = false;
+        cycle_t last_use = 0;
+    };
+
+    unsigned setIndex(addr_t line_addr) const;
+    Line *probe(addr_t line_addr);
+
+    CacheConfig cfg_;
+    unsigned num_sets_;
+    std::vector<Line> lines_; ///< num_sets * assoc
+    std::unordered_map<addr_t, unsigned> mshrs_; ///< line -> merged count
+
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace mlgs::timing
+
+#endif // MLGS_TIMING_CACHE_H

@@ -1,0 +1,239 @@
+#include "timing/gpu.h"
+
+#include <algorithm>
+
+namespace mlgs::timing
+{
+
+TimingTotals &
+TimingTotals::operator+=(const TimingTotals &o)
+{
+    cycles += o.cycles;
+    warp_instructions += o.warp_instructions;
+    thread_instructions += o.thread_instructions;
+    alu += o.alu;
+    sfu += o.sfu;
+    mem_insts += o.mem_insts;
+    shared_accesses += o.shared_accesses;
+    l1_hits += o.l1_hits;
+    l1_misses += o.l1_misses;
+    l2_hits += o.l2_hits;
+    l2_misses += o.l2_misses;
+    icnt_flits += o.icnt_flits;
+    dram_reads += o.dram_reads;
+    dram_writes += o.dram_writes;
+    dram_row_hits += o.dram_row_hits;
+    dram_row_misses += o.dram_row_misses;
+    core_active_cycles += o.core_active_cycles;
+    core_idle_cycles += o.core_idle_cycles;
+    return *this;
+}
+
+GpuModel::GpuModel(const GpuConfig &cfg, func::Interpreter &interp)
+    : cfg_(cfg), interp_(&interp)
+{
+    for (unsigned c = 0; c < cfg_.num_cores; c++)
+        cores_.push_back(std::make_unique<ShaderCore>(c, cfg_, interp));
+    for (unsigned p = 0; p < cfg_.num_partitions; p++)
+        partitions_.push_back(std::make_unique<MemPartition>(cfg_, p));
+}
+
+GpuModel::~GpuModel() = default;
+
+bool
+GpuModel::anythingInFlight() const
+{
+    for (const auto &core : cores_)
+        if (core->busy())
+            return true;
+    for (const auto &part : partitions_)
+        if (part->busy())
+            return true;
+    return !to_partition_.empty() || !to_core_.empty();
+}
+
+void
+GpuModel::cycleOnce(cycle_t now, stats::AerialSampler *sampler)
+{
+    // 1. Shader cores (issue + writeback).
+    for (auto &core : cores_) {
+        if (core->liveWarps())
+            totals_.core_active_cycles++;
+        else
+            totals_.core_idle_cycles++;
+        core->cycle(now, sampler);
+    }
+
+    // 2. Core -> interconnect (all outgoing requests enter the crossbar;
+    //    per-partition acceptance below models the bandwidth limit).
+    for (auto &core : cores_) {
+        unsigned moved = 0;
+        while (core->hasOutgoing() && moved < 2) {
+            MemFetch mf = core->popOutgoing();
+            mf.partition = unsigned((mf.line_addr / cfg_.l2.line_bytes) %
+                                    cfg_.num_partitions);
+            totals_.icnt_flits += (mf.bytes + 31) / 32;
+            to_partition_.push(std::move(mf), now + cfg_.icnt_latency);
+            moved++;
+        }
+    }
+
+    // 3. Interconnect -> partitions.
+    while (to_partition_.ready(now)) {
+        MemFetch mf = to_partition_.pop();
+        partitions_[mf.partition]->pushRequest(std::move(mf));
+    }
+
+    // 4. Partitions (L2 + DRAM), response collection, bank sampling.
+    for (unsigned p = 0; p < partitions_.size(); p++) {
+        MemPartition &part = *partitions_[p];
+        part.cycle(now);
+        unsigned moved = 0;
+        while (part.hasResponse() && moved < 2) {
+            MemFetch mf = part.popResponse();
+            totals_.icnt_flits += (mf.bytes + 31) / 32;
+            to_core_.push(std::move(mf), now + cfg_.icnt_latency);
+            moved++;
+        }
+        if (sampler) {
+            const DramChannel &dram = part.dram();
+            for (unsigned b = 0; b < cfg_.dram_banks; b++)
+                sampler->recordBank(p * cfg_.dram_banks + b,
+                                    dram.bankTransferring(b, now),
+                                    dram.bankPending(b));
+        }
+    }
+
+    // 5. Interconnect -> cores.
+    while (to_core_.ready(now)) {
+        const MemFetch mf = to_core_.pop();
+        cores_[mf.core_id]->pushResponse(mf, now);
+    }
+
+    if (sampler)
+        sampler->endCycle();
+}
+
+KernelRunStats
+GpuModel::runKernel(const func::LaunchEnv &env, const Dim3 &grid,
+                    const Dim3 &block, stats::AerialSampler *sampler)
+{
+    return runKernelFrom(env, grid, block, 0, {}, sampler);
+}
+
+KernelRunStats
+GpuModel::runKernelFrom(const func::LaunchEnv &env, const Dim3 &grid,
+                        const Dim3 &block, uint64_t skip_ctas,
+                        std::vector<std::unique_ptr<func::CtaExec>>
+                            preloaded_ctas,
+                        stats::AerialSampler *sampler)
+{
+    MLGS_REQUIRE(env.kernel, "runKernel without a kernel");
+
+    KernelDispatch disp;
+    disp.env = &env;
+    disp.grid = grid;
+    disp.block = block;
+    disp.threads_per_cta = unsigned(block.count());
+    disp.warps_per_cta = (disp.threads_per_cta + kWarpSize - 1) / kWarpSize;
+    disp.shared_bytes_per_cta = env.kernel->shared_bytes;
+    disp.total_ctas = grid.count();
+    disp.next_cta = std::min<uint64_t>(skip_ctas, disp.total_ctas);
+    disp.completed_ctas = disp.next_cta;
+    disp.preload_base = skip_ctas;
+    disp.preloaded = std::move(preloaded_ctas);
+
+    MLGS_REQUIRE(disp.threads_per_cta <= cfg_.max_threads_per_core,
+                 "CTA larger than a core's thread capacity");
+    MLGS_REQUIRE(disp.shared_bytes_per_cta <= cfg_.shared_mem_per_core,
+                 "CTA shared memory exceeds the core's capacity");
+
+    // Snapshot cumulative per-component stats so this run reports deltas.
+    uint64_t l1_h0 = 0, l1_m0 = 0;
+    std::vector<CoreCounters> core0;
+    for (const auto &core : cores_) {
+        l1_h0 += core->l1().hits();
+        l1_m0 += core->l1().misses();
+        core0.push_back(core->counters());
+    }
+    uint64_t l2_h0 = 0, l2_m0 = 0, rh0 = 0, rm0 = 0, wr0 = 0;
+    for (const auto &p : partitions_) {
+        l2_h0 += p->l2().hits();
+        l2_m0 += p->l2().misses();
+        rh0 += p->dram().rowHits();
+        rm0 += p->dram().rowMisses();
+        wr0 += p->l2Writebacks();
+    }
+
+    const cycle_t start = clock_;
+    cycle_t last_progress_cycle = clock_;
+    uint64_t last_completed = disp.completed_ctas;
+
+    while (!disp.allDone() || anythingInFlight()) {
+        // Greedy CTA dispatch each cycle.
+        for (auto &core : cores_) {
+            while (!disp.allIssued() && core->tryIssueCta(disp)) {
+            }
+        }
+        cycleOnce(clock_, sampler);
+
+        if (disp.completed_ctas != last_completed) {
+            last_completed = disp.completed_ctas;
+            last_progress_cycle = clock_;
+        }
+        MLGS_ASSERT(clock_ - last_progress_cycle < 10'000'000,
+                    "timing model made no progress for 10M cycles in kernel ",
+                    env.kernel->name);
+        clock_++;
+    }
+
+    const cycle_t now = clock_ - start;
+    totals_.cycles += now;
+    KernelRunStats rs;
+    rs.kernel_name = env.kernel->name;
+    rs.cycles = now;
+    uint64_t l1_h = 0, l1_m = 0;
+    for (unsigned c = 0; c < cores_.size(); c++) {
+        const CoreCounters &cc = cores_[c]->counters();
+        const CoreCounters &c0 = core0[c];
+        rs.warp_instructions += cc.issued_instructions - c0.issued_instructions;
+        rs.thread_instructions += cc.thread_instructions - c0.thread_instructions;
+        totals_.warp_instructions +=
+            cc.issued_instructions - c0.issued_instructions;
+        totals_.thread_instructions +=
+            cc.thread_instructions - c0.thread_instructions;
+        totals_.alu += cc.alu - c0.alu;
+        totals_.sfu += cc.sfu - c0.sfu;
+        totals_.mem_insts += cc.mem - c0.mem;
+        totals_.shared_accesses += cc.shared_accesses - c0.shared_accesses;
+        l1_h += cores_[c]->l1().hits();
+        l1_m += cores_[c]->l1().misses();
+    }
+    uint64_t l2_h = 0, l2_m = 0, rh = 0, rm = 0, wr = 0;
+    for (const auto &p : partitions_) {
+        l2_h += p->l2().hits();
+        l2_m += p->l2().misses();
+        rh += p->dram().rowHits();
+        rm += p->dram().rowMisses();
+        wr += p->l2Writebacks();
+    }
+    totals_.l1_hits += l1_h - l1_h0;
+    totals_.l1_misses += l1_m - l1_m0;
+    totals_.l2_hits += l2_h - l2_h0;
+    totals_.l2_misses += l2_m - l2_m0;
+    totals_.dram_reads += (l2_m - l2_m0);
+    totals_.dram_writes += wr - wr0;
+    totals_.dram_row_hits += rh - rh0;
+    totals_.dram_row_misses += rm - rm0;
+
+    rs.ipc = now ? double(rs.warp_instructions) / double(now) : 0.0;
+    const uint64_t dl1h = l1_h - l1_h0, dl1m = l1_m - l1_m0;
+    rs.l1_hit_rate = (dl1h + dl1m) ? double(dl1h) / double(dl1h + dl1m) : 0.0;
+    const uint64_t dl2h = l2_h - l2_h0, dl2m = l2_m - l2_m0;
+    rs.l2_hit_rate = (dl2h + dl2m) ? double(dl2h) / double(dl2h + dl2m) : 0.0;
+    const uint64_t drh = rh - rh0, drm = rm - rm0;
+    rs.dram_row_hit_rate = (drh + drm) ? double(drh) / double(drh + drm) : 0.0;
+    return rs;
+}
+
+} // namespace mlgs::timing

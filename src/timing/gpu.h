@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Top-level performance model ("Performance simulation mode"): shader cores,
+ * a crossbar interconnect, and memory partitions advanced in lock-step, with
+ * AerialVision sampling hooks and aggregated counters for the power model.
+ */
+#ifndef MLGS_TIMING_GPU_H
+#define MLGS_TIMING_GPU_H
+
+#include <memory>
+
+#include "func/interpreter.h"
+#include "stats/aerial.h"
+#include "timing/core.h"
+#include "timing/partition.h"
+
+namespace mlgs::timing
+{
+
+/** Aggregated counters across a run (input to the power model). */
+struct TimingTotals
+{
+    cycle_t cycles = 0;
+    uint64_t warp_instructions = 0;
+    uint64_t thread_instructions = 0;
+    uint64_t alu = 0;
+    uint64_t sfu = 0;
+    uint64_t mem_insts = 0;
+    uint64_t shared_accesses = 0;
+    uint64_t l1_hits = 0;
+    uint64_t l1_misses = 0;
+    uint64_t l2_hits = 0;
+    uint64_t l2_misses = 0;
+    uint64_t icnt_flits = 0;
+    uint64_t dram_reads = 0;
+    uint64_t dram_writes = 0;
+    uint64_t dram_row_hits = 0;
+    uint64_t dram_row_misses = 0;
+    uint64_t core_active_cycles = 0; ///< summed over cores with live warps
+    uint64_t core_idle_cycles = 0;
+
+    TimingTotals &operator+=(const TimingTotals &o);
+};
+
+/** Result of one kernel run on the performance model. */
+struct KernelRunStats
+{
+    std::string kernel_name;
+    cycle_t cycles = 0;
+    uint64_t warp_instructions = 0;
+    uint64_t thread_instructions = 0;
+    double ipc = 0.0;
+    double l1_hit_rate = 0.0;
+    double l2_hit_rate = 0.0;
+    double dram_row_hit_rate = 0.0;
+};
+
+/** The simulated GPU (one kernel at a time, matching GPGPU-Sim's default). */
+class GpuModel
+{
+  public:
+    GpuModel(const GpuConfig &cfg, func::Interpreter &interp);
+    ~GpuModel();
+
+    /** Run one grid to completion in the timing model. */
+    KernelRunStats runKernel(const func::LaunchEnv &env, const Dim3 &grid,
+                             const Dim3 &block,
+                             stats::AerialSampler *sampler = nullptr);
+
+    /**
+     * Timing-mode resume support: run a grid whose first `skip_ctas` CTAs are
+     * considered already executed (their functional effects must already be
+     * in memory) and, optionally, adopt pre-initialized CTA states.
+     */
+    KernelRunStats runKernelFrom(const func::LaunchEnv &env, const Dim3 &grid,
+                                 const Dim3 &block, uint64_t skip_ctas,
+                                 std::vector<std::unique_ptr<func::CtaExec>>
+                                     preloaded_ctas,
+                                 stats::AerialSampler *sampler = nullptr);
+
+    const GpuConfig &config() const { return cfg_; }
+    const TimingTotals &totals() const { return totals_; }
+    cycle_t totalCycles() const { return totals_.cycles; }
+
+  private:
+    void cycleOnce(cycle_t now, stats::AerialSampler *sampler);
+    bool anythingInFlight() const;
+
+    GpuConfig cfg_;
+    func::Interpreter *interp_;
+    std::vector<std::unique_ptr<ShaderCore>> cores_;
+    std::vector<std::unique_ptr<MemPartition>> partitions_;
+    DelayQueue<MemFetch> to_partition_;
+    DelayQueue<MemFetch> to_core_;
+    TimingTotals totals_;
+
+    /**
+     * Persistent device clock. Component timestamps (DRAM bank/bus ready
+     * times, pipeline delays) survive across kernel launches, so the clock
+     * must too — each launch reports its own delta.
+     */
+    cycle_t clock_ = 0;
+};
+
+} // namespace mlgs::timing
+
+#endif // MLGS_TIMING_GPU_H

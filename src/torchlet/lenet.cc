@@ -1,0 +1,140 @@
+#include "torchlet/lenet.h"
+
+#include <algorithm>
+
+namespace mlgs::torchlet
+{
+
+LeNet::LeNet(cudnn::CudnnHandle &h, int batch, const LeNetAlgos &algos,
+             uint64_t seed)
+    : h_(&h),
+      batch_(batch),
+      conv1_(h, 1, 20, 5, 0, seed + 1),
+      pool1_(h, 2),
+      lrn1_(h, 5, 1e-2f, 0.75f, 2.0f),
+      conv2_(h, 20, 50, 5, 0, seed + 2),
+      pool2_(h, 2),
+      fc1_(h, 800, 500, seed + 3),
+      relu_(h, cudnn::ActivationMode::Relu),
+      fc2_(h, 500, 10, seed + 4)
+{
+    conv1_.fwd_algo = algos.conv1;
+    conv2_.fwd_algo = algos.conv2;
+    conv1_.bwd_data_algo = algos.bwd_data;
+    conv2_.bwd_data_algo = algos.bwd_data;
+    conv1_.bwd_filter_algo = algos.bwd_filter;
+    conv2_.bwd_filter_algo = algos.bwd_filter;
+    fc2_.use_gemv2t = algos.fc2_gemv2t;
+
+    auto &ctx = h.context();
+    const cudnn::TensorDesc xd(batch, 1, 28, 28);
+    x_ = Tensor(ctx, xd, true);
+    c1_ = Tensor(ctx, conv1_.outputDesc(xd), true);            // 20x24x24
+    p1_ = Tensor(ctx, pool1_.outputDesc(c1_.desc()), true);    // 20x12x12
+    l1_ = Tensor(ctx, p1_.desc(), true);
+    c2_ = Tensor(ctx, conv2_.outputDesc(l1_.desc()), true);    // 50x8x8
+    p2_ = Tensor(ctx, pool2_.outputDesc(c2_.desc()), true);    // 50x4x4
+    f1_ = Tensor(ctx, cudnn::TensorDesc(batch, 500, 1, 1), true);
+    r1_ = Tensor(ctx, f1_.desc(), true);
+    f2_ = Tensor(ctx, cudnn::TensorDesc(batch, 10, 1, 1), true);
+    probs_ = Tensor(ctx, f2_.desc(), true);
+    labels_dev_ = ctx.malloc(size_t(batch) * 4);
+    loss_dev_ = ctx.malloc(size_t(batch) * 4);
+}
+
+std::vector<float>
+LeNet::forward(const float *images)
+{
+    x_.upload(images);
+    conv1_.forward(x_, c1_);
+    pool1_.forward(c1_, p1_);
+    lrn1_.forward(p1_, l1_);
+    conv2_.forward(l1_, c2_);
+    pool2_.forward(c2_, p2_);
+    fc1_.forward(p2_, f1_);
+    relu_.forward(f1_, r1_);
+    fc2_.forward(r1_, f2_);
+    h_->softmaxForward(batch_, 10, f2_.data(), probs_.data());
+    h_->context().deviceSynchronize();
+    return probs_.download();
+}
+
+std::vector<int>
+LeNet::predict(const float *images)
+{
+    const auto probs = forward(images);
+    std::vector<int> out(size_t(batch_), 0);
+    for (int b = 0; b < batch_; b++) {
+        const auto *row = probs.data() + size_t(b) * 10;
+        out[size_t(b)] =
+            int(std::max_element(row, row + 10) - row);
+    }
+    return out;
+}
+
+float
+LeNet::trainStep(const float *images, const uint32_t *labels, float lr)
+{
+    const auto probs = forward(images);
+    (void)probs;
+    auto &ctx = h_->context();
+    ctx.memcpyH2D(labels_dev_, labels, size_t(batch_) * 4);
+
+    h_->nllLoss(batch_, 10, probs_.data(), labels_dev_, loss_dev_);
+    h_->softmaxNllBackward(batch_, 10, probs_.data(), labels_dev_, f2_.grad(),
+                           1.0f / float(batch_));
+
+    fc2_.backward(r1_, f2_, true);
+    relu_.backward(f1_, r1_);
+    fc1_.backward(p2_, f1_, true);
+    pool2_.backward(c2_, p2_);
+    conv2_.backward(l1_, c2_, true);
+    lrn1_.backward(p1_, l1_);
+    pool1_.backward(c1_, p1_);
+    conv1_.backward(x_, c1_, false);
+
+    conv1_.step(lr);
+    conv2_.step(lr);
+    fc1_.step(lr);
+    fc2_.step(lr);
+    ctx.deviceSynchronize();
+
+    std::vector<float> losses(size_t(batch_), 0.0f);
+    ctx.memcpyD2H(losses.data(), loss_dev_, size_t(batch_) * 4);
+    float sum = 0;
+    for (const float l : losses)
+        sum += l;
+    return sum / float(batch_);
+}
+
+void
+LeNet::setWeights(const LeNetWeights &w)
+{
+    conv1_.setWeights(w.conv1_w, w.conv1_b);
+    conv2_.setWeights(w.conv2_w, w.conv2_b);
+    fc1_.setWeights(w.fc1_w, w.fc1_b);
+    fc2_.setWeights(w.fc2_w, w.fc2_b);
+}
+
+LeNetWeights
+LeNet::getWeights() const
+{
+    LeNetWeights w;
+    w.conv1_w = conv1_.getWeight();
+    w.conv1_b = conv1_.getBias();
+    w.conv2_w = conv2_.getWeight();
+    w.conv2_b = conv2_.getBias();
+    auto &ctx = h_->context();
+    auto dl = [&](const Param &p) {
+        std::vector<float> v(p.count);
+        ctx.memcpyD2H(v.data(), p.data, v.size() * 4);
+        return v;
+    };
+    w.fc1_w = dl(fc1_.weight);
+    w.fc1_b = dl(fc1_.bias);
+    w.fc2_w = dl(fc2_.weight);
+    w.fc2_b = dl(fc2_.bias);
+    return w;
+}
+
+} // namespace mlgs::torchlet

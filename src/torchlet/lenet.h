@@ -1,0 +1,77 @@
+/**
+ * @file
+ * LeNet for MNIST on the simulated GPU — the paper's headline workload
+ * (NVIDIA's cuDNN MNIST sample trained LeNet, Section IV). Architecture:
+ * conv1(1->20,5x5) -> pool -> LRN -> conv2(20->50,5x5) -> pool ->
+ * fc1(800->500) -> ReLU -> fc2(500->10) -> softmax, covering the kernel mix
+ * of Fig 7 (FFT kernels, CGEMM, Winograd, GEMV2T, LRN).
+ */
+#ifndef MLGS_TORCHLET_LENET_H
+#define MLGS_TORCHLET_LENET_H
+
+#include "torchlet/modules.h"
+
+namespace mlgs::torchlet
+{
+
+/** Host-side weight snapshot. */
+struct LeNetWeights
+{
+    std::vector<float> conv1_w, conv1_b;
+    std::vector<float> conv2_w, conv2_b;
+    std::vector<float> fc1_w, fc1_b;
+    std::vector<float> fc2_w, fc2_b;
+};
+
+/** Per-layer algorithm selection (the MNIST runs sweep these). */
+struct LeNetAlgos
+{
+    cudnn::ConvFwdAlgo conv1 = cudnn::ConvFwdAlgo::Fft;
+    cudnn::ConvFwdAlgo conv2 = cudnn::ConvFwdAlgo::WinogradNonfused;
+    cudnn::ConvBwdDataAlgo bwd_data = cudnn::ConvBwdDataAlgo::Algo1;
+    cudnn::ConvBwdFilterAlgo bwd_filter = cudnn::ConvBwdFilterAlgo::Algo1;
+    bool fc2_gemv2t = true; ///< use the GEMV2T kernel for batch-1 inference
+};
+
+/** The network, instantiated for a fixed batch size. */
+class LeNet
+{
+  public:
+    LeNet(cudnn::CudnnHandle &h, int batch, const LeNetAlgos &algos,
+          uint64_t seed = 1);
+
+    int batch() const { return batch_; }
+
+    /** Forward pass; returns softmax probabilities (batch x 10, host). */
+    std::vector<float> forward(const float *images);
+
+    /** Argmax predictions for a batch. */
+    std::vector<int> predict(const float *images);
+
+    /** One SGD step (forward + backward + update); returns the mean loss. */
+    float trainStep(const float *images, const uint32_t *labels, float lr);
+
+    void setWeights(const LeNetWeights &w);
+    LeNetWeights getWeights() const;
+
+  private:
+    cudnn::CudnnHandle *h_;
+    int batch_;
+
+    Conv2d conv1_;
+    MaxPool2d pool1_;
+    Lrn lrn1_;
+    Conv2d conv2_;
+    MaxPool2d pool2_;
+    Linear fc1_;
+    Activation relu_;
+    Linear fc2_;
+
+    Tensor x_, c1_, p1_, l1_, c2_, p2_, f1_, r1_, f2_, probs_;
+    addr_t labels_dev_ = 0;
+    addr_t loss_dev_ = 0;
+};
+
+} // namespace mlgs::torchlet
+
+#endif // MLGS_TORCHLET_LENET_H

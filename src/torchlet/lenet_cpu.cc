@@ -1,0 +1,183 @@
+#include "torchlet/lenet_cpu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "cudnn/reference.h"
+
+namespace mlgs::torchlet
+{
+
+namespace
+{
+
+using cudnn::ref::ConvShape;
+
+std::vector<float>
+gaussVec(size_t n, uint64_t seed, float scale)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = float(rng.gauss()) * scale;
+    return v;
+}
+
+/** conv -> bias -> pool -> lrn -> conv -> bias -> pool: the 800-d features. */
+std::vector<float>
+features(const LeNetWeights &w, const float *image)
+{
+    ConvShape c1{1, 1, 28, 28, 20, 5, 5, 0, 1};
+    std::vector<float> x(image, image + kMnistPixels);
+    auto a1 = cudnn::ref::convForward(c1, x, w.conv1_w);
+    for (int k = 0; k < 20; k++)
+        for (int i = 0; i < 24 * 24; i++)
+            a1[size_t(k) * 576 + i] += w.conv1_b[size_t(k)];
+
+    std::vector<float> p1;
+    std::vector<uint32_t> m1;
+    cudnn::ref::maxPoolForward(20, 24, 24, 2, a1, p1, m1);
+
+    std::vector<float> l1, scale;
+    cudnn::ref::lrnForward(1, 20, 12 * 12, 5, 1e-2f, 0.75f, 2.0f, p1, l1,
+                           scale);
+
+    ConvShape c2{1, 20, 12, 12, 50, 5, 5, 0, 1};
+    auto a2 = cudnn::ref::convForward(c2, l1, w.conv2_w);
+    for (int k = 0; k < 50; k++)
+        for (int i = 0; i < 8 * 8; i++)
+            a2[size_t(k) * 64 + i] += w.conv2_b[size_t(k)];
+
+    std::vector<float> p2;
+    std::vector<uint32_t> m2;
+    cudnn::ref::maxPoolForward(50, 8, 8, 2, a2, p2, m2);
+    return p2; // 50*4*4 = 800
+}
+
+/** Head forward: f1 = relu(W1 f + b1), probs = softmax(W2 f1 + b2). */
+void
+headForward(const LeNetWeights &w, const std::vector<float> &feat,
+            std::vector<float> &f1, std::vector<float> &probs)
+{
+    f1.assign(500, 0.0f);
+    for (int o = 0; o < 500; o++) {
+        double acc = w.fc1_b[size_t(o)];
+        for (int i = 0; i < 800; i++)
+            acc += double(w.fc1_w[size_t(o) * 800 + i]) * feat[size_t(i)];
+        f1[size_t(o)] = std::max(0.0f, float(acc));
+    }
+    std::vector<float> logits(10, 0.0f);
+    for (int o = 0; o < 10; o++) {
+        double acc = w.fc2_b[size_t(o)];
+        for (int i = 0; i < 500; i++)
+            acc += double(w.fc2_w[size_t(o) * 500 + i]) * f1[size_t(i)];
+        logits[size_t(o)] = float(acc);
+    }
+    probs = cudnn::ref::softmaxForward(1, 10, logits);
+}
+
+} // namespace
+
+LeNetWeights
+makeLeNetWeights(uint64_t seed)
+{
+    LeNetWeights w;
+    w.conv1_w = gaussVec(20 * 1 * 5 * 5, seed + 1, std::sqrt(2.0f / 25.0f));
+    w.conv1_b.assign(20, 0.0f);
+    w.conv2_w = gaussVec(50 * 20 * 5 * 5, seed + 2, std::sqrt(2.0f / 500.0f));
+    w.conv2_b.assign(50, 0.0f);
+    w.fc1_w = gaussVec(500 * 800, seed + 3, std::sqrt(2.0f / 800.0f));
+    w.fc1_b.assign(500, 0.0f);
+    w.fc2_w = gaussVec(10 * 500, seed + 4, std::sqrt(2.0f / 500.0f));
+    w.fc2_b.assign(10, 0.0f);
+    return w;
+}
+
+std::vector<float>
+cpuForward(const LeNetWeights &w, const float *image)
+{
+    const auto feat = features(w, image);
+    std::vector<float> f1, probs;
+    headForward(w, feat, f1, probs);
+    return probs;
+}
+
+int
+cpuPredict(const LeNetWeights &w, const float *image)
+{
+    const auto probs = cpuForward(w, image);
+    return int(std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+LeNetWeights
+trainLeNetOnHost(const MnistData &data, uint64_t seed, int steps, int batch,
+                 float lr)
+{
+    LeNetWeights w = makeLeNetWeights(seed);
+
+    // Cache the (fixed) convolutional features per training image.
+    std::vector<std::vector<float>> feats(data.count());
+    for (size_t i = 0; i < data.count(); i++)
+        feats[i] = features(w, data.image(i));
+
+    Rng rng(seed * 31 + 7);
+    for (int step = 0; step < steps; step++) {
+        // Accumulate gradients over the minibatch.
+        std::vector<float> g1w(w.fc1_w.size(), 0.0f), g1b(500, 0.0f);
+        std::vector<float> g2w(w.fc2_w.size(), 0.0f), g2b(10, 0.0f);
+        for (int b = 0; b < batch; b++) {
+            const size_t idx = size_t(rng.below(data.count()));
+            const auto &feat = feats[idx];
+            std::vector<float> f1, probs;
+            headForward(w, feat, f1, probs);
+
+            std::vector<float> dlogits(10);
+            for (int o = 0; o < 10; o++)
+                dlogits[size_t(o)] =
+                    probs[size_t(o)] -
+                    (uint32_t(o) == data.labels[idx] ? 1.0f : 0.0f);
+
+            std::vector<float> df1(500, 0.0f);
+            for (int o = 0; o < 10; o++) {
+                g2b[size_t(o)] += dlogits[size_t(o)];
+                for (int i = 0; i < 500; i++) {
+                    g2w[size_t(o) * 500 + i] +=
+                        dlogits[size_t(o)] * f1[size_t(i)];
+                    df1[size_t(i)] +=
+                        dlogits[size_t(o)] * w.fc2_w[size_t(o) * 500 + i];
+                }
+            }
+            for (int o = 0; o < 500; o++) {
+                if (f1[size_t(o)] <= 0.0f)
+                    continue; // relu gate
+                g1b[size_t(o)] += df1[size_t(o)];
+                for (int i = 0; i < 800; i++)
+                    g1w[size_t(o) * 800 + i] +=
+                        df1[size_t(o)] * feat[size_t(i)];
+            }
+        }
+        const float s = lr / float(batch);
+        for (size_t i = 0; i < w.fc1_w.size(); i++)
+            w.fc1_w[i] -= s * g1w[i];
+        for (size_t i = 0; i < w.fc1_b.size(); i++)
+            w.fc1_b[i] -= s * g1b[i];
+        for (size_t i = 0; i < w.fc2_w.size(); i++)
+            w.fc2_w[i] -= s * g2w[i];
+        for (size_t i = 0; i < w.fc2_b.size(); i++)
+            w.fc2_b[i] -= s * g2b[i];
+    }
+    return w;
+}
+
+double
+cpuAccuracy(const LeNetWeights &w, const MnistData &data)
+{
+    size_t correct = 0;
+    for (size_t i = 0; i < data.count(); i++)
+        if (uint32_t(cpuPredict(w, data.image(i))) == data.labels[i])
+            correct++;
+    return data.count() ? double(correct) / double(data.count()) : 0.0;
+}
+
+} // namespace mlgs::torchlet

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CPU mirror of LeNet, built on the cudnn CPU reference ops. Serves two
+ * roles: (i) the trusted "hardware" result the paper compares against, and
+ * (ii) a fast host-side trainer that produces the pretrained weights the
+ * simulated inference self-checks against (the convolutional features stay
+ * at their seeded random initialization; only the MLP head is fitted, which
+ * is ample for the synthetic digit set).
+ */
+#ifndef MLGS_TORCHLET_LENET_CPU_H
+#define MLGS_TORCHLET_LENET_CPU_H
+
+#include "torchlet/lenet.h"
+#include "torchlet/mnist_synth.h"
+
+namespace mlgs::torchlet
+{
+
+/** Randomly initialized weights with the same seeding as the device net. */
+LeNetWeights makeLeNetWeights(uint64_t seed);
+
+/** Full CPU forward pass; returns softmax probabilities (10). */
+std::vector<float> cpuForward(const LeNetWeights &w, const float *image);
+
+/** CPU argmax prediction. */
+int cpuPredict(const LeNetWeights &w, const float *image);
+
+/**
+ * Train the MLP head on host against the dataset; conv weights remain at
+ * their seeded values. Returns the complete weight set.
+ */
+LeNetWeights trainLeNetOnHost(const MnistData &data, uint64_t seed,
+                              int steps = 400, int batch = 16,
+                              float lr = 0.05f);
+
+/** Accuracy of the CPU model over a dataset. */
+double cpuAccuracy(const LeNetWeights &w, const MnistData &data);
+
+} // namespace mlgs::torchlet
+
+#endif // MLGS_TORCHLET_LENET_CPU_H

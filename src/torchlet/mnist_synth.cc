@@ -1,0 +1,150 @@
+#include "torchlet/mnist_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mlgs::torchlet
+{
+
+namespace
+{
+
+struct Pt
+{
+    float x, y;
+};
+
+/** Polyline stroke definitions per digit, in unit coordinates. */
+const std::vector<std::vector<Pt>> &
+digitStrokes()
+{
+    static const std::vector<std::vector<Pt>> strokes = {
+        // 0: octagonal loop
+        {{0.5f, 0.1f}, {0.78f, 0.25f}, {0.8f, 0.5f}, {0.78f, 0.75f},
+         {0.5f, 0.9f}, {0.22f, 0.75f}, {0.2f, 0.5f}, {0.22f, 0.25f},
+         {0.5f, 0.1f}},
+        // 1: flag + vertical
+        {{0.35f, 0.25f}, {0.55f, 0.1f}, {0.55f, 0.9f}},
+        // 2: top arc, diagonal, base
+        {{0.25f, 0.25f}, {0.45f, 0.1f}, {0.7f, 0.2f}, {0.75f, 0.4f},
+         {0.3f, 0.9f}, {0.8f, 0.9f}},
+        // 3: double bump
+        {{0.25f, 0.15f}, {0.65f, 0.1f}, {0.75f, 0.3f}, {0.5f, 0.48f},
+         {0.78f, 0.65f}, {0.65f, 0.9f}, {0.25f, 0.85f}},
+        // 4: diagonal, crossbar, vertical
+        {{0.6f, 0.1f}, {0.2f, 0.6f}, {0.8f, 0.6f}},
+        // 5: top bar, descender, bowl
+        {{0.75f, 0.1f}, {0.3f, 0.1f}, {0.28f, 0.45f}, {0.65f, 0.45f},
+         {0.78f, 0.68f}, {0.6f, 0.9f}, {0.25f, 0.85f}},
+        // 6: hook + loop
+        {{0.7f, 0.12f}, {0.35f, 0.3f}, {0.25f, 0.6f}, {0.4f, 0.9f},
+         {0.7f, 0.82f}, {0.72f, 0.6f}, {0.3f, 0.55f}},
+        // 7: top bar + diagonal
+        {{0.2f, 0.12f}, {0.8f, 0.12f}, {0.45f, 0.9f}},
+        // 8: two stacked loops
+        {{0.5f, 0.1f}, {0.75f, 0.25f}, {0.5f, 0.45f}, {0.25f, 0.25f},
+         {0.5f, 0.1f}},
+        // 9: loop + tail (second stroke of 8 appended below)
+        {{0.72f, 0.35f}, {0.5f, 0.5f}, {0.28f, 0.32f}, {0.4f, 0.12f},
+         {0.68f, 0.15f}, {0.72f, 0.35f}, {0.68f, 0.9f}},
+    };
+    return strokes;
+}
+
+/** Second stroke of '4' (vertical) and lower loop of '8'. */
+const std::vector<std::vector<Pt>> &
+digitStrokes2()
+{
+    static const std::vector<std::vector<Pt>> strokes = {
+        {},                                          // 0
+        {},                                          // 1
+        {},                                          // 2
+        {},                                          // 3
+        {{0.6f, 0.1f}, {0.6f, 0.9f}},                // 4
+        {},                                          // 5
+        {},                                          // 6
+        {},                                          // 7
+        {{0.5f, 0.45f}, {0.78f, 0.68f}, {0.5f, 0.9f},
+         {0.22f, 0.68f}, {0.5f, 0.45f}},             // 8
+        {},                                          // 9
+    };
+    return strokes;
+}
+
+float
+segmentDistance(float px, float py, Pt a, Pt b)
+{
+    const float vx = b.x - a.x, vy = b.y - a.y;
+    const float wx = px - a.x, wy = py - a.y;
+    const float len2 = vx * vx + vy * vy;
+    float t = len2 > 0 ? (wx * vx + wy * vy) / len2 : 0.0f;
+    t = std::clamp(t, 0.0f, 1.0f);
+    const float dx = px - (a.x + t * vx), dy = py - (a.y + t * vy);
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+} // namespace
+
+std::vector<float>
+renderDigit(unsigned digit, uint64_t seed)
+{
+    digit %= 10;
+    Rng rng(seed * 1000003ull + digit);
+    const float tx = rng.uniform(-0.07f, 0.07f);
+    const float ty = rng.uniform(-0.07f, 0.07f);
+    const float scale = rng.uniform(0.85f, 1.1f);
+    const float rot = rng.uniform(-0.15f, 0.15f);
+    const float thickness = rng.uniform(0.05f, 0.075f);
+    const float cr = std::cos(rot), sr = std::sin(rot);
+
+    auto jitter = [&](Pt p) {
+        // Center, scale, rotate, translate.
+        const float cx = (p.x - 0.5f) * scale;
+        const float cy = (p.y - 0.5f) * scale;
+        return Pt{0.5f + cr * cx - sr * cy + tx, 0.5f + sr * cx + cr * cy + ty};
+    };
+
+    std::vector<std::pair<Pt, Pt>> segs;
+    auto addStrokes = [&](const std::vector<Pt> &pts) {
+        for (size_t i = 0; i + 1 < pts.size(); i++)
+            segs.emplace_back(jitter(pts[i]), jitter(pts[i + 1]));
+    };
+    addStrokes(digitStrokes()[digit]);
+    addStrokes(digitStrokes2()[digit]);
+
+    std::vector<float> img(kMnistPixels, 0.0f);
+    for (unsigned y = 0; y < kMnistSide; y++)
+        for (unsigned x = 0; x < kMnistSide; x++) {
+            const float px = (float(x) + 0.5f) / kMnistSide;
+            const float py = (float(y) + 0.5f) / kMnistSide;
+            float d = 1e9f;
+            for (const auto &[a, b] : segs)
+                d = std::min(d, segmentDistance(px, py, a, b));
+            float v = 1.0f - (d - thickness) / 0.03f;
+            v = std::clamp(v, 0.0f, 1.0f);
+            // Light pixel noise.
+            v += float(rng.gauss()) * 0.02f;
+            img[y * kMnistSide + x] = std::clamp(v, 0.0f, 1.0f);
+        }
+    return img;
+}
+
+MnistData
+makeMnist(size_t count, uint64_t seed)
+{
+    MnistData data;
+    data.images.reserve(count * kMnistPixels);
+    data.labels.reserve(count);
+    Rng rng(seed);
+    for (size_t i = 0; i < count; i++) {
+        const unsigned digit = unsigned(i % 10);
+        const auto img = renderDigit(digit, seed * 77 + i);
+        data.images.insert(data.images.end(), img.begin(), img.end());
+        data.labels.push_back(digit);
+    }
+    return data;
+}
+
+} // namespace mlgs::torchlet

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Synthetic MNIST substitute: deterministic procedural renderings of the
+ * digits 0-9 on a 28x28 grid with per-sample jitter (translation, scale,
+ * rotation, stroke noise). The real dataset is unavailable offline; the
+ * paper's workload only needs a 10-class digit problem with the same tensor
+ * shapes (documented in DESIGN.md).
+ */
+#ifndef MLGS_TORCHLET_MNIST_SYNTH_H
+#define MLGS_TORCHLET_MNIST_SYNTH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mlgs::torchlet
+{
+
+constexpr unsigned kMnistSide = 28;
+constexpr unsigned kMnistPixels = kMnistSide * kMnistSide;
+
+/** A labelled image set, pixel values in [0, 1]. */
+struct MnistData
+{
+    std::vector<float> images; ///< count * 28*28
+    std::vector<uint32_t> labels;
+
+    size_t count() const { return labels.size(); }
+    const float *image(size_t i) const { return images.data() + i * kMnistPixels; }
+};
+
+/** Render one digit with jitter drawn from the given seed. */
+std::vector<float> renderDigit(unsigned digit, uint64_t seed);
+
+/** Generate a balanced dataset of `count` samples. */
+MnistData makeMnist(size_t count, uint64_t seed);
+
+} // namespace mlgs::torchlet
+
+#endif // MLGS_TORCHLET_MNIST_SYNTH_H

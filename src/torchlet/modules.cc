@@ -1,0 +1,246 @@
+#include "torchlet/modules.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mlgs::torchlet
+{
+
+namespace
+{
+
+Param
+makeParam(cuda::Context &ctx, size_t count)
+{
+    Param p;
+    p.count = count;
+    p.data = ctx.malloc(count * 4);
+    p.grad = ctx.malloc(count * 4);
+    return p;
+}
+
+void
+fillRandom(cuda::Context &ctx, const Param &p, uint64_t seed, float scale)
+{
+    Rng rng(seed);
+    std::vector<float> v(p.count);
+    for (auto &x : v)
+        x = float(rng.gauss()) * scale;
+    ctx.memcpyH2D(p.data, v.data(), v.size() * 4);
+}
+
+} // namespace
+
+// ---- Conv2d ----
+
+Conv2d::Conv2d(cudnn::CudnnHandle &h, int in_c, int out_c, int ksize, int pad,
+               uint64_t seed)
+    : h_(&h), wd_(out_c, in_c, ksize, ksize)
+{
+    conv_.pad = pad;
+    conv_.stride = 1;
+    auto &ctx = h.context();
+    weight = makeParam(ctx, wd_.count());
+    bias = makeParam(ctx, size_t(out_c));
+    const float scale = std::sqrt(2.0f / float(in_c * ksize * ksize));
+    fillRandom(ctx, weight, seed, scale);
+    ctx.memsetD(bias.data, 0, bias.count * 4);
+}
+
+cudnn::TensorDesc
+Conv2d::outputDesc(const cudnn::TensorDesc &x) const
+{
+    return conv_.outputDim(x, wd_);
+}
+
+void
+Conv2d::forward(const Tensor &x, Tensor &y)
+{
+    h_->convolutionForward(x.desc(), x.data(), wd_, weight.data, conv_,
+                           fwd_algo, y.desc(), y.data());
+    h_->addTensorBias(y.desc(), y.data(), bias.data);
+}
+
+void
+Conv2d::backward(const Tensor &x, const Tensor &y, bool need_dx)
+{
+    h_->biasBackward(y.desc(), y.grad(), bias.grad);
+    h_->convolutionBackwardFilter(x.desc(), x.data(), y.desc(), y.grad(),
+                                  conv_, bwd_filter_algo, wd_, weight.grad);
+    if (need_dx)
+        h_->convolutionBackwardData(wd_, weight.data, y.desc(), y.grad(),
+                                    conv_, bwd_data_algo, x.desc(), x.grad());
+}
+
+void
+Conv2d::step(float lr)
+{
+    h_->sgdStep(weight.data, weight.grad, weight.count, lr);
+    h_->sgdStep(bias.data, bias.grad, bias.count, lr);
+}
+
+void
+Conv2d::setWeights(const std::vector<float> &w, const std::vector<float> &b)
+{
+    MLGS_REQUIRE(w.size() == weight.count && b.size() == bias.count,
+                 "conv weight shape mismatch");
+    h_->context().memcpyH2D(weight.data, w.data(), w.size() * 4);
+    h_->context().memcpyH2D(bias.data, b.data(), b.size() * 4);
+}
+
+std::vector<float>
+Conv2d::getWeight() const
+{
+    std::vector<float> v(weight.count);
+    h_->context().memcpyD2H(v.data(), weight.data, v.size() * 4);
+    return v;
+}
+
+std::vector<float>
+Conv2d::getBias() const
+{
+    std::vector<float> v(bias.count);
+    h_->context().memcpyD2H(v.data(), bias.data, v.size() * 4);
+    return v;
+}
+
+// ---- Linear ----
+
+Linear::Linear(cudnn::CudnnHandle &h, int in_f, int out_f, uint64_t seed)
+    : h_(&h), in_(in_f), out_(out_f)
+{
+    auto &ctx = h.context();
+    weight = makeParam(ctx, size_t(in_f) * out_f);
+    bias = makeParam(ctx, size_t(out_f));
+    fillRandom(ctx, weight, seed, std::sqrt(2.0f / float(in_f)));
+    ctx.memsetD(bias.data, 0, bias.count * 4);
+    weight_t_ = ctx.malloc(weight.count * 4);
+}
+
+void
+Linear::syncTransposed()
+{
+    if (!weight_t_dirty_)
+        return;
+    // Host-side transpose (weights change rarely relative to inference use).
+    auto &ctx = h_->context();
+    std::vector<float> w(weight.count), wt(weight.count);
+    ctx.memcpyD2H(w.data(), weight.data, w.size() * 4);
+    for (int o = 0; o < out_; o++)
+        for (int i = 0; i < in_; i++)
+            wt[size_t(i) * out_ + o] = w[size_t(o) * in_ + i];
+    ctx.memcpyH2D(weight_t_, wt.data(), wt.size() * 4);
+    weight_t_dirty_ = false;
+}
+
+void
+Linear::forward(const Tensor &x, Tensor &y)
+{
+    const int batch = x.desc().n;
+    if (batch == 1 && use_gemv2t) {
+        syncTransposed();
+        h_->blas().gemv2T(unsigned(out_), unsigned(in_), 1.0f, weight_t_,
+                          x.data(), y.data());
+    } else {
+        // y[batch, out] = x[batch, in] * W^T
+        h_->blas().sgemm(blas::Op::N, blas::Op::T, unsigned(batch),
+                         unsigned(out_), unsigned(in_), 1.0f, x.data(),
+                         weight.data, 0.0f, y.data());
+    }
+    h_->addTensorBias(cudnn::TensorDesc(batch, out_, 1, 1), y.data(),
+                      bias.data);
+}
+
+void
+Linear::backward(const Tensor &x, const Tensor &y, bool need_dx)
+{
+    const int batch = x.desc().n;
+    // db = column sums of dy.
+    h_->biasBackward(cudnn::TensorDesc(batch, out_, 1, 1), y.grad(),
+                     bias.grad);
+    // dW[out, in] = dy^T[out, batch] * x[batch, in]
+    h_->blas().sgemm(blas::Op::T, blas::Op::N, unsigned(out_), unsigned(in_),
+                     unsigned(batch), 1.0f, y.grad(), x.data(), 0.0f,
+                     weight.grad);
+    if (need_dx) {
+        // dx[batch, in] = dy[batch, out] * W[out, in]
+        h_->blas().sgemm(blas::Op::N, blas::Op::N, unsigned(batch),
+                         unsigned(in_), unsigned(out_), 1.0f, y.grad(),
+                         weight.data, 0.0f, x.grad());
+    }
+    weight_t_dirty_ = true;
+}
+
+void
+Linear::step(float lr)
+{
+    h_->sgdStep(weight.data, weight.grad, weight.count, lr);
+    h_->sgdStep(bias.data, bias.grad, bias.count, lr);
+    weight_t_dirty_ = true;
+}
+
+void
+Linear::setWeights(const std::vector<float> &w, const std::vector<float> &b)
+{
+    MLGS_REQUIRE(w.size() == weight.count && b.size() == bias.count,
+                 "linear weight shape mismatch");
+    h_->context().memcpyH2D(weight.data, w.data(), w.size() * 4);
+    h_->context().memcpyH2D(bias.data, b.data(), b.size() * 4);
+    weight_t_dirty_ = true;
+}
+
+// ---- Activation ----
+
+void
+Activation::forward(const Tensor &x, Tensor &y)
+{
+    h_->activationForward(mode_, x.count(), x.data(), y.data());
+}
+
+void
+Activation::backward(const Tensor &x, const Tensor &y)
+{
+    h_->activationBackward(mode_, x.count(), y.data(), y.grad(), x.grad());
+}
+
+// ---- MaxPool2d ----
+
+void
+MaxPool2d::forward(const Tensor &x, Tensor &y)
+{
+    if (mask_capacity < y.count()) {
+        mask_ = h_->context().malloc(y.count() * 4);
+        mask_capacity = y.count();
+    }
+    h_->poolingForward(x.desc(), x.data(), win_, y.data(), mask_);
+}
+
+void
+MaxPool2d::backward(const Tensor &x, const Tensor &y)
+{
+    (void)y;
+    h_->poolingBackward(x.desc(), win_, y.grad(), mask_, x.grad());
+}
+
+// ---- Lrn ----
+
+void
+Lrn::forward(const Tensor &x, Tensor &y)
+{
+    if (scale_capacity < x.count()) {
+        scale_ = h_->context().malloc(x.count() * 4);
+        scale_capacity = x.count();
+    }
+    h_->lrnForward(x.desc(), x.data(), y.data(), scale_, win_, alpha_, beta_,
+                   k_);
+}
+
+void
+Lrn::backward(const Tensor &x, const Tensor &y)
+{
+    h_->lrnBackward(x.desc(), x.data(), y.data(), scale_, y.grad(), x.grad(),
+                    win_, alpha_, beta_);
+}
+
+} // namespace mlgs::torchlet

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * torchlet: a deliberately small PyTorch-like layer on top of cudnn-lite —
+ * device tensors plus stateful modules with forward/backward. It plays the
+ * role PyTorch plays in the paper: a Python-level framework whose every
+ * numeric operation lands in cuDNN/cuBLAS kernels on the simulated GPU.
+ */
+#ifndef MLGS_TORCHLET_MODULES_H
+#define MLGS_TORCHLET_MODULES_H
+
+#include "cudnn/cudnn.h"
+
+namespace mlgs::torchlet
+{
+
+/** Device tensor with an optional gradient buffer. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    Tensor(cuda::Context &ctx, const cudnn::TensorDesc &desc, bool with_grad)
+        : ctx_(&ctx), desc_(desc)
+    {
+        data_ = ctx.malloc(desc.bytes());
+        if (with_grad)
+            grad_ = ctx.malloc(desc.bytes());
+    }
+
+    const cudnn::TensorDesc &desc() const { return desc_; }
+    addr_t data() const { return data_; }
+    addr_t grad() const { return grad_; }
+    size_t count() const { return desc_.count(); }
+
+    void
+    upload(const float *src)
+    {
+        ctx_->memcpyH2D(data_, src, desc_.bytes());
+    }
+
+    std::vector<float>
+    download() const
+    {
+        std::vector<float> v(count());
+        ctx_->memcpyD2H(v.data(), data_, desc_.bytes());
+        return v;
+    }
+
+    std::vector<float>
+    downloadGrad() const
+    {
+        std::vector<float> v(count());
+        ctx_->memcpyD2H(v.data(), grad_, desc_.bytes());
+        return v;
+    }
+
+  private:
+    cuda::Context *ctx_ = nullptr;
+    cudnn::TensorDesc desc_;
+    addr_t data_ = 0;
+    addr_t grad_ = 0;
+};
+
+/** Learnable parameter block (flat). */
+struct Param
+{
+    addr_t data = 0;
+    addr_t grad = 0;
+    size_t count = 0;
+};
+
+/** Convolution module with selectable cudnn algorithms. */
+class Conv2d
+{
+  public:
+    Conv2d(cudnn::CudnnHandle &h, int in_c, int out_c, int ksize, int pad,
+           uint64_t seed);
+
+    cudnn::TensorDesc outputDesc(const cudnn::TensorDesc &x) const;
+
+    void forward(const Tensor &x, Tensor &y);
+    /** Computes dx (into x.grad) and parameter gradients. */
+    void backward(const Tensor &x, const Tensor &y, bool need_dx);
+    void step(float lr);
+
+    cudnn::ConvFwdAlgo fwd_algo = cudnn::ConvFwdAlgo::ImplicitGemm;
+    cudnn::ConvBwdDataAlgo bwd_data_algo = cudnn::ConvBwdDataAlgo::Algo1;
+    cudnn::ConvBwdFilterAlgo bwd_filter_algo = cudnn::ConvBwdFilterAlgo::Algo1;
+
+    Param weight;
+    Param bias;
+    cudnn::FilterDesc filterDesc() const { return wd_; }
+
+    /** Host access for weight IO. */
+    void setWeights(const std::vector<float> &w, const std::vector<float> &b);
+    std::vector<float> getWeight() const;
+    std::vector<float> getBias() const;
+
+  private:
+    cudnn::CudnnHandle *h_;
+    cudnn::FilterDesc wd_;
+    cudnn::ConvDesc conv_;
+};
+
+/** Fully connected layer (row-major weights [out, in]). */
+class Linear
+{
+  public:
+    Linear(cudnn::CudnnHandle &h, int in_f, int out_f, uint64_t seed);
+
+    /**
+     * Forward; when batch == 1 and use_gemv2t is set the transposed-GEMV
+     * kernel is used (the paper's GEMV2T), else SGEMM.
+     */
+    void forward(const Tensor &x, Tensor &y);
+    void backward(const Tensor &x, const Tensor &y, bool need_dx);
+    void step(float lr);
+
+    bool use_gemv2t = false;
+
+    Param weight; ///< [out, in] row-major; gemv2t path reads [in, out] copy
+    Param bias;
+    int inFeatures() const { return in_; }
+    int outFeatures() const { return out_; }
+
+    void setWeights(const std::vector<float> &w, const std::vector<float> &b);
+
+  private:
+    void syncTransposed();
+
+    cudnn::CudnnHandle *h_;
+    int in_, out_;
+    addr_t weight_t_ = 0; ///< [in, out] copy for the GEMV2T kernel
+    bool weight_t_dirty_ = true;
+};
+
+/** ReLU / Sigmoid / Tanh. */
+class Activation
+{
+  public:
+    Activation(cudnn::CudnnHandle &h, cudnn::ActivationMode mode)
+        : h_(&h), mode_(mode)
+    {
+    }
+
+    void forward(const Tensor &x, Tensor &y);
+    void backward(const Tensor &x, const Tensor &y);
+
+  private:
+    cudnn::CudnnHandle *h_;
+    cudnn::ActivationMode mode_;
+};
+
+/** 2x2 (or win x win) max pooling, stride == window. */
+class MaxPool2d
+{
+  public:
+    MaxPool2d(cudnn::CudnnHandle &h, int win) : h_(&h), win_(win) {}
+
+    cudnn::TensorDesc
+    outputDesc(const cudnn::TensorDesc &x) const
+    {
+        return cudnn::TensorDesc(x.n, x.c, x.h / win_, x.w / win_);
+    }
+
+    void forward(const Tensor &x, Tensor &y);
+    void backward(const Tensor &x, const Tensor &y);
+
+  private:
+    cudnn::CudnnHandle *h_;
+    int win_;
+    addr_t mask_ = 0;
+    size_t mask_capacity = 0;
+};
+
+/** Cross-channel LRN. */
+class Lrn
+{
+  public:
+    Lrn(cudnn::CudnnHandle &h, int win, float alpha, float beta, float k)
+        : h_(&h), win_(win), alpha_(alpha), beta_(beta), k_(k)
+    {
+    }
+
+    void forward(const Tensor &x, Tensor &y);
+    void backward(const Tensor &x, const Tensor &y);
+
+  private:
+    cudnn::CudnnHandle *h_;
+    int win_;
+    float alpha_, beta_, k_;
+    addr_t scale_ = 0;
+    size_t scale_capacity = 0;
+};
+
+} // namespace mlgs::torchlet
+
+#endif // MLGS_TORCHLET_MODULES_H

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * cuBLAS-lite tests against CPU references, including parameterized shape
+ * sweeps over transposes and odd sizes.
+ */
+#include <gtest/gtest.h>
+
+#include "blas/blas.h"
+#include "common/rng.h"
+
+using namespace mlgs;
+using namespace mlgs::blas;
+
+namespace
+{
+
+std::vector<float>
+randomVec(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = rng.uniform(-1.0f, 1.0f);
+    return v;
+}
+
+void
+refGemm(Op ta, Op tb, unsigned m, unsigned n, unsigned k, float alpha,
+        const std::vector<float> &a, const std::vector<float> &b, float beta,
+        std::vector<float> &c)
+{
+    for (unsigned i = 0; i < m; i++)
+        for (unsigned j = 0; j < n; j++) {
+            double acc = 0;
+            for (unsigned kk = 0; kk < k; kk++) {
+                const float av = ta == Op::N ? a[i * k + kk] : a[kk * m + i];
+                const float bv = tb == Op::N ? b[kk * n + j] : b[j * k + kk];
+                acc += double(av) * bv;
+            }
+            c[i * n + j] = float(alpha * acc + beta * c[i * n + j]);
+        }
+}
+
+struct GemmCase
+{
+    Op ta, tb;
+    unsigned m, n, k;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase>
+{
+};
+
+TEST_P(GemmSweep, MatchesReference)
+{
+    const GemmCase gc = GetParam();
+    cuda::Context ctx;
+    BlasHandle blas(ctx);
+
+    const auto ha = randomVec(size_t(gc.m) * gc.k, 1);
+    const auto hb = randomVec(size_t(gc.k) * gc.n, 2);
+    auto hc = randomVec(size_t(gc.m) * gc.n, 3);
+
+    const addr_t da = ctx.malloc(ha.size() * 4);
+    const addr_t db = ctx.malloc(hb.size() * 4);
+    const addr_t dc = ctx.malloc(hc.size() * 4);
+    ctx.memcpyH2D(da, ha.data(), ha.size() * 4);
+    ctx.memcpyH2D(db, hb.data(), hb.size() * 4);
+    ctx.memcpyH2D(dc, hc.data(), hc.size() * 4);
+
+    std::vector<float> expect = hc;
+    refGemm(gc.ta, gc.tb, gc.m, gc.n, gc.k, 1.0f, ha, hb, 0.5f, expect);
+
+    blas.sgemm(gc.ta, gc.tb, gc.m, gc.n, gc.k, 1.0f, da, db, 0.5f, dc);
+    ctx.deviceSynchronize();
+
+    std::vector<float> got(hc.size());
+    ctx.memcpyD2H(got.data(), dc, got.size() * 4);
+    for (size_t i = 0; i < got.size(); i++)
+        ASSERT_NEAR(got[i], expect[i], 1e-4f) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmCase{Op::N, Op::N, 16, 16, 16},
+                      GemmCase{Op::N, Op::N, 33, 17, 29},
+                      GemmCase{Op::N, Op::N, 64, 64, 64},
+                      GemmCase{Op::N, Op::N, 1, 100, 7},
+                      GemmCase{Op::T, Op::N, 24, 18, 31},
+                      GemmCase{Op::N, Op::T, 24, 18, 31},
+                      GemmCase{Op::T, Op::T, 19, 23, 15}));
+
+TEST(Blas, Sgemv)
+{
+    cuda::Context ctx;
+    BlasHandle blas(ctx);
+    const unsigned m = 37, n = 53;
+    const auto ha = randomVec(size_t(m) * n, 7);
+    const auto hx = randomVec(n, 8);
+    const addr_t da = ctx.malloc(ha.size() * 4);
+    const addr_t dx = ctx.malloc(hx.size() * 4);
+    const addr_t dy = ctx.malloc(m * 4);
+    ctx.memcpyH2D(da, ha.data(), ha.size() * 4);
+    ctx.memcpyH2D(dx, hx.data(), hx.size() * 4);
+
+    blas.sgemv(m, n, 2.0f, da, dx, dy);
+    ctx.deviceSynchronize();
+
+    std::vector<float> got(m);
+    ctx.memcpyD2H(got.data(), dy, m * 4);
+    for (unsigned i = 0; i < m; i++) {
+        double acc = 0;
+        for (unsigned j = 0; j < n; j++)
+            acc += double(ha[i * n + j]) * hx[j];
+        ASSERT_NEAR(got[i], 2.0 * acc, 1e-4) << i;
+    }
+}
+
+TEST(Blas, Gemv2T)
+{
+    cuda::Context ctx;
+    BlasHandle blas(ctx);
+    const unsigned m = 41, n = 29;
+    const auto ha = randomVec(size_t(m) * n, 9); // stored as N rows of M
+    const auto hx = randomVec(n, 10);
+    const addr_t da = ctx.malloc(ha.size() * 4);
+    const addr_t dx = ctx.malloc(hx.size() * 4);
+    const addr_t dy = ctx.malloc(m * 4);
+    ctx.memcpyH2D(da, ha.data(), ha.size() * 4);
+    ctx.memcpyH2D(dx, hx.data(), hx.size() * 4);
+
+    blas.gemv2T(m, n, 1.0f, da, dx, dy);
+    ctx.deviceSynchronize();
+
+    std::vector<float> got(m);
+    ctx.memcpyD2H(got.data(), dy, m * 4);
+    for (unsigned i = 0; i < m; i++) {
+        double acc = 0;
+        for (unsigned j = 0; j < n; j++)
+            acc += double(ha[j * m + i]) * hx[j];
+        ASSERT_NEAR(got[i], acc, 1e-4) << i;
+    }
+}
+
+TEST(Blas, BgemmStridedBatch)
+{
+    cuda::Context ctx;
+    BlasHandle blas(ctx);
+    const unsigned m = 6, n = 5, k = 7, batch = 9;
+    const auto ha = randomVec(size_t(batch) * m * k, 11);
+    const auto hb = randomVec(size_t(batch) * k * n, 12);
+    std::vector<float> hc(size_t(batch) * m * n, 0.0f);
+    const addr_t da = ctx.malloc(ha.size() * 4);
+    const addr_t db = ctx.malloc(hb.size() * 4);
+    const addr_t dc = ctx.malloc(hc.size() * 4);
+    ctx.memcpyH2D(da, ha.data(), ha.size() * 4);
+    ctx.memcpyH2D(db, hb.data(), hb.size() * 4);
+    ctx.memcpyH2D(dc, hc.data(), hc.size() * 4);
+
+    blas.bgemmStrided(m, n, k, batch, da, m * k, k, 1, db, k * n, n, 1, dc,
+                      m * n, n, 1, 0.0f);
+    ctx.deviceSynchronize();
+
+    std::vector<float> got(hc.size());
+    ctx.memcpyD2H(got.data(), dc, got.size() * 4);
+    for (unsigned b = 0; b < batch; b++)
+        for (unsigned i = 0; i < m; i++)
+            for (unsigned j = 0; j < n; j++) {
+                double acc = 0;
+                for (unsigned kk = 0; kk < k; kk++)
+                    acc += double(ha[(size_t(b) * m + i) * k + kk]) *
+                           hb[(size_t(b) * k + kk) * n + j];
+                ASSERT_NEAR(got[(size_t(b) * m + i) * n + j], acc, 1e-4);
+            }
+}
+
+TEST(Blas, BgemmTransposedViaStrides)
+{
+    // C[b] = A[b]^T * B[b] expressed purely through strides.
+    cuda::Context ctx;
+    BlasHandle blas(ctx);
+    const unsigned m = 4, n = 3, k = 5, batch = 2;
+    const auto ha = randomVec(size_t(batch) * k * m, 21); // stored KxM
+    const auto hb = randomVec(size_t(batch) * k * n, 22);
+    std::vector<float> hc(size_t(batch) * m * n, 0.0f);
+    const addr_t da = ctx.malloc(ha.size() * 4);
+    const addr_t db = ctx.malloc(hb.size() * 4);
+    const addr_t dc = ctx.malloc(hc.size() * 4);
+    ctx.memcpyH2D(da, ha.data(), ha.size() * 4);
+    ctx.memcpyH2D(db, hb.data(), hb.size() * 4);
+    ctx.memcpyH2D(dc, hc.data(), hc.size() * 4);
+
+    blas.bgemmStrided(m, n, k, batch, da, k * m, 1, m, db, k * n, n, 1, dc,
+                      m * n, n, 1, 0.0f);
+    ctx.deviceSynchronize();
+
+    std::vector<float> got(hc.size());
+    ctx.memcpyD2H(got.data(), dc, got.size() * 4);
+    for (unsigned b = 0; b < batch; b++)
+        for (unsigned i = 0; i < m; i++)
+            for (unsigned j = 0; j < n; j++) {
+                double acc = 0;
+                for (unsigned kk = 0; kk < k; kk++)
+                    acc += double(ha[(size_t(b) * k + kk) * m + i]) *
+                           hb[(size_t(b) * k + kk) * n + j];
+                ASSERT_NEAR(got[(size_t(b) * m + i) * n + j], acc, 1e-4);
+            }
+}
+
+} // namespace

@@ -1,0 +1,527 @@
+/**
+ * @file
+ * cudnn-lite correctness: every convolution algorithm against the CPU
+ * reference (parameterized sweeps), Winograd transform identities, FFT
+ * round-trip properties, and the auxiliary layers.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "cudnn/cudnn.h"
+#include "cudnn/reference.h"
+#include "cudnn/winograd_tx.h"
+
+using namespace mlgs;
+using namespace mlgs::cudnn;
+
+namespace
+{
+
+std::vector<float>
+randomVec(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = rng.uniform(-1.0f, 1.0f);
+    return v;
+}
+
+float
+maxAbs(const std::vector<float> &v)
+{
+    float m = 0;
+    for (const float x : v)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+void
+expectClose(const std::vector<float> &got, const std::vector<float> &want,
+            float tol)
+{
+    ASSERT_EQ(got.size(), want.size());
+    const float scale = std::max(1.0f, maxAbs(want));
+    for (size_t i = 0; i < got.size(); i++)
+        ASSERT_NEAR(got[i], want[i], tol * scale) << "at index " << i;
+}
+
+// ---- Winograd transform identities ----
+
+TEST(WinogradTx, OneDimensionalIdentity)
+{
+    for (const auto &[m, r] : {std::pair<unsigned, unsigned>{2, 3},
+                               {2, 5},
+                               {4, 3}}) {
+        const WinogradTx tx = makeWinogradTx(m, r);
+        const unsigned t = tx.t;
+        Rng rng(42 + m * 10 + r);
+        for (int trial = 0; trial < 20; trial++) {
+            std::vector<double> g(r), d(t);
+            for (auto &v : g)
+                v = rng.uniform(-1.0f, 1.0f);
+            for (auto &v : d)
+                v = rng.uniform(-1.0f, 1.0f);
+            // U = G g ; V = B^T d ; Y = A^T (U ⊙ V)
+            std::vector<double> u(t, 0), v(t, 0);
+            for (unsigned i = 0; i < t; i++) {
+                for (unsigned j = 0; j < r; j++)
+                    u[i] += double(tx.g[i * r + j]) * g[j];
+                for (unsigned j = 0; j < t; j++)
+                    v[i] += double(tx.bt[i * t + j]) * d[j];
+            }
+            for (unsigned o = 0; o < m; o++) {
+                double y = 0;
+                for (unsigned i = 0; i < t; i++)
+                    y += double(tx.at[o * t + i]) * u[i] * v[i];
+                double want = 0;
+                for (unsigned j = 0; j < r; j++)
+                    want += d[o + j] * g[j];
+                ASSERT_NEAR(y, want, 1e-6) // matrices stored as float32
+                    << "F(" << m << "," << r << ") output " << o;
+            }
+        }
+    }
+}
+
+// ---- convolution algorithm sweeps ----
+
+struct ConvCase
+{
+    ref::ConvShape shape;
+    const char *name;
+};
+
+class FwdAlgoSweep
+    : public ::testing::TestWithParam<std::tuple<ConvFwdAlgo, int>>
+{
+  public:
+    static const std::vector<ConvCase> &
+    cases()
+    {
+        static const std::vector<ConvCase> kCases = {
+            {{1, 1, 8, 8, 2, 3, 3, 0, 1}, "tiny"},
+            {{2, 3, 12, 12, 4, 3, 3, 1, 1}, "pad1"},
+            {{1, 2, 14, 14, 3, 5, 5, 0, 1}, "5x5"},
+            {{2, 2, 9, 11, 3, 3, 3, 1, 1}, "rect"},
+        };
+        return kCases;
+    }
+};
+
+bool
+algoSupports(ConvFwdAlgo algo, const ref::ConvShape &cs)
+{
+    if (algo == ConvFwdAlgo::ImplicitGemm || algo == ConvFwdAlgo::Gemm)
+        return true;
+    if (cs.stride != 1 || cs.r != cs.s)
+        return false;
+    if (algo == ConvFwdAlgo::Winograd || algo == ConvFwdAlgo::WinogradNonfused)
+        return cs.r == 3 || cs.r == 5;
+    if (algo == ConvFwdAlgo::Fft)
+        return cs.h + 2 * cs.pad <= 32 && cs.w + 2 * cs.pad <= 32;
+    if (algo == ConvFwdAlgo::FftTiling)
+        return cs.r <= 16;
+    return true;
+}
+
+TEST_P(FwdAlgoSweep, MatchesReference)
+{
+    const auto [algo, case_idx] = GetParam();
+    const ConvCase &cc = cases()[size_t(case_idx)];
+    const ref::ConvShape &cs = cc.shape;
+    if (!algoSupports(algo, cs))
+        GTEST_SKIP() << fwdAlgoName(algo) << " does not support " << cc.name;
+
+    cuda::Context ctx;
+    CudnnHandle h(ctx);
+
+    const auto hx = randomVec(cs.xCount(), 100 + size_t(case_idx));
+    const auto hw = randomVec(cs.wCount(), 200 + size_t(case_idx));
+    const auto want = ref::convForward(cs, hx, hw);
+
+    const addr_t dx = ctx.malloc(hx.size() * 4);
+    const addr_t dw = ctx.malloc(hw.size() * 4);
+    const addr_t dy = ctx.malloc(want.size() * 4);
+    ctx.memcpyH2D(dx, hx.data(), hx.size() * 4);
+    ctx.memcpyH2D(dw, hw.data(), hw.size() * 4);
+
+    const TensorDesc xd(cs.n, cs.c, cs.h, cs.w);
+    const FilterDesc wd(cs.k, cs.c, cs.r, cs.s);
+    const ConvDesc conv{cs.pad, cs.stride};
+    const TensorDesc yd = conv.outputDim(xd, wd);
+    h.convolutionForward(xd, dx, wd, dw, conv, algo, yd, dy);
+    ctx.deviceSynchronize();
+
+    std::vector<float> got(want.size());
+    ctx.memcpyD2H(got.data(), dy, got.size() * 4);
+    const float tol = (algo == ConvFwdAlgo::Fft ||
+                       algo == ConvFwdAlgo::FftTiling)
+                          ? 2e-3f
+                          : 1e-3f;
+    expectClose(got, want, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgos, FwdAlgoSweep,
+    ::testing::Combine(
+        ::testing::Values(ConvFwdAlgo::ImplicitGemm, ConvFwdAlgo::Gemm,
+                          ConvFwdAlgo::Fft, ConvFwdAlgo::FftTiling,
+                          ConvFwdAlgo::Winograd,
+                          ConvFwdAlgo::WinogradNonfused),
+        ::testing::Range(0, 4)),
+    [](const auto &info) {
+        return std::string(fwdAlgoName(std::get<0>(info.param))) + "_case" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+class BwdDataSweep
+    : public ::testing::TestWithParam<std::tuple<ConvBwdDataAlgo, int>>
+{
+};
+
+bool
+bwdDataSupports(ConvBwdDataAlgo algo, const ref::ConvShape &cs)
+{
+    if (algo == ConvBwdDataAlgo::Algo0 || algo == ConvBwdDataAlgo::Algo1)
+        return true;
+    if (cs.stride != 1 || cs.r != cs.s)
+        return false;
+    if (cs.r - 1 - cs.pad < 0)
+        return false;
+    if (algo == ConvBwdDataAlgo::FftTiling)
+        return true;
+    return cs.r == 3 || cs.r == 5;
+}
+
+TEST_P(BwdDataSweep, MatchesReference)
+{
+    const auto [algo, case_idx] = GetParam();
+    // Reuse forward cases + one strided case for the gather/scatter paths.
+    std::vector<ConvCase> cases = FwdAlgoSweep::cases();
+    cases.push_back({{1, 2, 11, 11, 3, 3, 3, 1, 2}, "stride2"});
+    const ref::ConvShape &cs = cases[size_t(case_idx)].shape;
+    if (!bwdDataSupports(algo, cs))
+        GTEST_SKIP();
+
+    cuda::Context ctx;
+    CudnnHandle h(ctx);
+    const auto hw = randomVec(cs.wCount(), 300 + size_t(case_idx));
+    const ref::ConvShape out_cs = cs;
+    const size_t dy_count =
+        size_t(cs.n) * cs.k * out_cs.oh() * out_cs.ow();
+    const auto hdy = randomVec(dy_count, 400 + size_t(case_idx));
+    const auto want = ref::convBackwardData(cs, hdy, hw);
+
+    const addr_t ddy = ctx.malloc(hdy.size() * 4);
+    const addr_t dw = ctx.malloc(hw.size() * 4);
+    const addr_t ddx = ctx.malloc(want.size() * 4);
+    ctx.memcpyH2D(ddy, hdy.data(), hdy.size() * 4);
+    ctx.memcpyH2D(dw, hw.data(), hw.size() * 4);
+
+    const FilterDesc wd(cs.k, cs.c, cs.r, cs.s);
+    const TensorDesc dyd(cs.n, cs.k, cs.oh(), cs.ow());
+    const TensorDesc dxd(cs.n, cs.c, cs.h, cs.w);
+    const ConvDesc conv{cs.pad, cs.stride};
+    h.convolutionBackwardData(wd, dw, dyd, ddy, conv, algo, dxd, ddx);
+    ctx.deviceSynchronize();
+
+    std::vector<float> got(want.size());
+    ctx.memcpyD2H(got.data(), ddx, got.size() * 4);
+    expectClose(got, want, 2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgos, BwdDataSweep,
+    ::testing::Combine(
+        ::testing::Values(ConvBwdDataAlgo::Algo0, ConvBwdDataAlgo::Algo1,
+                          ConvBwdDataAlgo::FftTiling, ConvBwdDataAlgo::Winograd,
+                          ConvBwdDataAlgo::WinogradNonfused),
+        ::testing::Range(0, 5)),
+    [](const auto &info) {
+        return std::string(bwdDataAlgoName(std::get<0>(info.param))) +
+               "_case" + std::to_string(std::get<1>(info.param));
+    });
+
+class BwdFilterSweep
+    : public ::testing::TestWithParam<std::tuple<ConvBwdFilterAlgo, int>>
+{
+};
+
+bool
+bwdFilterSupports(ConvBwdFilterAlgo algo, const ref::ConvShape &cs)
+{
+    switch (algo) {
+      case ConvBwdFilterAlgo::Algo0:
+      case ConvBwdFilterAlgo::Algo1:
+      case ConvBwdFilterAlgo::Algo3:
+        return true;
+      case ConvBwdFilterAlgo::Fft:
+        return cs.stride == 1 && cs.r == cs.s &&
+               cs.h + 2 * cs.pad <= 32 && cs.w + 2 * cs.pad <= 32;
+      case ConvBwdFilterAlgo::FftTiling:
+        return cs.stride == 1 && cs.r == cs.s &&
+               cs.h + 2 * cs.pad <= 16 && cs.w + 2 * cs.pad <= 16 &&
+               cs.oh() <= 16 && cs.ow() <= 16;
+      case ConvBwdFilterAlgo::WinogradNonfused:
+        return cs.stride == 1 && (cs.r == 3 || cs.r == 5) && cs.r == cs.s;
+    }
+    return false;
+}
+
+TEST_P(BwdFilterSweep, MatchesReference)
+{
+    const auto [algo, case_idx] = GetParam();
+    std::vector<ConvCase> cases = FwdAlgoSweep::cases();
+    cases.push_back({{1, 2, 11, 11, 3, 3, 3, 1, 2}, "stride2"});
+    const ref::ConvShape &cs = cases[size_t(case_idx)].shape;
+    if (!bwdFilterSupports(algo, cs))
+        GTEST_SKIP();
+
+    cuda::Context ctx;
+    CudnnHandle h(ctx);
+    const auto hx = randomVec(cs.xCount(), 500 + size_t(case_idx));
+    const size_t dy_count = size_t(cs.n) * cs.k * cs.oh() * cs.ow();
+    const auto hdy = randomVec(dy_count, 600 + size_t(case_idx));
+    const auto want = ref::convBackwardFilter(cs, hx, hdy);
+
+    const addr_t dx = ctx.malloc(hx.size() * 4);
+    const addr_t ddy = ctx.malloc(hdy.size() * 4);
+    const addr_t ddw = ctx.malloc(want.size() * 4);
+    ctx.memcpyH2D(dx, hx.data(), hx.size() * 4);
+    ctx.memcpyH2D(ddy, hdy.data(), hdy.size() * 4);
+
+    const TensorDesc xd(cs.n, cs.c, cs.h, cs.w);
+    const TensorDesc dyd(cs.n, cs.k, cs.oh(), cs.ow());
+    const FilterDesc dwd(cs.k, cs.c, cs.r, cs.s);
+    const ConvDesc conv{cs.pad, cs.stride};
+    h.convolutionBackwardFilter(xd, dx, dyd, ddy, conv, algo, dwd, ddw);
+    ctx.deviceSynchronize();
+
+    std::vector<float> got(want.size());
+    ctx.memcpyD2H(got.data(), ddw, got.size() * 4);
+    expectClose(got, want, 3e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgos, BwdFilterSweep,
+    ::testing::Combine(
+        ::testing::Values(ConvBwdFilterAlgo::Algo0, ConvBwdFilterAlgo::Algo1,
+                          ConvBwdFilterAlgo::Algo3, ConvBwdFilterAlgo::Fft,
+                          ConvBwdFilterAlgo::FftTiling,
+                          ConvBwdFilterAlgo::WinogradNonfused),
+        ::testing::Range(0, 5)),
+    [](const auto &info) {
+        return std::string(bwdFilterAlgoName(std::get<0>(info.param))) +
+               "_case" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---- auxiliary layers ----
+
+TEST(CudnnAux, ActivationForwardBackward)
+{
+    cuda::Context ctx;
+    CudnnHandle h(ctx);
+    const size_t n = 333;
+    const auto hx = randomVec(n, 7);
+    const auto hdy = randomVec(n, 8);
+    const addr_t dx = ctx.malloc(n * 4);
+    const addr_t dy = ctx.malloc(n * 4);
+    const addr_t ddy = ctx.malloc(n * 4);
+    const addr_t ddx = ctx.malloc(n * 4);
+    ctx.memcpyH2D(dx, hx.data(), n * 4);
+    ctx.memcpyH2D(ddy, hdy.data(), n * 4);
+
+    for (int mode = 0; mode < 3; mode++) {
+        h.activationForward(ActivationMode(mode), n, dx, dy);
+        ctx.deviceSynchronize();
+        std::vector<float> got(n);
+        ctx.memcpyD2H(got.data(), dy, n * 4);
+        const auto want = ref::activationForward(mode, hx);
+        expectClose(got, want, 1e-3f);
+
+        h.activationBackward(ActivationMode(mode), n, dy, ddy, ddx);
+        ctx.deviceSynchronize();
+        std::vector<float> gotb(n);
+        ctx.memcpyD2H(gotb.data(), ddx, n * 4);
+        const auto wantb = ref::activationBackward(mode, want, hdy);
+        expectClose(gotb, wantb, 2e-3f);
+    }
+}
+
+TEST(CudnnAux, MaxPoolForwardBackward)
+{
+    cuda::Context ctx;
+    CudnnHandle h(ctx);
+    const TensorDesc xd(2, 3, 8, 8);
+    const int win = 2;
+    const auto hx = randomVec(xd.count(), 9);
+    std::vector<float> want_y;
+    std::vector<uint32_t> want_mask;
+    ref::maxPoolForward(xd.n * xd.c, xd.h, xd.w, win, hx, want_y, want_mask);
+
+    const addr_t dx = ctx.malloc(xd.bytes());
+    const addr_t dy = ctx.malloc(want_y.size() * 4);
+    const addr_t dmask = ctx.malloc(want_y.size() * 4);
+    ctx.memcpyH2D(dx, hx.data(), xd.bytes());
+    h.poolingForward(xd, dx, win, dy, dmask);
+    ctx.deviceSynchronize();
+
+    std::vector<float> got(want_y.size());
+    ctx.memcpyD2H(got.data(), dy, got.size() * 4);
+    expectClose(got, want_y, 1e-6f);
+
+    const auto hdy = randomVec(want_y.size(), 10);
+    const addr_t ddy = ctx.malloc(hdy.size() * 4);
+    const addr_t ddx = ctx.malloc(xd.bytes());
+    ctx.memcpyH2D(ddy, hdy.data(), hdy.size() * 4);
+    h.poolingBackward(xd, win, ddy, dmask, ddx);
+    ctx.deviceSynchronize();
+    std::vector<float> gotb(xd.count());
+    ctx.memcpyD2H(gotb.data(), ddx, xd.bytes());
+    const auto wantb =
+        ref::maxPoolBackward(xd.n * xd.c, xd.h, xd.w, win, hdy, want_mask);
+    expectClose(gotb, wantb, 1e-6f);
+}
+
+TEST(CudnnAux, LrnForwardBackwardViaTexture)
+{
+    cuda::Context ctx;
+    CudnnHandle h(ctx);
+    const TensorDesc xd(2, 8, 4, 4);
+    const int win = 5;
+    const float alpha = 1e-2f, beta = 0.75f, k = 2.0f;
+    const auto hx = randomVec(xd.count(), 11);
+
+    std::vector<float> want_y, want_scale;
+    ref::lrnForward(xd.n, xd.c, xd.h * xd.w, win, alpha, beta, k, hx, want_y,
+                    want_scale);
+
+    const addr_t dx = ctx.malloc(xd.bytes());
+    const addr_t dy = ctx.malloc(xd.bytes());
+    const addr_t dscale = ctx.malloc(xd.bytes());
+    ctx.memcpyH2D(dx, hx.data(), xd.bytes());
+    h.lrnForward(xd, dx, dy, dscale, win, alpha, beta, k);
+    ctx.deviceSynchronize();
+
+    std::vector<float> got(xd.count());
+    ctx.memcpyD2H(got.data(), dy, xd.bytes());
+    expectClose(got, want_y, 2e-3f);
+
+    const auto hdy = randomVec(xd.count(), 12);
+    const addr_t ddy = ctx.malloc(xd.bytes());
+    const addr_t ddx = ctx.malloc(xd.bytes());
+    ctx.memcpyH2D(ddy, hdy.data(), xd.bytes());
+    h.lrnBackward(xd, dx, dy, dscale, ddy, ddx, win, alpha, beta);
+    ctx.deviceSynchronize();
+    std::vector<float> gotb(xd.count());
+    ctx.memcpyD2H(gotb.data(), ddx, xd.bytes());
+    const auto wantb = ref::lrnBackward(xd.n, xd.c, xd.h * xd.w, win, alpha,
+                                        beta, hx, want_y, want_scale, hdy);
+    expectClose(gotb, wantb, 5e-3f);
+}
+
+TEST(CudnnAux, SoftmaxAndLoss)
+{
+    cuda::Context ctx;
+    CudnnHandle h(ctx);
+    const int rows = 7, cols = 10;
+    const auto hx = randomVec(size_t(rows) * cols, 13);
+    const addr_t dx = ctx.malloc(hx.size() * 4);
+    const addr_t dy = ctx.malloc(hx.size() * 4);
+    ctx.memcpyH2D(dx, hx.data(), hx.size() * 4);
+    h.softmaxForward(rows, cols, dx, dy);
+    ctx.deviceSynchronize();
+    std::vector<float> got(hx.size());
+    ctx.memcpyD2H(got.data(), dy, got.size() * 4);
+    const auto want = ref::softmaxForward(rows, cols, hx);
+    expectClose(got, want, 2e-3f);
+
+    // Rows sum to one.
+    for (int r = 0; r < rows; r++) {
+        float s = 0;
+        for (int c = 0; c < cols; c++)
+            s += got[size_t(r) * cols + c];
+        EXPECT_NEAR(s, 1.0f, 1e-3f);
+    }
+
+    std::vector<uint32_t> labels(rows);
+    for (int r = 0; r < rows; r++)
+        labels[r] = uint32_t(r % cols);
+    const addr_t dlab = ctx.malloc(rows * 4);
+    ctx.memcpyH2D(dlab, labels.data(), rows * 4);
+    const addr_t dgrad = ctx.malloc(hx.size() * 4);
+    h.softmaxNllBackward(rows, cols, dy, dlab, dgrad, 1.0f);
+    ctx.deviceSynchronize();
+    std::vector<float> grad(hx.size());
+    ctx.memcpyD2H(grad.data(), dgrad, grad.size() * 4);
+    for (int r = 0; r < rows; r++)
+        for (int c = 0; c < cols; c++) {
+            const float expect = want[size_t(r) * cols + c] -
+                                 (uint32_t(c) == labels[r] ? 1.0f : 0.0f);
+            ASSERT_NEAR(grad[size_t(r) * cols + c], expect, 2e-3f);
+        }
+}
+
+TEST(CudnnAux, BiasAndSgd)
+{
+    cuda::Context ctx;
+    CudnnHandle h(ctx);
+    const TensorDesc yd(2, 4, 3, 3);
+    auto hy = randomVec(yd.count(), 14);
+    const auto hb = randomVec(size_t(yd.c), 15);
+    const addr_t dy = ctx.malloc(yd.bytes());
+    const addr_t db = ctx.malloc(size_t(yd.c) * 4);
+    ctx.memcpyH2D(dy, hy.data(), yd.bytes());
+    ctx.memcpyH2D(db, hb.data(), size_t(yd.c) * 4);
+    h.addTensorBias(yd, dy, db);
+    ctx.deviceSynchronize();
+    std::vector<float> got(yd.count());
+    ctx.memcpyD2H(got.data(), dy, yd.bytes());
+    for (size_t i = 0; i < got.size(); i++) {
+        const size_t k = (i / size_t(yd.h * yd.w)) % size_t(yd.c);
+        ASSERT_FLOAT_EQ(got[i], hy[i] + hb[k]);
+    }
+
+    // bias gradient
+    const addr_t dbg = ctx.malloc(size_t(yd.c) * 4);
+    h.biasBackward(yd, dy, dbg);
+    ctx.deviceSynchronize();
+    std::vector<float> bg(size_t(yd.c));
+    ctx.memcpyD2H(bg.data(), dbg, bg.size() * 4);
+    for (int k = 0; k < yd.c; k++) {
+        double acc = 0;
+        for (int n = 0; n < yd.n; n++)
+            for (int i = 0; i < yd.h * yd.w; i++)
+                acc += got[(size_t(n) * yd.c + k) * yd.h * yd.w + i];
+        ASSERT_NEAR(bg[size_t(k)], acc, 1e-3);
+    }
+
+    // SGD
+    h.sgdStep(dy, dy, yd.count(), 0.5f); // p -= 0.5 p -> p/2
+    ctx.deviceSynchronize();
+    std::vector<float> after(yd.count());
+    ctx.memcpyD2H(after.data(), dy, yd.bytes());
+    for (size_t i = 0; i < after.size(); i++)
+        ASSERT_NEAR(after[i], got[i] * 0.5f, 1e-6f);
+}
+
+TEST(Cudnn, AlgoPickerAndWorkspace)
+{
+    cuda::Context ctx;
+    CudnnHandle h(ctx);
+    const TensorDesc xd(1, 1, 28, 28);
+    const FilterDesc wd(20, 1, 5, 5);
+    const ConvDesc conv;
+    const auto algo = h.getConvolutionForwardAlgorithm(xd, wd, conv);
+    EXPECT_EQ(algo, ConvFwdAlgo::Fft);
+    EXPECT_GT(h.getConvolutionForwardWorkspaceSize(xd, wd, conv, algo), 0u);
+
+    const ConvDesc strided{0, 2};
+    EXPECT_EQ(h.getConvolutionForwardAlgorithm(xd, wd, strided),
+              ConvFwdAlgo::ImplicitGemm);
+}
+
+} // namespace

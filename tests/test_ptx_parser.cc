@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for the PTX lexer/parser and CFG analysis.
+ */
+#include <gtest/gtest.h>
+
+#include "ptx/parser.h"
+
+using namespace mlgs;
+using namespace mlgs::ptx;
+
+namespace
+{
+
+const char *kVecAdd = R"(
+.version 6.4
+.target sm_61
+.address_size 64
+
+.visible .entry vecadd(
+    .param .u64 A,
+    .param .u64 B,
+    .param .u64 C,
+    .param .u32 n
+)
+{
+    .reg .u64 %rd<8>;
+    .reg .u32 %r<8>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [B];
+    ld.param.u64 %rd3, [C];
+    ld.param.u32 %r1, [n];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd4, %r5, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    add.u64 %rd6, %rd2, %rd4;
+    add.u64 %rd7, %rd3, %rd4;
+    ld.global.f32 %f1, [%rd5];
+    ld.global.f32 %f2, [%rd6];
+    add.f32 %f3, %f1, %f2;
+    st.global.f32 [%rd7], %f3;
+DONE:
+    ret;
+}
+)";
+
+TEST(PtxParser, ParsesVecAdd)
+{
+    Module m = parseModule(kVecAdd, "vecadd.ptx");
+    ASSERT_EQ(m.kernels.size(), 1u);
+    const KernelDef &k = m.kernels[0];
+    EXPECT_EQ(k.name, "vecadd");
+    ASSERT_EQ(k.params.size(), 4u);
+    EXPECT_EQ(k.params[0].name, "A");
+    EXPECT_EQ(k.params[0].offset, 0u);
+    EXPECT_EQ(k.params[3].offset, 24u);
+    EXPECT_EQ(k.params[3].type, Type::U32);
+    EXPECT_EQ(k.param_bytes, 28u);
+    // Registers: 8+8+4+2 declared.
+    EXPECT_EQ(k.reg_types.size(), 22u);
+    // Branch resolved.
+    bool found_bra = false;
+    for (const auto &ins : k.instrs) {
+        if (ins.op == Op::Bra) {
+            found_bra = true;
+            EXPECT_EQ(ins.target_pc, k.labels.at("DONE"));
+            EXPECT_NE(ins.pred, -1);
+        }
+    }
+    EXPECT_TRUE(found_bra);
+}
+
+TEST(PtxParser, ReconvergenceAtIpdom)
+{
+    Module m = parseModule(kVecAdd, "vecadd.ptx");
+    const KernelDef &k = m.kernels[0];
+    for (const auto &ins : k.instrs) {
+        if (ins.op == Op::Bra) {
+            // The guard branch and its fall-through rejoin at DONE.
+            EXPECT_EQ(ins.reconv_pc, k.labels.at("DONE"));
+        }
+    }
+}
+
+TEST(PtxParser, HexFloatLiterals)
+{
+    const char *src = R"(
+.visible .entry f(.param .u64 out)
+{
+    .reg .u64 %rd<2>;
+    .reg .f32 %f<3>;
+    ld.param.u64 %rd1, [out];
+    mov.f32 %f1, 0f3F800000;   // 1.0f
+    add.f32 %f2, %f1, 0f40000000; // + 2.0f
+    st.global.f32 [%rd1], %f2;
+    ret;
+}
+)";
+    Module m = parseModule(src, "t.ptx");
+    const KernelDef &k = m.kernels[0];
+    // mov operand should carry 1.0f.
+    EXPECT_DOUBLE_EQ(k.instrs[1].ops[1].fimm, 1.0);
+    EXPECT_DOUBLE_EQ(k.instrs[2].ops[2].fimm, 2.0);
+}
+
+TEST(PtxParser, SharedDeclarationLayout)
+{
+    const char *src = R"(
+.visible .entry f()
+{
+    .shared .align 4 .b8 smem_a[64];
+    .shared .align 8 .b8 smem_b[32];
+    ret;
+}
+)";
+    Module m = parseModule(src, "t.ptx");
+    const KernelDef &k = m.kernels[0];
+    ASSERT_EQ(k.shared_vars.size(), 2u);
+    EXPECT_EQ(k.shared_vars[0].offset, 0u);
+    EXPECT_EQ(k.shared_vars[1].offset, 64u);
+    EXPECT_EQ(k.shared_bytes, 96u);
+}
+
+TEST(PtxParser, RejectsUndeclaredRegister)
+{
+    const char *src = R"(
+.visible .entry f()
+{
+    .reg .u32 %r<2>;
+    mov.u32 %r1, %bogus;
+    ret;
+}
+)";
+    EXPECT_THROW(parseModule(src, "t.ptx"), ParseError);
+}
+
+TEST(PtxParser, RejectsUndefinedLabel)
+{
+    const char *src = R"(
+.visible .entry f()
+{
+    .reg .pred %p<2>;
+    @%p1 bra NOWHERE;
+    ret;
+}
+)";
+    EXPECT_THROW(parseModule(src, "t.ptx"), ParseError);
+}
+
+TEST(PtxParser, RejectsArrayInitializer)
+{
+    // Mirrors the TensorFlow limitation discussed in the paper (Sec III-E).
+    const char *src = ".global .f32 coefs[4] = {1.0, 2.0, 3.0, 4.0};";
+    try {
+        parseModule(src, "t.ptx");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("initializer"), std::string::npos);
+    }
+}
+
+TEST(PtxParser, RejectsDeviceFunctions)
+{
+    const char *src = ".func helper() { ret; }";
+    EXPECT_THROW(parseModule(src, "t.ptx"), ParseError);
+}
+
+TEST(PtxParser, ParsesGlobalVarAndTexref)
+{
+    const char *src = R"(
+.global .align 4 .f32 table[16];
+.tex .u64 tex_input;
+.visible .entry f() { ret; }
+)";
+    Module m = parseModule(src, "t.ptx");
+    ASSERT_EQ(m.globals.size(), 1u);
+    EXPECT_EQ(m.globals[0].size, 64u);
+    ASSERT_EQ(m.texrefs.size(), 1u);
+    EXPECT_EQ(m.texrefs[0], "tex_input");
+}
+
+TEST(PtxParser, VectorLoadStoreOperands)
+{
+    const char *src = R"(
+.visible .entry f(.param .u64 p)
+{
+    .reg .u64 %rd<2>;
+    .reg .f32 %f<4>;
+    ld.param.u64 %rd1, [p];
+    ld.global.v2.f32 {%f1, %f2}, [%rd1];
+    st.global.v2.f32 [%rd1+8], {%f2, %f1};
+    ret;
+}
+)";
+    Module m = parseModule(src, "t.ptx");
+    const KernelDef &k = m.kernels[0];
+    EXPECT_EQ(k.instrs[1].vec_width, 2u);
+    EXPECT_EQ(k.instrs[1].ops[0].vec.size(), 2u);
+    EXPECT_EQ(k.instrs[2].ops[0].imm, 8);
+}
+
+TEST(PtxParser, NegativeImmediates)
+{
+    const char *src = R"(
+.visible .entry f()
+{
+    .reg .s32 %r<3>;
+    mov.s32 %r1, -5;
+    add.s32 %r2, %r1, -7;
+    ret;
+}
+)";
+    Module m = parseModule(src, "t.ptx");
+    EXPECT_EQ(m.kernels[0].instrs[0].ops[1].imm, -5);
+    EXPECT_EQ(m.kernels[0].instrs[1].ops[2].imm, -7);
+}
+
+TEST(PtxParser, DuplicateSymbolsAcrossModulesAllowed)
+{
+    // The Section III-A scenario: two "PTX files" define the same kernel
+    // name. Each parses into its own Module without conflict.
+    const char *src = ".visible .entry dup() { ret; }";
+    Module a = parseModule(src, "a.ptx");
+    Module b = parseModule(src, "b.ptx");
+    EXPECT_NE(a.findKernel("dup"), nullptr);
+    EXPECT_NE(b.findKernel("dup"), nullptr);
+}
+
+TEST(PtxParser, LoopCfgReconvergence)
+{
+    const char *src = R"(
+.visible .entry f(.param .u32 n)
+{
+    .reg .u32 %r<4>;
+    .reg .pred %p<2>;
+    ld.param.u32 %r1, [n];
+    mov.u32 %r2, 0;
+LOOP:
+    add.u32 %r2, %r2, 1;
+    setp.lt.u32 %p1, %r2, %r1;
+    @%p1 bra LOOP;
+    ret;
+}
+)";
+    Module m = parseModule(src, "t.ptx");
+    const KernelDef &k = m.kernels[0];
+    const Instr &bra = k.instrs[4];
+    ASSERT_EQ(bra.op, Op::Bra);
+    // Back-edge: reconvergence at the loop exit (the ret).
+    EXPECT_EQ(bra.reconv_pc, 5u);
+}
+
+} // namespace

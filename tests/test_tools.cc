@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Tooling tests: checkpoint/resume (Figs 4-5), the three-step functional
+ * debugger (Figs 2-3) with injected legacy bugs, differential coverage, the
+ * IR instrumentation pass, and the hardware oracle.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "chkpt/checkpoint.h"
+#include "debug/debugger.h"
+#include "oracle/hw_oracle.h"
+
+using namespace mlgs;
+
+namespace
+{
+
+// Rotate src by k: dst[i] = src[((i - k) mod n + n) mod n]. The signed
+// remainder with negative dividend and a non-power-of-two modulus is the
+// exact instruction class whose untyped legacy implementation the paper
+// debugged into fft2d_r2c_32x32 (Section III-D). (Our FFT kernels use
+// power-of-two tile moduli, where the legacy bug is arithmetically masked —
+// see DESIGN.md.)
+const char *kRingShift = R"(
+.visible .entry ring_shift(
+    .param .u64 Src, .param .u64 Dst, .param .u32 n, .param .s32 k)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<8>;
+    .reg .s32 %s<6>;
+    .reg .f32 %f<3>;
+    .reg .pred %p<3>;
+    ld.param.u64 %rd1, [Src];
+    ld.param.u64 %rd2, [Dst];
+    ld.param.u32 %r1, [n];
+    ld.param.s32 %s1, [k];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    cvt.s32.u32 %s2, %r5;
+    sub.s32 %s3, %s2, %s1;       // i - k, negative for i < k
+    cvt.s32.u32 %s4, %r1;
+    rem.s32 %s5, %s3, %s4;       // needs signed semantics
+    setp.lt.s32 %p2, %s5, 0;
+    @%p2 add.s32 %s5, %s5, %s4;
+    cvt.u32.s32 %r6, %s5;
+    mul.wide.u32 %rd3, %r6, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f1, [%rd4];
+    mul.wide.u32 %rd3, %r5, 4;
+    add.u64 %rd5, %rd2, %rd3;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    ret;
+}
+)";
+
+const char *kScale = R"(
+.visible .entry scale_buf(.param .u64 Buf, .param .u32 n, .param .f32 a)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<6>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [Buf];
+    ld.param.u32 %r1, [n];
+    ld.param.f32 %f1, [a];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd2, %r5, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f2, [%rd3];
+    mul.f32 %f3, %f2, %f1;
+    st.global.f32 [%rd3], %f3;
+DONE:
+    ret;
+}
+)";
+
+/** The little "application": scale, then ring-shift (two kernels). */
+void
+runApp(cuda::Context &ctx, addr_t src, addr_t dst, unsigned n)
+{
+    cuda::KernelArgs scale_args;
+    scale_args.ptr(src).u32(n).f32(2.0f);
+    ctx.launch("scale_buf", Dim3((n + 127) / 128), Dim3(128), scale_args);
+    cuda::KernelArgs shift_args;
+    shift_args.ptr(src).ptr(dst).u32(n).s32(5);
+    ctx.launch("ring_shift", Dim3((n + 127) / 128), Dim3(128), shift_args);
+    ctx.deviceSynchronize();
+}
+
+// ---- debug tool: step 1 happens app-side (this very comparison); steps
+// ---- 2 and 3 via the Replayer.
+
+TEST(DebugTool, LegacyRemBreaksRingShift)
+{
+    const unsigned n = 100; // non-power-of-two modulus
+    std::vector<float> host(n);
+    for (unsigned i = 0; i < n; i++)
+        host[i] = float(i + 1);
+
+    auto run = [&](func::BugModel bugs) {
+        cuda::ContextOptions opts;
+        opts.bugs = bugs;
+        cuda::Context ctx(opts);
+        ctx.loadModule(kScale, "scale.ptx");
+        ctx.loadModule(kRingShift, "ring.ptx");
+        const addr_t src = ctx.malloc(n * 4);
+        const addr_t dst = ctx.malloc(n * 4);
+        ctx.memcpyH2D(src, host.data(), n * 4);
+        runApp(ctx, src, dst, n);
+        std::vector<float> out(n);
+        ctx.memcpyD2H(out.data(), dst, n * 4);
+        return out;
+    };
+
+    const auto good = run({});
+    func::BugModel bugs;
+    bugs.legacy_rem = true;
+    const auto bad = run(bugs);
+    EXPECT_NE(good, bad) << "legacy rem should corrupt the ring shift";
+    // The correct result is the rotation.
+    for (unsigned i = 0; i < n; i++)
+        ASSERT_FLOAT_EQ(good[i], 2.0f * host[(i + n - 5) % n]);
+}
+
+TEST(DebugTool, ReplayerFindsBadKernelAndInstruction)
+{
+    const unsigned n = 100;
+    std::vector<float> host(n);
+    for (unsigned i = 0; i < n; i++)
+        host[i] = float(i + 1);
+
+    // Capture the app's launches (inputs + params), Fig 2 style.
+    cuda::ContextOptions opts;
+    opts.capture_launches = true;
+    cuda::Context ctx(opts);
+    ctx.loadModule(kScale, "scale.ptx");
+    ctx.loadModule(kRingShift, "ring.ptx");
+    const addr_t src = ctx.malloc(n * 4);
+    const addr_t dst = ctx.malloc(n * 4);
+    ctx.memcpyH2D(src, host.data(), n * 4);
+    runApp(ctx, src, dst, n);
+    ASSERT_EQ(ctx.capturedLaunches().size(), 2u);
+
+    func::BugModel suspect;
+    suspect.legacy_rem = true;
+    debug::Replayer replayer({{kScale, "scale.ptx"}, {kRingShift, "ring.ptx"}},
+                             func::BugModel{}, suspect);
+
+    // Step 2: which kernel first produces wrong buffers?
+    const auto kres = replayer.findFirstBadKernel(ctx.capturedLaunches());
+    ASSERT_TRUE(kres.diverged);
+    EXPECT_EQ(kres.kernel_name, "ring_shift");
+    EXPECT_EQ(kres.launch_index, 1u);
+
+    // Step 3: which instruction?
+    const auto ires = replayer.localizeInstruction(
+        ctx.capturedLaunches()[kres.launch_index]);
+    ASSERT_TRUE(ires.diverged);
+    EXPECT_NE(ires.instr_text.find("rem.s32"), std::string::npos)
+        << "flagged: " << ires.instr_text;
+    EXPECT_NE(ires.golden_value, ires.suspect_value);
+}
+
+TEST(DebugTool, ReplayerFindsSplitFmaMismatch)
+{
+    // The FP16/FMA-contraction story (Section III-D1): intermediate-rounding
+    // differences between "hardware" and simulator localize to an fma.
+    const unsigned n = 64;
+    // a = 1 + 2^-15 everywhere: fma(a, 1 - 2^-15, -1) is -2^-30 fused but
+    // exactly 0 when the multiply rounds separately.
+    std::vector<float> host(n);
+    {
+        const uint32_t bits = 0x3F800100u;
+        float a;
+        std::memcpy(&a, &bits, sizeof(a));
+        std::fill(host.begin(), host.end(), a);
+    }
+
+    const char *kFma = R"(
+.visible .entry fma_chain(.param .u64 Buf, .param .u32 n)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<6>;
+    .reg .f32 %f<6>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [Buf];
+    ld.param.u32 %r1, [n];
+    mov.u32 %r2, %tid.x;
+    setp.ge.u32 %p1, %r2, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd2, %r2, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f1, [%rd3];
+    mov.f32 %f2, 0f3F7FFE00;
+    mov.f32 %f3, 0fBF800000;
+    fma.rn.f32 %f4, %f1, %f2, %f3;
+    st.global.f32 [%rd3], %f4;
+DONE:
+    ret;
+}
+)";
+    cuda::ContextOptions opts;
+    opts.capture_launches = true;
+    cuda::Context ctx(opts);
+    ctx.loadModule(kFma, "fma.ptx");
+    const addr_t buf = ctx.malloc(n * 4);
+    ctx.memcpyH2D(buf, host.data(), n * 4);
+    cuda::KernelArgs args;
+    args.ptr(buf).u32(n);
+    ctx.launch("fma_chain", Dim3(1), Dim3(64), args);
+    ctx.deviceSynchronize();
+
+    func::BugModel suspect;
+    suspect.split_fma = true;
+    debug::Replayer replayer({{kFma, "fma.ptx"}}, func::BugModel{}, suspect);
+    const auto kres = replayer.findFirstBadKernel(ctx.capturedLaunches());
+    ASSERT_TRUE(kres.diverged);
+    const auto ires =
+        replayer.localizeInstruction(ctx.capturedLaunches()[0]);
+    ASSERT_TRUE(ires.diverged);
+    EXPECT_NE(ires.instr_text.find("fma"), std::string::npos);
+}
+
+TEST(DebugTool, DifferentialCoverageIsolatesRem)
+{
+    // Regression workload (scale only) vs failing workload (+ ring shift):
+    // the coverage diff pinpoints handler variants only the failing app
+    // exercises — how the paper found the bfe bug.
+    const unsigned n = 64;
+    std::vector<float> host(n, 1.0f);
+
+    auto runWith = [&](bool with_shift, func::CoverageMap &cov) {
+        cuda::Context ctx;
+        ctx.interpreter().setCoverage(&cov);
+        ctx.loadModule(kScale, "scale.ptx");
+        ctx.loadModule(kRingShift, "ring.ptx");
+        const addr_t src = ctx.malloc(n * 4);
+        const addr_t dst = ctx.malloc(n * 4);
+        ctx.memcpyH2D(src, host.data(), n * 4);
+        cuda::KernelArgs a;
+        a.ptr(src).u32(n).f32(2.0f);
+        ctx.launch("scale_buf", Dim3(1), Dim3(64), a);
+        if (with_shift) {
+            cuda::KernelArgs b;
+            b.ptr(src).ptr(dst).u32(n).s32(5);
+            ctx.launch("ring_shift", Dim3(1), Dim3(64), b);
+        }
+        ctx.deviceSynchronize();
+    };
+
+    func::CoverageMap regression, failing;
+    runWith(false, regression);
+    runWith(true, failing);
+    const auto only = failing.diff(regression);
+    EXPECT_NE(std::find(only.begin(), only.end(), "rem.s32"), only.end())
+        << "differential coverage should isolate rem.s32";
+}
+
+TEST(Instrument, InstrumentedKernelStillComputesAndLogs)
+{
+    const ptx::Module m = ptx::parseModule(kRingShift, "ring.ptx");
+    const ptx::KernelDef inst = debug::instrumentKernel(m.kernels[0]);
+    EXPECT_GT(inst.instrs.size(), m.kernels[0].instrs.size());
+    EXPECT_EQ(inst.params.back().name, "__log");
+
+    // Execute it and verify both the result and the log contents.
+    GpuMemory mem;
+    const unsigned n = 32;
+    const addr_t src = 0x10000000, dst = 0x10001000, log = 0x10100000;
+    for (unsigned i = 0; i < n; i++)
+        mem.store<float>(src + i * 4, float(i));
+    func::Interpreter interp(mem);
+    func::FunctionalEngine eng(interp);
+    func::LaunchEnv env;
+    env.kernel = &inst;
+    cuda::KernelArgs args;
+    args.ptr(src).ptr(dst).u32(n).s32(3);
+    std::vector<uint8_t> params = args.bytes();
+    params.resize(inst.params.back().offset);
+    const uint64_t lb = log;
+    params.insert(params.end(), reinterpret_cast<const uint8_t *>(&lb),
+                  reinterpret_cast<const uint8_t *>(&lb) + 8);
+    env.params = params;
+    eng.launch(env, Dim3(1), Dim3(32));
+
+    for (unsigned i = 0; i < n; i++)
+        ASSERT_FLOAT_EQ(mem.load<float>(dst + i * 4),
+                        float((i + n - 3) % n));
+    EXPECT_GT(mem.load<uint64_t>(log), 0u) << "no register writes logged";
+}
+
+// ---- checkpointing ----
+
+TEST(Checkpoint, WriteAndResumeMatchesStraightRun)
+{
+    const unsigned n = 2048;
+    std::vector<float> host(n);
+    for (unsigned i = 0; i < n; i++)
+        host[i] = float(i % 17) + 0.5f;
+
+    auto buildApp = [&](cuda::Context &ctx, addr_t &src, addr_t &dst) {
+        ctx.loadModule(kScale, "scale.ptx");
+        ctx.loadModule(kRingShift, "ring.ptx");
+        src = ctx.malloc(n * 4);
+        dst = ctx.malloc(n * 4);
+        ctx.memcpyH2D(src, host.data(), n * 4);
+        runApp(ctx, src, dst, n);
+    };
+
+    // Straight functional run.
+    std::vector<float> want(n);
+    {
+        cuda::Context ctx;
+        addr_t src, dst;
+        buildApp(ctx, src, dst);
+        ctx.memcpyD2H(want.data(), dst, n * 4);
+    }
+
+    // Checkpoint inside kernel 1 (the ring shift): M=4, t=2, y=6.
+    const std::string path = "/tmp/mlgs_test.ckpt";
+    {
+        cuda::Context ctx;
+        chkpt::CheckpointConfig cfg;
+        cfg.kernel_x = 1;
+        cfg.cta_m = 4;
+        cfg.cta_t = 2;
+        cfg.instr_y = 6;
+        cfg.path = path;
+        chkpt::CheckpointWriter writer(ctx, cfg);
+        addr_t src, dst;
+        buildApp(ctx, src, dst);
+        EXPECT_TRUE(writer.reached());
+    }
+
+    // Resume in Performance mode; the memory image must match.
+    for (const auto mode :
+         {cuda::SimMode::Functional, cuda::SimMode::Performance}) {
+        cuda::ContextOptions opts;
+        opts.mode = mode;
+        opts.gpu.num_cores = 2;
+        cuda::Context ctx(opts);
+        ctx.loadModule(kScale, "scale.ptx");
+        ctx.loadModule(kRingShift, "ring.ptx");
+        chkpt::CheckpointLoader loader(ctx, path);
+        addr_t src = ctx.malloc(n * 4);
+        addr_t dst = ctx.malloc(n * 4);
+        ctx.memcpyH2D(src, host.data(), n * 4);
+        // Replay the host program; hooks skip/resume appropriately.
+        runApp(ctx, src, dst, n);
+        std::vector<float> got(n);
+        ctx.memcpyD2H(got.data(), dst, n * 4);
+        EXPECT_EQ(got, want) << "mode " << int(mode);
+    }
+}
+
+TEST(Checkpoint, CtaStateRoundTrips)
+{
+    // Serialize a partially-executed CTA and restore it bit-exactly.
+    const ptx::Module m = ptx::parseModule(kRingShift, "ring.ptx");
+    GpuMemory mem;
+    for (unsigned i = 0; i < 64; i++)
+        mem.store<float>(0x10000000 + i * 4, float(i));
+    func::Interpreter interp(mem);
+    func::FunctionalEngine eng(interp);
+    func::LaunchEnv env;
+    env.kernel = &m.kernels[0];
+    cuda::KernelArgs args;
+    args.ptr(0x10000000).ptr(0x10002000).u32(64).s32(3);
+    env.params = args.bytes();
+
+    auto cta = eng.makeCta(env, Dim3(1), Dim3(64), 0);
+    eng.runCta(*cta, env, 5); // suspend after 5 instructions per warp
+
+    BinaryWriter w;
+    chkpt::saveCta(w, *cta);
+    BinaryReader r(w.bytes());
+    auto restored = chkpt::loadCta(r, m.kernels[0], Dim3(1), Dim3(64));
+
+    ASSERT_EQ(restored->numThreads(), cta->numThreads());
+    for (unsigned t = 0; t < cta->numThreads(); t++) {
+        const auto &a = cta->thread(t).regs;
+        const auto &b = restored->thread(t).regs;
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); i++)
+            ASSERT_EQ(a[i].u64, b[i].u64);
+    }
+    for (unsigned wp = 0; wp < cta->numWarps(); wp++) {
+        ASSERT_EQ(cta->stack(wp).entries().size(),
+                  restored->stack(wp).entries().size());
+        ASSERT_EQ(cta->warpInstrCount(wp), restored->warpInstrCount(wp));
+    }
+
+    // Both finish to the same result.
+    eng.runCta(*cta, env);
+    GpuMemory mem2;
+    for (unsigned i = 0; i < 64; i++)
+        mem2.store<float>(0x10000000 + i * 4, float(i));
+    func::Interpreter interp2(mem2);
+    func::FunctionalEngine eng2(interp2);
+    eng2.runCta(*restored, env);
+    for (unsigned i = 0; i < 64; i++)
+        ASSERT_EQ(mem.load<float>(0x10002000 + i * 4),
+                  mem2.load<float>(0x10002000 + i * 4));
+}
+
+// ---- oracle ----
+
+TEST(Oracle, CorrelationTableIsSane)
+{
+    const unsigned n = 4096;
+    std::vector<float> host(n, 1.25f);
+
+    auto runLog = [&](cuda::SimMode mode) {
+        cuda::ContextOptions opts;
+        opts.mode = mode;
+        opts.gpu.num_cores = 2;
+        cuda::Context ctx(opts);
+        ctx.loadModule(kScale, "scale.ptx");
+        ctx.loadModule(kRingShift, "ring.ptx");
+        const addr_t src = ctx.malloc(n * 4);
+        const addr_t dst = ctx.malloc(n * 4);
+        ctx.memcpyH2D(src, host.data(), n * 4);
+        runApp(ctx, src, dst, n);
+        return ctx.launchLog();
+    };
+
+    const auto flog = runLog(cuda::SimMode::Functional);
+    const auto plog = runLog(cuda::SimMode::Performance);
+
+    oracle::HwOracle orc(oracle::HwSpec::gtx1050());
+    const auto rows = orc.correlate(flog, plog);
+    ASSERT_EQ(rows.size(), 2u); // two distinct kernels
+    for (const auto &row : rows) {
+        EXPECT_GT(row.hw_cycles, 0.0);
+        EXPECT_GT(row.sim_cycles, 0.0);
+        EXPECT_GT(row.relative(), 0.0);
+    }
+    const double overall = oracle::HwOracle::overallRelative(rows);
+    EXPECT_GT(overall, 1.0);
+    EXPECT_LT(overall, 100000.0);
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * torchlet/LeNet integration tests: simulated inference matches the CPU
+ * mirror ("hardware"), the MNIST self-check passes on pretrained weights
+ * (the paper's sample classifies 3 images), and on-simulator training
+ * reduces the loss.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "torchlet/lenet_cpu.h"
+
+using namespace mlgs;
+using namespace mlgs::torchlet;
+
+namespace
+{
+
+/** Trained weights + data are expensive; share across tests. */
+struct TrainedFixture
+{
+    MnistData train = makeMnist(60, 1234);
+    MnistData test = makeMnist(30, 999);
+    LeNetWeights weights = trainLeNetOnHost(train, 42, 250, 16, 0.05f);
+
+    static TrainedFixture &
+    get()
+    {
+        static TrainedFixture f;
+        return f;
+    }
+};
+
+TEST(LeNet, HostTrainingReachesHighAccuracy)
+{
+    auto &f = TrainedFixture::get();
+    const double acc = cpuAccuracy(f.weights, f.test);
+    EXPECT_GE(acc, 0.8) << "host-trained reference model too weak";
+}
+
+TEST(LeNet, SimulatedInferenceMatchesCpuMirror)
+{
+    auto &f = TrainedFixture::get();
+    cuda::Context ctx;
+    cudnn::CudnnHandle h(ctx);
+    LeNetAlgos algos; // conv1 FFT, conv2 Winograd nonfused, GEMV2T head
+    LeNet net(h, 1, algos);
+    net.setWeights(f.weights);
+
+    // The paper's sample self-checks three classified images.
+    for (int i = 0; i < 3; i++) {
+        const float *img = f.test.image(size_t(i));
+        const auto probs = net.forward(img);
+        const auto cpu_probs = cpuForward(f.weights, img);
+        ASSERT_EQ(probs.size(), cpu_probs.size());
+        for (size_t j = 0; j < probs.size(); j++)
+            ASSERT_NEAR(probs[j], cpu_probs[j], 5e-2f) << "image " << i
+                                                       << " class " << j;
+        const int pred = net.predict(img)[0];
+        EXPECT_EQ(pred, cpuPredict(f.weights, img));
+        EXPECT_EQ(uint32_t(pred), f.test.labels[size_t(i)])
+            << "self-check failed on image " << i;
+    }
+}
+
+TEST(LeNet, AllConvAlgoCombinationsAgree)
+{
+    auto &f = TrainedFixture::get();
+    const float *img = f.test.image(0);
+    const auto want = cpuForward(f.weights, img);
+
+    const std::pair<cudnn::ConvFwdAlgo, cudnn::ConvFwdAlgo> combos[] = {
+        {cudnn::ConvFwdAlgo::ImplicitGemm, cudnn::ConvFwdAlgo::Winograd},
+        {cudnn::ConvFwdAlgo::Gemm, cudnn::ConvFwdAlgo::FftTiling},
+        {cudnn::ConvFwdAlgo::Fft, cudnn::ConvFwdAlgo::WinogradNonfused},
+    };
+    for (const auto &[a1, a2] : combos) {
+        cuda::Context ctx;
+        cudnn::CudnnHandle h(ctx);
+        LeNetAlgos algos;
+        algos.conv1 = a1;
+        algos.conv2 = a2;
+        LeNet net(h, 1, algos);
+        net.setWeights(f.weights);
+        const auto probs = net.forward(img);
+        for (size_t j = 0; j < probs.size(); j++)
+            ASSERT_NEAR(probs[j], want[j], 5e-2f)
+                << cudnn::fwdAlgoName(a1) << "+" << cudnn::fwdAlgoName(a2);
+    }
+}
+
+TEST(LeNet, TrainingOnSimulatorReducesLoss)
+{
+    auto &f = TrainedFixture::get();
+    cuda::Context ctx;
+    cudnn::CudnnHandle h(ctx);
+    LeNetAlgos algos;
+    algos.conv1 = cudnn::ConvFwdAlgo::ImplicitGemm; // fastest functional path
+    algos.conv2 = cudnn::ConvFwdAlgo::ImplicitGemm;
+    algos.fc2_gemv2t = false;
+    const int batch = 4;
+    LeNet net(h, batch, algos, 7);
+
+    std::vector<float> images(size_t(batch) * kMnistPixels);
+    std::vector<uint32_t> labels(size_t(batch), 0);
+    for (int b = 0; b < batch; b++) {
+        std::copy_n(f.train.image(size_t(b)), kMnistPixels,
+                    images.begin() + size_t(b) * kMnistPixels);
+        labels[size_t(b)] = f.train.labels[size_t(b)];
+    }
+
+    const float first = net.trainStep(images.data(), labels.data(), 0.05f);
+    float last = first;
+    for (int i = 0; i < 2; i++)
+        last = net.trainStep(images.data(), labels.data(), 0.05f);
+    EXPECT_LT(last, first) << "loss did not decrease";
+}
+
+TEST(Mnist, SyntheticDigitsAreDeterministicAndDistinct)
+{
+    const auto a = renderDigit(3, 77);
+    const auto b = renderDigit(3, 77);
+    EXPECT_EQ(a, b);
+    const auto c = renderDigit(8, 77);
+    double diff = 0;
+    for (size_t i = 0; i < a.size(); i++)
+        diff += std::fabs(a[i] - c[i]);
+    EXPECT_GT(diff, 5.0) << "digits 3 and 8 render nearly identically";
+
+    const auto data = makeMnist(20, 5);
+    EXPECT_EQ(data.count(), 20u);
+    for (size_t i = 0; i < data.count(); i++)
+        EXPECT_EQ(data.labels[i], i % 10);
+}
+
+} // namespace
