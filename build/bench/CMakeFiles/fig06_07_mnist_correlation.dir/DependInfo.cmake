@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_07_mnist_correlation.cc" "bench/CMakeFiles/fig06_07_mnist_correlation.dir/fig06_07_mnist_correlation.cc.o" "gcc" "bench/CMakeFiles/fig06_07_mnist_correlation.dir/fig06_07_mnist_correlation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/torchlet/CMakeFiles/mlgs_torchlet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudnn/CMakeFiles/mlgs_cudnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/mlgs_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/mlgs_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/chkpt/CMakeFiles/mlgs_chkpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/debug/CMakeFiles/mlgs_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mlgs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mlgs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/mlgs_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/mlgs_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlgs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/mlgs_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlgs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlgs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

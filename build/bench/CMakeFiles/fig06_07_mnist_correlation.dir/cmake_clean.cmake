@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_07_mnist_correlation.dir/fig06_07_mnist_correlation.cc.o"
+  "CMakeFiles/fig06_07_mnist_correlation.dir/fig06_07_mnist_correlation.cc.o.d"
+  "fig06_07_mnist_correlation"
+  "fig06_07_mnist_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_07_mnist_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_fwd_fft_dram.dir/fig09_10_fwd_fft_dram.cc.o"
+  "CMakeFiles/fig09_10_fwd_fft_dram.dir/fig09_10_fwd_fft_dram.cc.o.d"
+  "fig09_10_fwd_fft_dram"
+  "fig09_10_fwd_fft_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_fwd_fft_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_12_fwd_gemm_dram.dir/fig11_12_fwd_gemm_dram.cc.o"
+  "CMakeFiles/fig11_12_fwd_gemm_dram.dir/fig11_12_fwd_gemm_dram.cc.o.d"
+  "fig11_12_fwd_gemm_dram"
+  "fig11_12_fwd_gemm_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_fwd_gemm_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_14_bwd_filter_algo0_dram.dir/fig13_14_bwd_filter_algo0_dram.cc.o"
+  "CMakeFiles/fig13_14_bwd_filter_algo0_dram.dir/fig13_14_bwd_filter_algo0_dram.cc.o.d"
+  "fig13_14_bwd_filter_algo0_dram"
+  "fig13_14_bwd_filter_algo0_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_14_bwd_filter_algo0_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_14_bwd_filter_algo0_dram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_17_fwd_winograd_nonfused.dir/fig15_17_fwd_winograd_nonfused.cc.o"
+  "CMakeFiles/fig15_17_fwd_winograd_nonfused.dir/fig15_17_fwd_winograd_nonfused.cc.o.d"
+  "fig15_17_fwd_winograd_nonfused"
+  "fig15_17_fwd_winograd_nonfused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_17_fwd_winograd_nonfused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_19_bwd_data_winograd_nonfused.dir/fig18_19_bwd_data_winograd_nonfused.cc.o"
+  "CMakeFiles/fig18_19_bwd_data_winograd_nonfused.dir/fig18_19_bwd_data_winograd_nonfused.cc.o.d"
+  "fig18_19_bwd_data_winograd_nonfused"
+  "fig18_19_bwd_data_winograd_nonfused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_19_bwd_data_winograd_nonfused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_19_bwd_data_winograd_nonfused.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_21_bwd_filter_winograd_nonfused.dir/fig20_21_bwd_filter_winograd_nonfused.cc.o"
+  "CMakeFiles/fig20_21_bwd_filter_winograd_nonfused.dir/fig20_21_bwd_filter_winograd_nonfused.cc.o.d"
+  "fig20_21_bwd_filter_winograd_nonfused"
+  "fig20_21_bwd_filter_winograd_nonfused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_21_bwd_filter_winograd_nonfused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

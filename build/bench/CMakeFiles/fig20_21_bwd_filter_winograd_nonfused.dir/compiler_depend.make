@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig20_21_bwd_filter_winograd_nonfused.
+# This may be replaced when dependencies are built.

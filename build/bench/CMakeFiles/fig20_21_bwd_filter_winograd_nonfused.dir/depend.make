@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_21_bwd_filter_winograd_nonfused.
+# This may be replaced when dependencies are built.

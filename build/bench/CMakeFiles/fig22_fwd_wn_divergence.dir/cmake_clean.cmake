@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_fwd_wn_divergence.dir/fig22_fwd_wn_divergence.cc.o"
+  "CMakeFiles/fig22_fwd_wn_divergence.dir/fig22_fwd_wn_divergence.cc.o.d"
+  "fig22_fwd_wn_divergence"
+  "fig22_fwd_wn_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_fwd_wn_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

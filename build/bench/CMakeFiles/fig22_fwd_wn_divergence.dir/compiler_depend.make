@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig22_fwd_wn_divergence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_25_fwd_implicit_gemm.dir/fig23_25_fwd_implicit_gemm.cc.o"
+  "CMakeFiles/fig23_25_fwd_implicit_gemm.dir/fig23_25_fwd_implicit_gemm.cc.o.d"
+  "fig23_25_fwd_implicit_gemm"
+  "fig23_25_fwd_implicit_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_25_fwd_implicit_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

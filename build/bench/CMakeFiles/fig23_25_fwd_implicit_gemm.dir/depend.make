@@ -1,0 +1,2 @@
+# Empty dependencies file for fig23_25_fwd_implicit_gemm.
+# This may be replaced when dependencies are built.

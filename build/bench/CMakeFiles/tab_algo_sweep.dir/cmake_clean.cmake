@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_algo_sweep.dir/tab_algo_sweep.cc.o"
+  "CMakeFiles/tab_algo_sweep.dir/tab_algo_sweep.cc.o.d"
+  "tab_algo_sweep"
+  "tab_algo_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_algo_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

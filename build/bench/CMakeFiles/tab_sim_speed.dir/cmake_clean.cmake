@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sim_speed.dir/tab_sim_speed.cc.o"
+  "CMakeFiles/tab_sim_speed.dir/tab_sim_speed.cc.o.d"
+  "tab_sim_speed"
+  "tab_sim_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

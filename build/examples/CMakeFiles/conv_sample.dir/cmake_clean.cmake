@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_sample.dir/conv_sample.cpp.o"
+  "CMakeFiles/conv_sample.dir/conv_sample.cpp.o.d"
+  "conv_sample"
+  "conv_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_tool_demo.dir/debug_tool_demo.cpp.o"
+  "CMakeFiles/debug_tool_demo.dir/debug_tool_demo.cpp.o.d"
+  "debug_tool_demo"
+  "debug_tool_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_tool_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

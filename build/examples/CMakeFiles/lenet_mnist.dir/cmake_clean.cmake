@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lenet_mnist.dir/lenet_mnist.cpp.o"
+  "CMakeFiles/lenet_mnist.dir/lenet_mnist.cpp.o.d"
+  "lenet_mnist"
+  "lenet_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lenet_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

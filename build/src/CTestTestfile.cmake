@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ptx")
+subdirs("mem")
+subdirs("func")
+subdirs("runtime")
+subdirs("stats")
+subdirs("timing")
+subdirs("power")
+subdirs("oracle")
+subdirs("chkpt")
+subdirs("debug")
+subdirs("blas")
+subdirs("cudnn")
+subdirs("torchlet")

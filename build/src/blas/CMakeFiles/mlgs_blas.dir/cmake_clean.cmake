@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_blas.dir/blas.cc.o"
+  "CMakeFiles/mlgs_blas.dir/blas.cc.o.d"
+  "CMakeFiles/mlgs_blas.dir/blas_kernels.cc.o"
+  "CMakeFiles/mlgs_blas.dir/blas_kernels.cc.o.d"
+  "libmlgs_blas.a"
+  "libmlgs_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_chkpt.dir/checkpoint.cc.o"
+  "CMakeFiles/mlgs_chkpt.dir/checkpoint.cc.o.d"
+  "libmlgs_chkpt.a"
+  "libmlgs_chkpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_chkpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_common.dir/fp16.cc.o"
+  "CMakeFiles/mlgs_common.dir/fp16.cc.o.d"
+  "CMakeFiles/mlgs_common.dir/serialize.cc.o"
+  "CMakeFiles/mlgs_common.dir/serialize.cc.o.d"
+  "libmlgs_common.a"
+  "libmlgs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlgs_common.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cudnn/cudnn.cc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/cudnn.cc.o" "gcc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/cudnn.cc.o.d"
+  "/root/repo/src/cudnn/kernels_common.cc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/kernels_common.cc.o" "gcc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/kernels_common.cc.o.d"
+  "/root/repo/src/cudnn/kernels_conv.cc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/kernels_conv.cc.o" "gcc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/kernels_conv.cc.o.d"
+  "/root/repo/src/cudnn/kernels_fft.cc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/kernels_fft.cc.o" "gcc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/kernels_fft.cc.o.d"
+  "/root/repo/src/cudnn/kernels_lrn.cc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/kernels_lrn.cc.o" "gcc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/kernels_lrn.cc.o.d"
+  "/root/repo/src/cudnn/kernels_winograd.cc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/kernels_winograd.cc.o" "gcc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/kernels_winograd.cc.o.d"
+  "/root/repo/src/cudnn/reference.cc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/reference.cc.o" "gcc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/reference.cc.o.d"
+  "/root/repo/src/cudnn/winograd_tx.cc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/winograd_tx.cc.o" "gcc" "src/cudnn/CMakeFiles/mlgs_cudnn.dir/winograd_tx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/mlgs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/mlgs_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mlgs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/mlgs_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/mlgs_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlgs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/mlgs_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlgs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlgs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

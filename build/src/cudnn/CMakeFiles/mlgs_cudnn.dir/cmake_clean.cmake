@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_cudnn.dir/cudnn.cc.o"
+  "CMakeFiles/mlgs_cudnn.dir/cudnn.cc.o.d"
+  "CMakeFiles/mlgs_cudnn.dir/kernels_common.cc.o"
+  "CMakeFiles/mlgs_cudnn.dir/kernels_common.cc.o.d"
+  "CMakeFiles/mlgs_cudnn.dir/kernels_conv.cc.o"
+  "CMakeFiles/mlgs_cudnn.dir/kernels_conv.cc.o.d"
+  "CMakeFiles/mlgs_cudnn.dir/kernels_fft.cc.o"
+  "CMakeFiles/mlgs_cudnn.dir/kernels_fft.cc.o.d"
+  "CMakeFiles/mlgs_cudnn.dir/kernels_lrn.cc.o"
+  "CMakeFiles/mlgs_cudnn.dir/kernels_lrn.cc.o.d"
+  "CMakeFiles/mlgs_cudnn.dir/kernels_winograd.cc.o"
+  "CMakeFiles/mlgs_cudnn.dir/kernels_winograd.cc.o.d"
+  "CMakeFiles/mlgs_cudnn.dir/reference.cc.o"
+  "CMakeFiles/mlgs_cudnn.dir/reference.cc.o.d"
+  "CMakeFiles/mlgs_cudnn.dir/winograd_tx.cc.o"
+  "CMakeFiles/mlgs_cudnn.dir/winograd_tx.cc.o.d"
+  "libmlgs_cudnn.a"
+  "libmlgs_cudnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_cudnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mlgs_cudnn.
+# This may be replaced when dependencies are built.

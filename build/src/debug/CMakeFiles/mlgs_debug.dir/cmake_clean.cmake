@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_debug.dir/debugger.cc.o"
+  "CMakeFiles/mlgs_debug.dir/debugger.cc.o.d"
+  "CMakeFiles/mlgs_debug.dir/instrument.cc.o"
+  "CMakeFiles/mlgs_debug.dir/instrument.cc.o.d"
+  "libmlgs_debug.a"
+  "libmlgs_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

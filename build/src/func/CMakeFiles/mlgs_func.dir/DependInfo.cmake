@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/func/cta_exec.cc" "src/func/CMakeFiles/mlgs_func.dir/cta_exec.cc.o" "gcc" "src/func/CMakeFiles/mlgs_func.dir/cta_exec.cc.o.d"
+  "/root/repo/src/func/engine.cc" "src/func/CMakeFiles/mlgs_func.dir/engine.cc.o" "gcc" "src/func/CMakeFiles/mlgs_func.dir/engine.cc.o.d"
+  "/root/repo/src/func/interpreter.cc" "src/func/CMakeFiles/mlgs_func.dir/interpreter.cc.o" "gcc" "src/func/CMakeFiles/mlgs_func.dir/interpreter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlgs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlgs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/mlgs_ptx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_func.dir/cta_exec.cc.o"
+  "CMakeFiles/mlgs_func.dir/cta_exec.cc.o.d"
+  "CMakeFiles/mlgs_func.dir/engine.cc.o"
+  "CMakeFiles/mlgs_func.dir/engine.cc.o.d"
+  "CMakeFiles/mlgs_func.dir/interpreter.cc.o"
+  "CMakeFiles/mlgs_func.dir/interpreter.cc.o.d"
+  "libmlgs_func.a"
+  "libmlgs_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_mem.dir/allocator.cc.o"
+  "CMakeFiles/mlgs_mem.dir/allocator.cc.o.d"
+  "CMakeFiles/mlgs_mem.dir/gpu_memory.cc.o"
+  "CMakeFiles/mlgs_mem.dir/gpu_memory.cc.o.d"
+  "libmlgs_mem.a"
+  "libmlgs_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_oracle.dir/hw_oracle.cc.o"
+  "CMakeFiles/mlgs_oracle.dir/hw_oracle.cc.o.d"
+  "libmlgs_oracle.a"
+  "libmlgs_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

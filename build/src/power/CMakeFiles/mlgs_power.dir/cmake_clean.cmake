@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_power.dir/power_model.cc.o"
+  "CMakeFiles/mlgs_power.dir/power_model.cc.o.d"
+  "libmlgs_power.a"
+  "libmlgs_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_ptx.dir/analysis.cc.o"
+  "CMakeFiles/mlgs_ptx.dir/analysis.cc.o.d"
+  "CMakeFiles/mlgs_ptx.dir/parser.cc.o"
+  "CMakeFiles/mlgs_ptx.dir/parser.cc.o.d"
+  "libmlgs_ptx.a"
+  "libmlgs_ptx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_ptx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_runtime.dir/context.cc.o"
+  "CMakeFiles/mlgs_runtime.dir/context.cc.o.d"
+  "libmlgs_runtime.a"
+  "libmlgs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

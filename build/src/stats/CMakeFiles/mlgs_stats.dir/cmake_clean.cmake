@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_stats.dir/aerial.cc.o"
+  "CMakeFiles/mlgs_stats.dir/aerial.cc.o.d"
+  "libmlgs_stats.a"
+  "libmlgs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_timing.dir/cache.cc.o"
+  "CMakeFiles/mlgs_timing.dir/cache.cc.o.d"
+  "CMakeFiles/mlgs_timing.dir/core.cc.o"
+  "CMakeFiles/mlgs_timing.dir/core.cc.o.d"
+  "CMakeFiles/mlgs_timing.dir/dram.cc.o"
+  "CMakeFiles/mlgs_timing.dir/dram.cc.o.d"
+  "CMakeFiles/mlgs_timing.dir/gpu.cc.o"
+  "CMakeFiles/mlgs_timing.dir/gpu.cc.o.d"
+  "CMakeFiles/mlgs_timing.dir/partition.cc.o"
+  "CMakeFiles/mlgs_timing.dir/partition.cc.o.d"
+  "libmlgs_timing.a"
+  "libmlgs_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_torchlet.dir/lenet.cc.o"
+  "CMakeFiles/mlgs_torchlet.dir/lenet.cc.o.d"
+  "CMakeFiles/mlgs_torchlet.dir/lenet_cpu.cc.o"
+  "CMakeFiles/mlgs_torchlet.dir/lenet_cpu.cc.o.d"
+  "CMakeFiles/mlgs_torchlet.dir/mnist_synth.cc.o"
+  "CMakeFiles/mlgs_torchlet.dir/mnist_synth.cc.o.d"
+  "CMakeFiles/mlgs_torchlet.dir/modules.cc.o"
+  "CMakeFiles/mlgs_torchlet.dir/modules.cc.o.d"
+  "libmlgs_torchlet.a"
+  "libmlgs_torchlet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_torchlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

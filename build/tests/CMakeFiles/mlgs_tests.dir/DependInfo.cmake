@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_blas.cc" "tests/CMakeFiles/mlgs_tests.dir/test_blas.cc.o" "gcc" "tests/CMakeFiles/mlgs_tests.dir/test_blas.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/mlgs_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/mlgs_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_cudnn.cc" "tests/CMakeFiles/mlgs_tests.dir/test_cudnn.cc.o" "gcc" "tests/CMakeFiles/mlgs_tests.dir/test_cudnn.cc.o.d"
+  "/root/repo/tests/test_interpreter.cc" "tests/CMakeFiles/mlgs_tests.dir/test_interpreter.cc.o" "gcc" "tests/CMakeFiles/mlgs_tests.dir/test_interpreter.cc.o.d"
+  "/root/repo/tests/test_ptx_parser.cc" "tests/CMakeFiles/mlgs_tests.dir/test_ptx_parser.cc.o" "gcc" "tests/CMakeFiles/mlgs_tests.dir/test_ptx_parser.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/mlgs_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/mlgs_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_stats_power.cc" "tests/CMakeFiles/mlgs_tests.dir/test_stats_power.cc.o" "gcc" "tests/CMakeFiles/mlgs_tests.dir/test_stats_power.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/mlgs_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/mlgs_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_tools.cc" "tests/CMakeFiles/mlgs_tests.dir/test_tools.cc.o" "gcc" "tests/CMakeFiles/mlgs_tests.dir/test_tools.cc.o.d"
+  "/root/repo/tests/test_torchlet.cc" "tests/CMakeFiles/mlgs_tests.dir/test_torchlet.cc.o" "gcc" "tests/CMakeFiles/mlgs_tests.dir/test_torchlet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/func/CMakeFiles/mlgs_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/mlgs_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mlgs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mlgs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/mlgs_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/mlgs_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/chkpt/CMakeFiles/mlgs_chkpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/debug/CMakeFiles/mlgs_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudnn/CMakeFiles/mlgs_cudnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/torchlet/CMakeFiles/mlgs_torchlet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlgs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/mlgs_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlgs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlgs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

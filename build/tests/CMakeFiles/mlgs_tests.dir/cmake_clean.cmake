@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgs_tests.dir/test_blas.cc.o"
+  "CMakeFiles/mlgs_tests.dir/test_blas.cc.o.d"
+  "CMakeFiles/mlgs_tests.dir/test_common.cc.o"
+  "CMakeFiles/mlgs_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/mlgs_tests.dir/test_cudnn.cc.o"
+  "CMakeFiles/mlgs_tests.dir/test_cudnn.cc.o.d"
+  "CMakeFiles/mlgs_tests.dir/test_interpreter.cc.o"
+  "CMakeFiles/mlgs_tests.dir/test_interpreter.cc.o.d"
+  "CMakeFiles/mlgs_tests.dir/test_ptx_parser.cc.o"
+  "CMakeFiles/mlgs_tests.dir/test_ptx_parser.cc.o.d"
+  "CMakeFiles/mlgs_tests.dir/test_runtime.cc.o"
+  "CMakeFiles/mlgs_tests.dir/test_runtime.cc.o.d"
+  "CMakeFiles/mlgs_tests.dir/test_stats_power.cc.o"
+  "CMakeFiles/mlgs_tests.dir/test_stats_power.cc.o.d"
+  "CMakeFiles/mlgs_tests.dir/test_timing.cc.o"
+  "CMakeFiles/mlgs_tests.dir/test_timing.cc.o.d"
+  "CMakeFiles/mlgs_tests.dir/test_tools.cc.o"
+  "CMakeFiles/mlgs_tests.dir/test_tools.cc.o.d"
+  "CMakeFiles/mlgs_tests.dir/test_torchlet.cc.o"
+  "CMakeFiles/mlgs_tests.dir/test_torchlet.cc.o.d"
+  "mlgs_tests"
+  "mlgs_tests.pdb"
+  "mlgs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
