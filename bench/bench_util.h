@@ -136,7 +136,7 @@ struct MnistRun
 {
     std::vector<cuda::LaunchRecord> log;
     timing::TimingTotals totals;
-    double elapsed_cycles = 0;
+    cycle_t elapsed_cycles = 0;
     int correct = 0;
 };
 

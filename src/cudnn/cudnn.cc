@@ -104,6 +104,34 @@ CudnnHandle::launch1d(int module, const std::string &kernel,
                          args, stream_);
 }
 
+cuda::Stream *
+CudnnHandle::forkAux()
+{
+    // On the legacy default stream everything serializes anyway (and the
+    // per-kernel cycle attribution of the correlation figures assumes it):
+    // only a handle with an explicit stream opts into internal concurrency.
+    if (!stream_)
+        return nullptr;
+    if (!aux_stream_)
+        aux_stream_ = ctx_->createStream();
+    // A fresh event per fork: a reused event would already read as recorded
+    // from the previous fork, letting the aux stream run ahead of the fence.
+    cuda::Event *e = ctx_->createEvent();
+    ctx_->recordEvent(e, stream_);
+    ctx_->streamWaitEvent(aux_stream_, e);
+    return aux_stream_;
+}
+
+void
+CudnnHandle::joinAux()
+{
+    if (!stream_)
+        return;
+    cuda::Event *e = ctx_->createEvent();
+    ctx_->recordEvent(e, aux_stream_);
+    ctx_->streamWaitEvent(stream_, e);
+}
+
 // ---- Winograd transform caching ----
 
 const CudnnHandle::WinogradBuffers &
@@ -166,7 +194,19 @@ CudnnHandle::fftConvForward(const TensorDesc &xd, addr_t x,
     const addr_t yw =
         ctx_->malloc(size_t(xd.n) * wd.k * tiles * bins * 8);
 
-    // 1. transform input tiles (circular shift by -(R-1)).
+    // 1+2. The input-tile and filter transforms are independent: the filter
+    //      transform forks onto the auxiliary stream (the fork precedes the
+    //      input transform's enqueue, so the two overlap in device time) and
+    //      the CGEMM below joins on both.
+    {
+        cuda::Stream *aux = forkAux();
+        cuda::KernelArgs a;
+        a.ptr(w).ptr(ww).u32(unsigned(R)).u32(unsigned(S))
+            .u32(unsigned(R * S)).u32(1).u32(tile).s32(0);
+        ctx_->cuLaunchKernel(ctx_->getFunction(mod, "fft2d_r2c_" + sfx),
+                             Dim3(unsigned(wd.k * wd.c), 1, 1), Dim3(tile), a,
+                             aux);
+    }
     {
         cuda::KernelArgs a;
         a.ptr(xin).ptr(xw).u32(unsigned(H)).u32(unsigned(W))
@@ -175,15 +215,7 @@ CudnnHandle::fftConvForward(const TensorDesc &xd, addr_t x,
                              Dim3(unsigned(xd.n * xd.c), tiles_y, tiles_x),
                              Dim3(tile), a, stream_);
     }
-    // 2. transform filters (one tile each, no shift).
-    {
-        cuda::KernelArgs a;
-        a.ptr(w).ptr(ww).u32(unsigned(R)).u32(unsigned(S))
-            .u32(unsigned(R * S)).u32(1).u32(tile).s32(0);
-        ctx_->cuLaunchKernel(ctx_->getFunction(mod, "fft2d_r2c_" + sfx),
-                             Dim3(unsigned(wd.k * wd.c), 1, 1), Dim3(tile), a,
-                             stream_);
-    }
+    joinAux();
     // 3. pointwise CGEMM per image (tile index becomes the P dimension).
     for (int n = 0; n < xd.n; n++) {
         cuda::KernelArgs a;
@@ -255,6 +287,18 @@ CudnnHandle::fftConvWgrad(const TensorDesc &xd, addr_t x, const TensorDesc &dyd,
     const addr_t dyw = ctx_->malloc(size_t(dyd.n) * dyd.c * bins * 8);
     const addr_t dww = ctx_->malloc(size_t(dwd.k) * dwd.c * bins * 8);
 
+    // The x and dy transforms are independent: the dy transform forks onto
+    // the auxiliary stream (fork precedes the x transform's enqueue, so they
+    // overlap in device time) and the CGEMM below joins on both.
+    {
+        cuda::Stream *aux = forkAux();
+        cuda::KernelArgs a;
+        a.ptr(dy).ptr(dyw).u32(unsigned(dyd.h)).u32(unsigned(dyd.w))
+            .u32(unsigned(dyd.h * dyd.w)).u32(1).u32(tile).s32(0);
+        ctx_->cuLaunchKernel(ctx_->getFunction(mod, "fft2d_r2c_" + sfx),
+                             Dim3(unsigned(dyd.n * dyd.c), 1, 1), Dim3(tile),
+                             a, aux);
+    }
     {
         cuda::KernelArgs a;
         a.ptr(xin).ptr(xw).u32(unsigned(H)).u32(unsigned(W))
@@ -263,14 +307,7 @@ CudnnHandle::fftConvWgrad(const TensorDesc &xd, addr_t x, const TensorDesc &dyd,
                              Dim3(unsigned(xd.n * xd.c), 1, 1), Dim3(tile), a,
                              stream_);
     }
-    {
-        cuda::KernelArgs a;
-        a.ptr(dy).ptr(dyw).u32(unsigned(dyd.h)).u32(unsigned(dyd.w))
-            .u32(unsigned(dyd.h * dyd.w)).u32(1).u32(tile).s32(0);
-        ctx_->cuLaunchKernel(ctx_->getFunction(mod, "fft2d_r2c_" + sfx),
-                             Dim3(unsigned(dyd.n * dyd.c), 1, 1), Dim3(tile),
-                             a, stream_);
-    }
+    joinAux();
     {
         // dW_hat[k,c,bin] = sum_n X[n,c,bin] * conj(DY[n,k,bin])
         cuda::KernelArgs a;

@@ -169,6 +169,17 @@ class CudnnHandle
                   unsigned block = 128);
     const WinogradBuffers &winogradFor(unsigned m, unsigned r);
 
+    /**
+     * Fork work independent of the main stream onto the handle's internal
+     * auxiliary stream: the aux stream first waits for everything enqueued so
+     * far, so it only runs concurrently with ops issued after the fork.
+     * Returns nullptr (= the legacy default stream, fully serialized) when no
+     * explicit stream is set on the handle.
+     */
+    cuda::Stream *forkAux();
+    /** Make the main stream wait for all forked work. */
+    void joinAux();
+
     /** FFT convolution core shared by fwd / bwd-data / bwd-filter. */
     void fftConvForward(const TensorDesc &xd, addr_t x, const FilterDesc &wd,
                         addr_t w, int pad, unsigned tile, const TensorDesc &yd,
@@ -183,6 +194,7 @@ class CudnnHandle
 
     cuda::Context *ctx_;
     cuda::Stream *stream_ = nullptr;
+    cuda::Stream *aux_stream_ = nullptr; ///< lazily created by forkAux()
     blas::BlasHandle blas_;
     int mod_common_ = -1;
     int mod_conv_ = -1;

@@ -1,0 +1,226 @@
+#include "engine/device_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mlgs::engine
+{
+
+namespace
+{
+constexpr cycle_t kNoDeadline = std::numeric_limits<cycle_t>::max();
+} // namespace
+
+DeviceEngine::DeviceEngine(ExecBackend &backend, GpuMemory &mem, Options opts)
+    : backend_(&backend), mem_(&mem), opts_(opts)
+{
+    MLGS_REQUIRE(opts_.memcpy_bytes_per_cycle > 0,
+                 "memcpy_bytes_per_cycle must be positive");
+    streams_.push_back(std::unique_ptr<Stream>(new Stream(0))); // default
+}
+
+Stream *
+DeviceEngine::createStream()
+{
+    streams_.push_back(
+        std::unique_ptr<Stream>(new Stream(unsigned(streams_.size()))));
+    return streams_.back().get();
+}
+
+void
+DeviceEngine::resetStream(Stream *s)
+{
+    MLGS_REQUIRE(s, "resetStream: null stream");
+    s->ops_.clear();
+}
+
+Event *
+DeviceEngine::createEvent()
+{
+    events_.push_back(std::unique_ptr<Event>(new Event));
+    return events_.back().get();
+}
+
+void
+DeviceEngine::enqueue(Stream *stream, Stream::Op op)
+{
+    Stream &s = stream ? *stream : *defaultStream();
+    s.ops_.push_back(std::move(op));
+    // Legacy default-stream semantics: work on stream 0 synchronizes with
+    // everything, so the host sees its effects immediately — exactly the
+    // behaviour single-stream code (and the old eager pump) relied on.
+    if (s.id_ == 0)
+        drain();
+    else
+        pump();
+}
+
+void
+DeviceEngine::startCopy(Stream &s, size_t bytes)
+{
+    // Deterministic round-up: a partial cycle still occupies the engine.
+    const cycle_t dur =
+        bytes == 0
+            ? 0
+            : cycle_t(std::ceil(double(bytes) / opts_.memcpy_bytes_per_cycle));
+    s.inflight_.kind = Stream::InFlight::Kind::Copy;
+    s.inflight_.done_at = s.ready_at_ + dur;
+    copy_pq_.push(CopyEvent{s.inflight_.done_at, next_seq_++, &s});
+}
+
+bool
+DeviceEngine::startFront(Stream &s)
+{
+    Stream::Op &op = s.ops_.front();
+    using Kind = Stream::Op::Kind;
+    switch (op.kind) {
+      case Kind::WaitEvent:
+        if (!op.event->recorded_)
+            return false; // stream stays blocked
+        s.ready_at_ = std::max(s.ready_at_, op.event->complete_at_);
+        s.ops_.pop_front();
+        return true;
+      case Kind::RecordEvent:
+        op.event->recorded_ = true;
+        op.event->complete_at_ = s.ready_at_;
+        s.ops_.pop_front();
+        return true;
+      case Kind::MemcpyH2D:
+        mem_->write(op.dst, op.host_data.data(), op.bytes);
+        startCopy(s, op.bytes);
+        s.ops_.pop_front();
+        return true;
+      case Kind::MemcpyD2H:
+        mem_->read(op.src, op.host_dst, op.bytes);
+        startCopy(s, op.bytes);
+        s.ops_.pop_front();
+        return true;
+      case Kind::MemcpyD2D: {
+        std::vector<uint8_t> tmp(op.bytes);
+        mem_->read(op.src, tmp.data(), op.bytes);
+        mem_->write(op.dst, tmp.data(), op.bytes);
+        startCopy(s, op.bytes);
+        s.ops_.pop_front();
+        return true;
+      }
+      case Kind::Memset:
+        mem_->memset(op.dst, op.fill, op.bytes);
+        startCopy(s, op.bytes);
+        s.ops_.pop_front();
+        return true;
+      case Kind::Launch: {
+        if (!backend_->canAccept())
+            return false; // wait for a resident kernel to retire
+
+        LaunchRecord rec;
+        rec.launch_id = next_launch_id_++;
+        rec.kernel_name = op.kernel->name;
+        rec.kernel = op.kernel;
+        rec.module = op.module;
+        rec.grid = op.grid;
+        rec.block = op.block;
+        rec.params = std::move(op.params);
+        rec.stream_id = s.id_;
+
+        MLGS_REQUIRE(prep_, "DeviceEngine: no launch prep installed");
+        func::LaunchEnv env;
+        const bool execute = prep_(rec, env);
+        if (!execute) {
+            // Hooked (checkpoint fast-forward): retires instantly.
+            rec.start_cycle = rec.end_cycle = s.ready_at_;
+            s.ops_.pop_front();
+            if (retire_)
+                retire_(std::move(rec), false);
+            return true;
+        }
+
+        rec.start_cycle = s.ready_at_;
+        const uint64_t token = backend_->begin(rec, env, s.ready_at_);
+        s.inflight_.kind = Stream::InFlight::Kind::Kernel;
+        s.inflight_.token = token;
+        s.inflight_.rec = std::move(rec);
+        kernel_streams_[token] = &s;
+        s.ops_.pop_front();
+        return true;
+      }
+    }
+    return false;
+}
+
+void
+DeviceEngine::pump()
+{
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto &sp : streams_) {
+            Stream &s = *sp;
+            while (s.inflight_.kind == Stream::InFlight::Kind::None &&
+                   !s.ops_.empty() && startFront(s))
+                progressed = true;
+        }
+    }
+}
+
+bool
+DeviceEngine::retireNext()
+{
+    const bool have_copy = !copy_pq_.empty();
+    const cycle_t copy_at = have_copy ? copy_pq_.top().at : 0;
+
+    if (backend_->busy()) {
+        const cycle_t limit = have_copy ? copy_at : kNoDeadline;
+        if (const auto c = backend_->advanceUntil(limit)) {
+            const auto it = kernel_streams_.find(c->token);
+            MLGS_ASSERT(it != kernel_streams_.end(),
+                        "backend completed an unknown launch token");
+            Stream &s = *it->second;
+            kernel_streams_.erase(it);
+            LaunchRecord rec = std::move(s.inflight_.rec);
+            s.inflight_ = Stream::InFlight{};
+            backend_->finish(c->token, rec);
+            rec.end_cycle = c->at;
+            s.ready_at_ = std::max(s.ready_at_, c->at);
+            if (retire_)
+                retire_(std::move(rec), true);
+            return true;
+        }
+    }
+    if (have_copy) {
+        const CopyEvent ev = copy_pq_.top();
+        copy_pq_.pop();
+        ev.stream->inflight_ = Stream::InFlight{};
+        ev.stream->ready_at_ = std::max(ev.stream->ready_at_, ev.at);
+        return true;
+    }
+    return false;
+}
+
+void
+DeviceEngine::drain()
+{
+    for (;;) {
+        pump();
+        if (!retireNext())
+            break;
+    }
+}
+
+bool
+DeviceEngine::drained(const Stream *s) const
+{
+    return s->ops_.empty() &&
+           s->inflight_.kind == Stream::InFlight::Kind::None;
+}
+
+cycle_t
+DeviceEngine::elapsedCycles() const
+{
+    cycle_t t = 0;
+    for (const auto &s : streams_)
+        t = std::max(t, s->ready_at_);
+    return t;
+}
+
+} // namespace mlgs::engine

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The event-driven device engine. Owns streams, events, and the single
+ * integral device timeline: ops start as soon as their in-stream predecessor
+ * and any awaited events allow, copies complete after a deterministic
+ * byte-rate duration, and kernels complete whenever the execution backend
+ * says so. A priority queue of copy completions merges with backend kernel
+ * completions so retirement happens in device-time order — which is what
+ * lets independent streams' work overlap instead of serializing.
+ *
+ * Host-visibility contract (mirrors CUDA's legacy default stream): ops
+ * enqueued to the default stream drain the whole device before returning;
+ * ops on explicit streams start eagerly but retire lazily, so their modeled
+ * completion times interleave with other streams' work until a synchronize.
+ */
+#ifndef MLGS_ENGINE_DEVICE_ENGINE_H
+#define MLGS_ENGINE_DEVICE_ENGINE_H
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+
+#include "engine/exec_backend.h"
+#include "mem/gpu_memory.h"
+
+namespace mlgs::engine
+{
+
+class DeviceEngine
+{
+  public:
+    struct Options
+    {
+        /** Host<->device copy throughput used for stream-overlap timing. */
+        double memcpy_bytes_per_cycle = 8.0;
+    };
+
+    /**
+     * Called when a launch is about to begin: fills the functional launch
+     * environment (params/symbols/textures) and runs capture + launch-hook
+     * logic. Returning false marks the launch handled externally (checkpoint
+     * fast-forward): it retires immediately with zero duration.
+     */
+    using LaunchPrep = std::function<bool(LaunchRecord &, func::LaunchEnv &)>;
+
+    /** Called when a launch retires; `executed` is false for hooked ones. */
+    using LaunchRetire = std::function<void(LaunchRecord &&, bool executed)>;
+
+    DeviceEngine(ExecBackend &backend, GpuMemory &mem, Options opts);
+
+    void setLaunchPrep(LaunchPrep prep) { prep_ = std::move(prep); }
+    void setLaunchRetire(LaunchRetire retire) { retire_ = std::move(retire); }
+
+    // ---- streams & events ----
+    Stream *createStream();
+    Stream *defaultStream() { return streams_.front().get(); }
+    /** Drops any queued ops; the slot stays live so ids remain stable. */
+    void resetStream(Stream *s);
+    Event *createEvent();
+
+    // ---- op intake ----
+    /**
+     * Queue an op. Ops on explicit streams start eagerly (lazy retirement);
+     * the default stream synchronizes the whole device, legacy-CUDA style.
+     */
+    void enqueue(Stream *stream, Stream::Op op);
+
+    // ---- progress ----
+    /** Start every startable op without forcing retirement. */
+    void pump();
+    /** Event loop to quiescence: everything started and retired. */
+    void drain();
+
+    /** No queued or in-flight work on this stream. */
+    bool drained(const Stream *s) const;
+
+    const std::vector<std::unique_ptr<Stream>> &streams() const
+    {
+        return streams_;
+    }
+
+    /** Total device busy span: max over stream completion times. */
+    cycle_t elapsedCycles() const;
+
+  private:
+    struct CopyEvent
+    {
+        cycle_t at = 0;
+        uint64_t seq = 0;
+        Stream *stream = nullptr;
+        bool operator>(const CopyEvent &o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
+    };
+
+    bool startFront(Stream &s);
+    void startCopy(Stream &s, size_t bytes);
+    bool retireNext();
+
+    ExecBackend *backend_;
+    GpuMemory *mem_;
+    Options opts_;
+    LaunchPrep prep_;
+    LaunchRetire retire_;
+
+    std::vector<std::unique_ptr<Stream>> streams_;
+    std::vector<std::unique_ptr<Event>> events_;
+    std::priority_queue<CopyEvent, std::vector<CopyEvent>,
+                        std::greater<CopyEvent>>
+        copy_pq_;
+    std::unordered_map<uint64_t, Stream *> kernel_streams_;
+    uint64_t next_seq_ = 0;
+    uint64_t next_launch_id_ = 0;
+};
+
+} // namespace mlgs::engine
+
+#endif // MLGS_ENGINE_DEVICE_ENGINE_H

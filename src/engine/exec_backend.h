@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Execution-backend interface: the DeviceEngine decides *when* stream ops may
+ * run; a backend decides *how long* kernels take and carries out their
+ * effects. Two implementations exist — FunctionalBackend (instruction-count
+ * durations, unlimited residency) and TimingBackend (cycle-level GpuModel
+ * with bounded concurrent kernel residency).
+ */
+#ifndef MLGS_ENGINE_EXEC_BACKEND_H
+#define MLGS_ENGINE_EXEC_BACKEND_H
+
+#include <optional>
+
+#include "engine/stream.h"
+
+namespace mlgs::engine
+{
+
+/** A kernel launch retired by the backend. */
+struct BackendCompletion
+{
+    uint64_t token = 0; ///< value returned by begin()
+    cycle_t at = 0;     ///< device time of completion
+};
+
+/** Executes kernel grids on behalf of the DeviceEngine. */
+class ExecBackend
+{
+  public:
+    virtual ~ExecBackend() = default;
+
+    /** Can another kernel become resident right now? */
+    virtual bool canAccept() const = 0;
+
+    /**
+     * Begin executing the record's grid no earlier than device time `start`.
+     * The backend copies anything it needs from `env`; `rec` stays owned by
+     * the engine and is handed back to finish() on completion.
+     */
+    virtual uint64_t begin(LaunchRecord &rec, const func::LaunchEnv &env,
+                           cycle_t start) = 0;
+
+    /** Any launched-but-unretired work? */
+    virtual bool busy() const = 0;
+
+    /**
+     * Advance until some launch completes or the device clock would pass
+     * `limit`; returns the earliest completion if one occurred at <= limit.
+     */
+    virtual std::optional<BackendCompletion> advanceUntil(cycle_t limit) = 0;
+
+    /** Fill post-execution stats on the record of a completed token. */
+    virtual void finish(uint64_t token, LaunchRecord &rec) = 0;
+};
+
+} // namespace mlgs::engine
+
+#endif // MLGS_ENGINE_EXEC_BACKEND_H

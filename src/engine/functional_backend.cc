@@ -1,0 +1,33 @@
+#include "engine/functional_backend.h"
+
+namespace mlgs::engine
+{
+
+uint64_t
+FunctionalBackend::begin(LaunchRecord &rec, const func::LaunchEnv &env,
+                         cycle_t start)
+{
+    // Execute immediately; only the completion time is deferred.
+    rec.func_stats = engine_->launch(env, rec.grid, rec.block);
+    const uint64_t token = next_token_++;
+    pending_.push(Pending{start + rec.func_stats.instructions, token});
+    return token;
+}
+
+std::optional<BackendCompletion>
+FunctionalBackend::advanceUntil(cycle_t limit)
+{
+    if (pending_.empty() || pending_.top().at > limit)
+        return std::nullopt;
+    const Pending p = pending_.top();
+    pending_.pop();
+    return BackendCompletion{p.token, p.at};
+}
+
+void
+FunctionalBackend::finish(uint64_t, LaunchRecord &)
+{
+    // func_stats was already filled in begin().
+}
+
+} // namespace mlgs::engine

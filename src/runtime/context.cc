@@ -1,6 +1,10 @@
 #include "runtime/context.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "engine/functional_backend.h"
+#include "engine/timing_backend.h"
 
 namespace mlgs::cuda
 {
@@ -11,10 +15,33 @@ Context::Context(ContextOptions opts)
       func_engine_(interp_),
       gpu_(std::make_unique<timing::GpuModel>(opts_.gpu, interp_))
 {
-    streams_.push_back(std::unique_ptr<Stream>(new Stream(0))); // default
+    if (opts_.mode == SimMode::Performance) {
+        auto tb = std::make_unique<engine::TimingBackend>(*gpu_);
+        timing_backend_ = tb.get();
+        backend_ = std::move(tb);
+    } else {
+        backend_ = std::make_unique<engine::FunctionalBackend>(func_engine_);
+    }
+    engine_ = std::make_unique<engine::DeviceEngine>(
+        *backend_, mem_,
+        engine::DeviceEngine::Options{opts_.memcpy_bytes_per_cycle});
+    engine_->setLaunchPrep([this](LaunchRecord &rec, func::LaunchEnv &env) {
+        return prepareLaunch(rec, env);
+    });
+    engine_->setLaunchRetire([this](LaunchRecord &&rec, bool executed) {
+        retireLaunch(std::move(rec), executed);
+    });
 }
 
 Context::~Context() = default;
+
+void
+Context::attachSampler(stats::AerialSampler *s)
+{
+    sampler_ = s;
+    if (timing_backend_)
+        timing_backend_->setSampler(s);
+}
 
 // ---- memory ----
 
@@ -39,9 +66,7 @@ Context::memcpyH2D(addr_t dst, const void *src, size_t bytes, Stream *stream)
     op.bytes = bytes;
     op.host_data.assign(static_cast<const uint8_t *>(src),
                         static_cast<const uint8_t *>(src) + bytes);
-    enqueue(stream, std::move(op));
-    if (!stream)
-        streamSynchronize(defaultStream()); // synchronous API form
+    engine_->enqueue(stream, std::move(op));
 }
 
 void
@@ -52,7 +77,7 @@ Context::memcpyD2H(void *dst, addr_t src, size_t bytes, Stream *stream)
     op.src = src;
     op.bytes = bytes;
     op.host_dst = dst;
-    enqueue(stream, std::move(op));
+    engine_->enqueue(stream, std::move(op));
     // D2H must complete before the host may look at dst: drain the stream.
     streamSynchronize(stream ? stream : defaultStream());
 }
@@ -65,7 +90,7 @@ Context::memcpyD2D(addr_t dst, addr_t src, size_t bytes, Stream *stream)
     op.dst = dst;
     op.src = src;
     op.bytes = bytes;
-    enqueue(stream, std::move(op));
+    engine_->enqueue(stream, std::move(op));
 }
 
 void
@@ -76,7 +101,7 @@ Context::memsetD(addr_t dst, uint8_t value, size_t bytes, Stream *stream)
     op.dst = dst;
     op.bytes = bytes;
     op.fill = value;
-    enqueue(stream, std::move(op));
+    engine_->enqueue(stream, std::move(op));
 }
 
 // ---- modules ----
@@ -145,139 +170,32 @@ Context::cuLaunchKernel(const ptx::KernelDef *kernel, const Dim3 &grid,
     op.grid = grid;
     op.block = block;
     op.params = args.bytes();
-    enqueue(stream, std::move(op));
-}
-
-// ---- streams & events ----
-
-Stream *
-Context::createStream()
-{
-    streams_.push_back(
-        std::unique_ptr<Stream>(new Stream(unsigned(streams_.size()))));
-    return streams_.back().get();
-}
-
-void
-Context::destroyStream(Stream *s)
-{
-    MLGS_REQUIRE(s && s->id() != 0, "cannot destroy the default stream");
-    streamSynchronize(s);
-    // Keep the slot (ids stay stable); just clear the queue.
-    s->ops_.clear();
-}
-
-Event *
-Context::createEvent()
-{
-    events_.push_back(std::make_unique<Event>());
-    return events_.back().get();
-}
-
-void
-Context::recordEvent(Event *e, Stream *stream)
-{
-    MLGS_REQUIRE(e, "recordEvent: null event");
-    Stream::Op op;
-    op.kind = Stream::Op::Kind::RecordEvent;
-    op.event = e;
-    enqueue(stream, std::move(op));
-}
-
-void
-Context::streamWaitEvent(Stream *stream, Event *e)
-{
-    MLGS_REQUIRE(e, "streamWaitEvent: null event");
-    Stream::Op op;
-    op.kind = Stream::Op::Kind::WaitEvent;
-    op.event = e;
-    enqueue(stream, std::move(op));
-}
-
-void
-Context::enqueue(Stream *stream, Stream::Op op)
-{
-    Stream &s = stream ? *stream : *defaultStream();
-    s.ops_.push_back(std::move(op));
-    pump();
+    engine_->enqueue(stream, std::move(op));
 }
 
 bool
-Context::runOp(Stream &s, Stream::Op &op)
+Context::prepareLaunch(LaunchRecord &rec, func::LaunchEnv &env)
 {
-    switch (op.kind) {
-      case Stream::Op::Kind::WaitEvent:
-        if (!op.event->recorded())
-            return false; // stream stays blocked
-        s.timeline_ = std::max(s.timeline_, op.event->completeTime());
-        return true;
-      case Stream::Op::Kind::RecordEvent:
-        op.event->recorded_ = true;
-        op.event->complete_time_ = s.timeline_;
-        return true;
-      case Stream::Op::Kind::MemcpyH2D:
-        mem_.write(op.dst, op.host_data.data(), op.bytes);
-        s.timeline_ += double(op.bytes) / opts_.memcpy_bytes_per_cycle;
-        return true;
-      case Stream::Op::Kind::MemcpyD2H:
-        mem_.read(op.src, op.host_dst, op.bytes);
-        s.timeline_ += double(op.bytes) / opts_.memcpy_bytes_per_cycle;
-        return true;
-      case Stream::Op::Kind::MemcpyD2D: {
-        std::vector<uint8_t> tmp(op.bytes);
-        mem_.read(op.src, tmp.data(), op.bytes);
-        mem_.write(op.dst, tmp.data(), op.bytes);
-        s.timeline_ += double(op.bytes) / opts_.memcpy_bytes_per_cycle;
-        return true;
-      }
-      case Stream::Op::Kind::Memset:
-        mem_.memset(op.dst, op.fill, op.bytes);
-        s.timeline_ += double(op.bytes) / opts_.memcpy_bytes_per_cycle;
-        return true;
-      case Stream::Op::Kind::Launch: {
-        LaunchRecord rec;
-        rec.launch_id = next_launch_id_++;
-        rec.kernel_name = op.kernel->name;
-        rec.kernel = op.kernel;
-        rec.grid = op.grid;
-        rec.block = op.block;
-        rec.params = op.params;
-        rec.stream_id = s.id();
-        if (opts_.capture_launches)
-            captureLaunch(rec);
-        executeLaunch(rec, s);
-        launch_log_.push_back(std::move(rec));
-        return true;
-      }
-    }
-    return false;
-}
-
-void
-Context::executeLaunch(LaunchRecord &rec, Stream &s)
-{
+    if (opts_.capture_launches)
+        captureLaunch(rec);
     if (launch_hook_ && launch_hook_(rec))
-        return;
+        return false; // handled externally (checkpoint fast-forward/skip)
 
-    func::LaunchEnv env;
     env.kernel = rec.kernel;
     env.params = rec.params;
     env.symbols = &symbols_;
     env.textures = this;
+    return true;
+}
 
-    if (opts_.mode == SimMode::Functional) {
-        rec.func_stats = func_engine_.launch(env, rec.grid, rec.block);
-        // Charge an instruction-proportional duration so stream overlap is
-        // still meaningful in functional mode.
-        s.timeline_ += double(rec.func_stats.instructions);
-    } else {
-        rec.perf = gpu_->runKernel(env, rec.grid, rec.block, sampler_);
-        rec.cycles = rec.perf.cycles;
-        s.timeline_ += double(rec.perf.cycles);
-    }
-    total_warp_instructions_ +=
-        opts_.mode == SimMode::Functional ? rec.func_stats.instructions
-                                          : rec.perf.warp_instructions;
+void
+Context::retireLaunch(LaunchRecord &&rec, bool executed)
+{
+    if (executed)
+        total_warp_instructions_ += opts_.mode == SimMode::Functional
+                                        ? rec.func_stats.instructions
+                                        : rec.perf.warp_instructions;
+    launch_log_.push_back(std::move(rec));
 }
 
 void
@@ -310,30 +228,54 @@ Context::captureLaunch(const LaunchRecord &rec)
     captured_.push_back(std::move(cap));
 }
 
-void
-Context::pump()
+// ---- streams & events ----
+
+Stream *
+Context::createStream()
 {
-    bool progressed = true;
-    while (progressed) {
-        progressed = false;
-        for (auto &sp : streams_) {
-            Stream &s = *sp;
-            while (!s.ops_.empty()) {
-                if (!runOp(s, s.ops_.front()))
-                    break; // blocked on an event
-                s.ops_.pop_front();
-                progressed = true;
-            }
-        }
-    }
+    return engine_->createStream();
+}
+
+void
+Context::destroyStream(Stream *s)
+{
+    MLGS_REQUIRE(s && s->id() != 0, "cannot destroy the default stream");
+    streamSynchronize(s);
+    engine_->resetStream(s); // keep the slot so ids stay stable
+}
+
+Event *
+Context::createEvent()
+{
+    return engine_->createEvent();
+}
+
+void
+Context::recordEvent(Event *e, Stream *stream)
+{
+    MLGS_REQUIRE(e, "recordEvent: null event");
+    Stream::Op op;
+    op.kind = Stream::Op::Kind::RecordEvent;
+    op.event = e;
+    engine_->enqueue(stream, std::move(op));
+}
+
+void
+Context::streamWaitEvent(Stream *stream, Event *e)
+{
+    MLGS_REQUIRE(e, "streamWaitEvent: null event");
+    Stream::Op op;
+    op.kind = Stream::Op::Kind::WaitEvent;
+    op.event = e;
+    engine_->enqueue(stream, std::move(op));
 }
 
 void
 Context::streamSynchronize(Stream *stream)
 {
     MLGS_REQUIRE(stream, "streamSynchronize: null stream");
-    pump();
-    MLGS_REQUIRE(stream->ops_.empty(),
+    engine_->drain();
+    MLGS_REQUIRE(engine_->drained(stream),
                  "stream deadlock: stream ", stream->id(),
                  " is blocked on an event that is never recorded");
 }
@@ -341,19 +283,17 @@ Context::streamSynchronize(Stream *stream)
 void
 Context::deviceSynchronize()
 {
-    pump();
-    for (const auto &s : streams_)
-        MLGS_REQUIRE(s->ops_.empty(), "device deadlock: stream ", s->id(),
+    engine_->drain();
+    for (const auto &s : engine_->streams())
+        MLGS_REQUIRE(engine_->drained(s.get()),
+                     "device deadlock: stream ", s->id(),
                      " is blocked on an event that is never recorded");
 }
 
-double
+cycle_t
 Context::elapsedCycles() const
 {
-    double t = 0;
-    for (const auto &s : streams_)
-        t = std::max(t, s->timeline_);
-    return t;
+    return engine_->elapsedCycles();
 }
 
 // ---- textures ----

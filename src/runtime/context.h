@@ -6,17 +6,23 @@
  * cuLaunchKernel — added by the paper for the debug tool), streams with
  * events and cudaStreamWaitEvent, and the texture-binding machinery with the
  * paper's name->{texref set} fix.
+ *
+ * Execution itself lives one layer down: Context translates API calls into
+ * engine::Stream ops and hands them to an engine::DeviceEngine driving a
+ * mode-appropriate engine::ExecBackend (functional interpretation or the
+ * cycle-level timing model with concurrent kernel residency).
  */
 #ifndef MLGS_RUNTIME_CONTEXT_H
 #define MLGS_RUNTIME_CONTEXT_H
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "engine/device_engine.h"
+#include "engine/exec_backend.h"
 #include "func/engine.h"
 #include "mem/allocator.h"
 #include "mem/gpu_memory.h"
@@ -26,86 +32,22 @@
 #include "stats/aerial.h"
 #include "timing/gpu.h"
 
+namespace mlgs::engine
+{
+class TimingBackend;
+} // namespace mlgs::engine
+
 namespace mlgs::cuda
 {
 
 /** Functional vs Performance simulation (Section III-F terminology). */
 enum class SimMode { Functional, Performance };
 
-class Context;
-
-/** Event marker recorded into a stream. */
-class Event
-{
-  public:
-    bool recorded() const { return recorded_; }
-    double completeTime() const { return complete_time_; }
-
-  private:
-    friend class Context;
-    bool recorded_ = false;
-    double complete_time_ = 0.0; ///< stream-timeline time (cycles)
-};
-
-/** In-order command queue. */
-class Stream
-{
-  public:
-    unsigned id() const { return id_; }
-
-  private:
-    friend class Context;
-    struct Op
-    {
-        enum class Kind
-        {
-            Launch,
-            MemcpyH2D,
-            MemcpyD2H,
-            MemcpyD2D,
-            Memset,
-            RecordEvent,
-            WaitEvent,
-        };
-        Kind kind;
-        // Launch:
-        const ptx::KernelDef *kernel = nullptr;
-        const ptx::Module *module = nullptr;
-        Dim3 grid, block;
-        std::vector<uint8_t> params;
-        // Memcpy/set:
-        addr_t dst = 0, src = 0;
-        std::vector<uint8_t> host_data; ///< H2D payload
-        void *host_dst = nullptr;       ///< D2H destination
-        size_t bytes = 0;
-        uint8_t fill = 0;
-        // Events:
-        Event *event = nullptr;
-    };
-
-    explicit Stream(unsigned id) : id_(id) {}
-
-    unsigned id_;
-    std::deque<Op> ops_;
-    double timeline_ = 0.0; ///< completion time (cycles) of last executed op
-};
-
-/** One entry in the per-launch log (feeds the oracle and the debug tool). */
-struct LaunchRecord
-{
-    uint64_t launch_id = 0;
-    std::string kernel_name;
-    const ptx::KernelDef *kernel = nullptr;
-    const ptx::Module *module = nullptr;
-    Dim3 grid, block;
-    std::vector<uint8_t> params;
-    unsigned stream_id = 0;
-
-    // Filled after execution:
-    func::FuncStats func_stats;       ///< functional counts (both modes)
-    cycle_t cycles = 0;               ///< performance mode only
-    timing::KernelRunStats perf;      ///< performance mode only
-};
+// Device-side work descriptors are owned by the engine layer; the cuda::
+// names remain the public API.
+using Event = engine::Event;
+using Stream = engine::Stream;
+using LaunchRecord = engine::LaunchRecord;
 
 /** Runtime configuration knobs. */
 struct ContextOptions
@@ -163,8 +105,7 @@ class Context : public func::TextureProvider
 
     // ---- mode ----
     SimMode mode() const { return opts_.mode; }
-    void setMode(SimMode m) { opts_.mode = m; }
-    void attachSampler(stats::AerialSampler *s) { sampler_ = s; }
+    void attachSampler(stats::AerialSampler *s);
 
     // ---- memory ----
     addr_t malloc(size_t bytes, size_t align = 256);
@@ -201,7 +142,7 @@ class Context : public func::TextureProvider
     // ---- streams & events ----
     Stream *createStream();
     void destroyStream(Stream *s);
-    Stream *defaultStream() { return streams_.front().get(); }
+    Stream *defaultStream() { return engine_->defaultStream(); }
     Event *createEvent();
     void recordEvent(Event *e, Stream *stream = nullptr);
     /** cudaStreamWaitEvent: stream blocks until the event is recorded. */
@@ -255,12 +196,13 @@ class Context : public func::TextureProvider
     func::FunctionalEngine &functionalEngine() { return func_engine_; }
     timing::GpuModel &gpuModel() { return *gpu_; }
     const timing::GpuConfig &gpuConfig() const { return opts_.gpu; }
+    engine::DeviceEngine &deviceEngine() { return *engine_; }
     const std::vector<LaunchRecord> &launchLog() const { return launch_log_; }
     void clearLaunchLog() { launch_log_.clear(); }
     const func::SymbolTable &symbols() const { return symbols_; }
 
-    /** Total GPU busy time (max over stream timelines), in core cycles. */
-    double elapsedCycles() const;
+    /** Total GPU busy span (max over stream timelines), in core cycles. */
+    cycle_t elapsedCycles() const;
 
     /** Functional-instruction grand total (sim-speed comparisons). */
     uint64_t totalWarpInstructions() const { return total_warp_instructions_; }
@@ -279,10 +221,8 @@ class Context : public func::TextureProvider
         bool bound = false;
     };
 
-    void enqueue(Stream *stream, Stream::Op op);
-    void pump();
-    bool runOp(Stream &s, Stream::Op &op);
-    void executeLaunch(LaunchRecord &rec, Stream &s);
+    bool prepareLaunch(LaunchRecord &rec, func::LaunchEnv &env);
+    void retireLaunch(LaunchRecord &&rec, bool executed);
     void captureLaunch(const LaunchRecord &rec);
 
     ContextOptions opts_;
@@ -293,11 +233,12 @@ class Context : public func::TextureProvider
     std::unique_ptr<timing::GpuModel> gpu_;
     stats::AerialSampler *sampler_ = nullptr;
 
+    std::unique_ptr<engine::ExecBackend> backend_;
+    engine::TimingBackend *timing_backend_ = nullptr; ///< set in perf mode
+    std::unique_ptr<engine::DeviceEngine> engine_;
+
     std::vector<std::unique_ptr<ptx::Module>> modules_;
     func::SymbolTable symbols_;
-
-    std::vector<std::unique_ptr<Stream>> streams_;
-    std::vector<std::unique_ptr<Event>> events_;
 
     std::vector<TexRef> texrefs_;
     std::map<std::string, TexNameEntry> tex_names_;
@@ -306,7 +247,6 @@ class Context : public func::TextureProvider
     std::vector<LaunchRecord> launch_log_;
     std::vector<CapturedLaunch> captured_;
     LaunchHook launch_hook_;
-    uint64_t next_launch_id_ = 0;
     uint64_t total_warp_instructions_ = 0;
 };
 

@@ -47,6 +47,13 @@ struct GpuConfig
 
     CacheConfig l1;
 
+    /**
+     * Maximum concurrently-resident kernels (GPGPU-Sim leftover-core style):
+     * CTAs of a later grid may occupy core slots an earlier grid leaves
+     * free. 1 restores strict one-kernel-at-a-time serialization.
+     */
+    unsigned max_resident_kernels = 2;
+
     // Interconnect.
     unsigned icnt_latency = 12;
 

@@ -1,9 +1,15 @@
 #include "timing/gpu.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace mlgs::timing
 {
+
+namespace
+{
+constexpr cycle_t kNoDeadline = std::numeric_limits<cycle_t>::max();
+} // namespace
 
 TimingTotals &
 TimingTotals::operator+=(const TimingTotals &o)
@@ -36,6 +42,7 @@ GpuModel::GpuModel(const GpuConfig &cfg, func::Interpreter &interp)
         cores_.push_back(std::make_unique<ShaderCore>(c, cfg_, interp));
     for (unsigned p = 0; p < cfg_.num_partitions; p++)
         partitions_.push_back(std::make_unique<MemPartition>(cfg_, p));
+    totals_base_ = snapshot();
 }
 
 GpuModel::~GpuModel() = default;
@@ -114,6 +121,209 @@ GpuModel::cycleOnce(cycle_t now, stats::AerialSampler *sampler)
         sampler->endCycle();
 }
 
+GpuModel::StatBase
+GpuModel::snapshot() const
+{
+    StatBase b;
+    for (const auto &core : cores_) {
+        b.l1_h += core->l1().hits();
+        b.l1_m += core->l1().misses();
+        b.core.push_back(core->counters());
+    }
+    for (const auto &p : partitions_) {
+        b.l2_h += p->l2().hits();
+        b.l2_m += p->l2().misses();
+        b.row_h += p->dram().rowHits();
+        b.row_m += p->dram().rowMisses();
+        b.l2_wb += p->l2Writebacks();
+    }
+    return b;
+}
+
+uint64_t
+GpuModel::beginKernel(const func::LaunchEnv &env, const Dim3 &grid,
+                      const Dim3 &block, cycle_t not_before,
+                      uint64_t skip_ctas,
+                      std::vector<std::unique_ptr<func::CtaExec>> preloaded)
+{
+    MLGS_REQUIRE(env.kernel, "beginKernel without a kernel");
+
+    auto ak = std::make_unique<ActiveKernel>();
+    ak->token = next_token_++;
+    ak->env = env;
+    ak->not_before = not_before;
+
+    KernelDispatch &disp = ak->disp;
+    disp.env = &ak->env;
+    disp.grid = grid;
+    disp.block = block;
+    disp.threads_per_cta = unsigned(block.count());
+    disp.warps_per_cta = (disp.threads_per_cta + kWarpSize - 1) / kWarpSize;
+    disp.shared_bytes_per_cta = env.kernel->shared_bytes;
+    disp.total_ctas = grid.count();
+    disp.next_cta = std::min<uint64_t>(skip_ctas, disp.total_ctas);
+    disp.completed_ctas = disp.next_cta;
+    disp.preload_base = skip_ctas;
+    disp.preloaded = std::move(preloaded);
+
+    MLGS_REQUIRE(disp.threads_per_cta <= cfg_.max_threads_per_core,
+                 "CTA larger than a core's thread capacity");
+    MLGS_REQUIRE(disp.shared_bytes_per_cta <= cfg_.shared_mem_per_core,
+                 "CTA shared memory exceeds the core's capacity");
+
+    last_progress_clock_ = clock_;
+    active_.push_back(std::move(ak));
+    return active_.back()->token;
+}
+
+KernelCompletion
+GpuModel::finishActive(size_t idx)
+{
+    ActiveKernel &ak = *active_[idx];
+    const StatBase now = snapshot();
+
+    KernelRunStats rs;
+    rs.kernel_name = ak.env.kernel->name;
+    rs.cycles = clock_ - ak.start_clock;
+    for (unsigned c = 0; c < cores_.size(); c++) {
+        const CoreCounters &cc = now.core[c];
+        const CoreCounters &c0 = ak.base.core[c];
+        rs.warp_instructions += cc.issued_instructions - c0.issued_instructions;
+        rs.thread_instructions +=
+            cc.thread_instructions - c0.thread_instructions;
+    }
+    rs.ipc = rs.cycles ? double(rs.warp_instructions) / double(rs.cycles) : 0.0;
+    const uint64_t dl1h = now.l1_h - ak.base.l1_h;
+    const uint64_t dl1m = now.l1_m - ak.base.l1_m;
+    rs.l1_hit_rate = (dl1h + dl1m) ? double(dl1h) / double(dl1h + dl1m) : 0.0;
+    const uint64_t dl2h = now.l2_h - ak.base.l2_h;
+    const uint64_t dl2m = now.l2_m - ak.base.l2_m;
+    rs.l2_hit_rate = (dl2h + dl2m) ? double(dl2h) / double(dl2h + dl2m) : 0.0;
+    const uint64_t drh = now.row_h - ak.base.row_h;
+    const uint64_t drm = now.row_m - ak.base.row_m;
+    rs.dram_row_hit_rate = (drh + drm) ? double(drh) / double(drh + drm) : 0.0;
+
+    // Grand totals accumulate the delta since the previous accumulation
+    // point, so overlapping kernels never double-count an event.
+    for (unsigned c = 0; c < cores_.size(); c++) {
+        const CoreCounters &cc = now.core[c];
+        const CoreCounters &c0 = totals_base_.core[c];
+        totals_.warp_instructions +=
+            cc.issued_instructions - c0.issued_instructions;
+        totals_.thread_instructions +=
+            cc.thread_instructions - c0.thread_instructions;
+        totals_.alu += cc.alu - c0.alu;
+        totals_.sfu += cc.sfu - c0.sfu;
+        totals_.mem_insts += cc.mem - c0.mem;
+        totals_.shared_accesses += cc.shared_accesses - c0.shared_accesses;
+    }
+    totals_.l1_hits += now.l1_h - totals_base_.l1_h;
+    totals_.l1_misses += now.l1_m - totals_base_.l1_m;
+    totals_.l2_hits += now.l2_h - totals_base_.l2_h;
+    totals_.l2_misses += now.l2_m - totals_base_.l2_m;
+    totals_.dram_reads += now.l2_m - totals_base_.l2_m;
+    totals_.dram_writes += now.l2_wb - totals_base_.l2_wb;
+    totals_.dram_row_hits += now.row_h - totals_base_.row_h;
+    totals_.dram_row_misses += now.row_m - totals_base_.row_m;
+    totals_base_ = now;
+
+    const KernelCompletion comp{ak.token, clock_};
+    finished_.emplace(ak.token, std::move(rs));
+    active_.erase(active_.begin() + long(idx));
+    last_progress_clock_ = clock_;
+    return comp;
+}
+
+std::optional<KernelCompletion>
+GpuModel::advanceUntil(cycle_t limit, stats::AerialSampler *sampler)
+{
+    while (!active_.empty()) {
+        // Mark kernels whose start time has arrived as started.
+        for (auto &ak : active_) {
+            if (!ak->started && clock_ >= ak->not_before) {
+                ak->started = true;
+                ak->start_clock = clock_;
+                ak->base = snapshot();
+            }
+        }
+
+        // Retire the earliest-launched finished kernel. A lone kernel also
+        // waits for the pipeline to drain, preserving the classic
+        // one-kernel-at-a-time cycle accounting exactly.
+        for (size_t i = 0; i < active_.size(); i++) {
+            ActiveKernel &ak = *active_[i];
+            if (ak.started && ak.disp.allDone() &&
+                (active_.size() > 1 || !anythingInFlight()))
+                return finishActive(i);
+        }
+
+        // Fully idle gap: every resident kernel is still waiting for its
+        // start time — jump the clock instead of simulating empty cycles.
+        if (!anythingInFlight()) {
+            bool any_started = false;
+            cycle_t next_start = kNoDeadline;
+            for (const auto &ak : active_) {
+                if (ak->started)
+                    any_started = true;
+                else
+                    next_start = std::min(next_start, ak->not_before);
+            }
+            if (!any_started && next_start > clock_) {
+                if (next_start > limit) {
+                    clock_ = limit;
+                    last_progress_clock_ = clock_;
+                    return std::nullopt;
+                }
+                clock_ = next_start;
+                last_progress_clock_ = clock_;
+                continue;
+            }
+        }
+
+        if (clock_ >= limit)
+            return std::nullopt;
+
+        // Leftover-core CTA dispatch: kernels claim free core slots in
+        // launch order, so a later kernel fills whatever an earlier one
+        // leaves unoccupied.
+        for (auto &core : cores_) {
+            for (auto &ak : active_) {
+                if (!ak->started)
+                    continue;
+                while (!ak->disp.allIssued() && core->tryIssueCta(ak->disp)) {
+                }
+            }
+        }
+
+        cycleOnce(clock_, sampler);
+        totals_.cycles++;
+        clock_++;
+
+        uint64_t completed = 0;
+        for (const auto &ak : active_)
+            completed += ak->disp.completed_ctas;
+        if (completed != last_completed_sum_) {
+            last_completed_sum_ = completed;
+            last_progress_clock_ = clock_;
+        }
+        MLGS_ASSERT(clock_ - last_progress_clock_ < 10'000'000,
+                    "timing model made no progress for 10M cycles in kernel ",
+                    active_.front()->env.kernel->name);
+    }
+    return std::nullopt;
+}
+
+KernelRunStats
+GpuModel::collectKernel(uint64_t token)
+{
+    const auto it = finished_.find(token);
+    MLGS_REQUIRE(it != finished_.end(),
+                 "collectKernel: token not finished: ", token);
+    KernelRunStats rs = std::move(it->second);
+    finished_.erase(it);
+    return rs;
+}
+
 KernelRunStats
 GpuModel::runKernel(const func::LaunchEnv &env, const Dim3 &grid,
                     const Dim3 &block, stats::AerialSampler *sampler)
@@ -128,112 +338,14 @@ GpuModel::runKernelFrom(const func::LaunchEnv &env, const Dim3 &grid,
                             preloaded_ctas,
                         stats::AerialSampler *sampler)
 {
-    MLGS_REQUIRE(env.kernel, "runKernel without a kernel");
-
-    KernelDispatch disp;
-    disp.env = &env;
-    disp.grid = grid;
-    disp.block = block;
-    disp.threads_per_cta = unsigned(block.count());
-    disp.warps_per_cta = (disp.threads_per_cta + kWarpSize - 1) / kWarpSize;
-    disp.shared_bytes_per_cta = env.kernel->shared_bytes;
-    disp.total_ctas = grid.count();
-    disp.next_cta = std::min<uint64_t>(skip_ctas, disp.total_ctas);
-    disp.completed_ctas = disp.next_cta;
-    disp.preload_base = skip_ctas;
-    disp.preloaded = std::move(preloaded_ctas);
-
-    MLGS_REQUIRE(disp.threads_per_cta <= cfg_.max_threads_per_core,
-                 "CTA larger than a core's thread capacity");
-    MLGS_REQUIRE(disp.shared_bytes_per_cta <= cfg_.shared_mem_per_core,
-                 "CTA shared memory exceeds the core's capacity");
-
-    // Snapshot cumulative per-component stats so this run reports deltas.
-    uint64_t l1_h0 = 0, l1_m0 = 0;
-    std::vector<CoreCounters> core0;
-    for (const auto &core : cores_) {
-        l1_h0 += core->l1().hits();
-        l1_m0 += core->l1().misses();
-        core0.push_back(core->counters());
-    }
-    uint64_t l2_h0 = 0, l2_m0 = 0, rh0 = 0, rm0 = 0, wr0 = 0;
-    for (const auto &p : partitions_) {
-        l2_h0 += p->l2().hits();
-        l2_m0 += p->l2().misses();
-        rh0 += p->dram().rowHits();
-        rm0 += p->dram().rowMisses();
-        wr0 += p->l2Writebacks();
-    }
-
-    const cycle_t start = clock_;
-    cycle_t last_progress_cycle = clock_;
-    uint64_t last_completed = disp.completed_ctas;
-
-    while (!disp.allDone() || anythingInFlight()) {
-        // Greedy CTA dispatch each cycle.
-        for (auto &core : cores_) {
-            while (!disp.allIssued() && core->tryIssueCta(disp)) {
-            }
-        }
-        cycleOnce(clock_, sampler);
-
-        if (disp.completed_ctas != last_completed) {
-            last_completed = disp.completed_ctas;
-            last_progress_cycle = clock_;
-        }
-        MLGS_ASSERT(clock_ - last_progress_cycle < 10'000'000,
-                    "timing model made no progress for 10M cycles in kernel ",
-                    env.kernel->name);
-        clock_++;
-    }
-
-    const cycle_t now = clock_ - start;
-    totals_.cycles += now;
-    KernelRunStats rs;
-    rs.kernel_name = env.kernel->name;
-    rs.cycles = now;
-    uint64_t l1_h = 0, l1_m = 0;
-    for (unsigned c = 0; c < cores_.size(); c++) {
-        const CoreCounters &cc = cores_[c]->counters();
-        const CoreCounters &c0 = core0[c];
-        rs.warp_instructions += cc.issued_instructions - c0.issued_instructions;
-        rs.thread_instructions += cc.thread_instructions - c0.thread_instructions;
-        totals_.warp_instructions +=
-            cc.issued_instructions - c0.issued_instructions;
-        totals_.thread_instructions +=
-            cc.thread_instructions - c0.thread_instructions;
-        totals_.alu += cc.alu - c0.alu;
-        totals_.sfu += cc.sfu - c0.sfu;
-        totals_.mem_insts += cc.mem - c0.mem;
-        totals_.shared_accesses += cc.shared_accesses - c0.shared_accesses;
-        l1_h += cores_[c]->l1().hits();
-        l1_m += cores_[c]->l1().misses();
-    }
-    uint64_t l2_h = 0, l2_m = 0, rh = 0, rm = 0, wr = 0;
-    for (const auto &p : partitions_) {
-        l2_h += p->l2().hits();
-        l2_m += p->l2().misses();
-        rh += p->dram().rowHits();
-        rm += p->dram().rowMisses();
-        wr += p->l2Writebacks();
-    }
-    totals_.l1_hits += l1_h - l1_h0;
-    totals_.l1_misses += l1_m - l1_m0;
-    totals_.l2_hits += l2_h - l2_h0;
-    totals_.l2_misses += l2_m - l2_m0;
-    totals_.dram_reads += (l2_m - l2_m0);
-    totals_.dram_writes += wr - wr0;
-    totals_.dram_row_hits += rh - rh0;
-    totals_.dram_row_misses += rm - rm0;
-
-    rs.ipc = now ? double(rs.warp_instructions) / double(now) : 0.0;
-    const uint64_t dl1h = l1_h - l1_h0, dl1m = l1_m - l1_m0;
-    rs.l1_hit_rate = (dl1h + dl1m) ? double(dl1h) / double(dl1h + dl1m) : 0.0;
-    const uint64_t dl2h = l2_h - l2_h0, dl2m = l2_m - l2_m0;
-    rs.l2_hit_rate = (dl2h + dl2m) ? double(dl2h) / double(dl2h + dl2m) : 0.0;
-    const uint64_t drh = rh - rh0, drm = rm - rm0;
-    rs.dram_row_hit_rate = (drh + drm) ? double(drh) / double(drh + drm) : 0.0;
-    return rs;
+    MLGS_REQUIRE(active_.empty(),
+                 "runKernelFrom requires an idle device (",
+                 active_.size(), " kernels resident)");
+    const uint64_t token = beginKernel(env, grid, block, clock_, skip_ctas,
+                                       std::move(preloaded_ctas));
+    const auto comp = advanceUntil(kNoDeadline, sampler);
+    MLGS_REQUIRE(comp && comp->token == token, "kernel did not complete");
+    return collectKernel(token);
 }
 
 } // namespace mlgs::timing

@@ -3,11 +3,20 @@
  * Top-level performance model ("Performance simulation mode"): shader cores,
  * a crossbar interconnect, and memory partitions advanced in lock-step, with
  * AerialVision sampling hooks and aggregated counters for the power model.
+ *
+ * The model is event-drivable: kernels are made resident with beginKernel()
+ * and the clock advances via advanceUntil(), so up to
+ * GpuConfig::max_resident_kernels grids may execute concurrently — CTAs from
+ * different kernels occupy disjoint core slots, GPGPU-Sim leftover-core
+ * style. runKernel()/runKernelFrom() remain as synchronous one-grid
+ * wrappers.
  */
 #ifndef MLGS_TIMING_GPU_H
 #define MLGS_TIMING_GPU_H
 
+#include <map>
 #include <memory>
+#include <optional>
 
 #include "func/interpreter.h"
 #include "stats/aerial.h"
@@ -20,7 +29,7 @@ namespace mlgs::timing
 /** Aggregated counters across a run (input to the power model). */
 struct TimingTotals
 {
-    cycle_t cycles = 0;
+    cycle_t cycles = 0; ///< device-busy cycles (counted once under overlap)
     uint64_t warp_instructions = 0;
     uint64_t thread_instructions = 0;
     uint64_t alu = 0;
@@ -55,14 +64,51 @@ struct KernelRunStats
     double dram_row_hit_rate = 0.0;
 };
 
-/** The simulated GPU (one kernel at a time, matching GPGPU-Sim's default). */
+/** A kernel retired by advanceUntil(). */
+struct KernelCompletion
+{
+    uint64_t token = 0;
+    cycle_t at = 0; ///< device clock at completion
+};
+
+/** The simulated GPU. */
 class GpuModel
 {
   public:
     GpuModel(const GpuConfig &cfg, func::Interpreter &interp);
     ~GpuModel();
 
-    /** Run one grid to completion in the timing model. */
+    // ---- event-driven interface ----
+    /**
+     * Make a grid resident, eligible to issue CTAs once the device clock
+     * reaches `not_before` (the launching stream's ready time). The first
+     * `skip_ctas` CTAs are considered already executed; `preloaded` may
+     * supply mid-execution CTA states (checkpoint resume). Returns a token.
+     */
+    uint64_t beginKernel(const func::LaunchEnv &env, const Dim3 &grid,
+                         const Dim3 &block, cycle_t not_before,
+                         uint64_t skip_ctas = 0,
+                         std::vector<std::unique_ptr<func::CtaExec>>
+                             preloaded = {});
+
+    /**
+     * Advance the device clock until some resident kernel completes or the
+     * clock would pass `limit`. Fully idle gaps (every resident kernel still
+     * below its not_before time, nothing in flight) are skipped without
+     * burning simulation work. Returns the completion if one occurred at a
+     * clock value <= limit.
+     */
+    std::optional<KernelCompletion> advanceUntil(
+        cycle_t limit, stats::AerialSampler *sampler = nullptr);
+
+    /** Fetch (and drop) the stats of a kernel retired by advanceUntil(). */
+    KernelRunStats collectKernel(uint64_t token);
+
+    unsigned residentKernels() const { return unsigned(active_.size()); }
+    cycle_t clock() const { return clock_; }
+
+    // ---- synchronous one-grid wrappers ----
+    /** Run one grid to completion in the timing model (device must be idle). */
     KernelRunStats runKernel(const func::LaunchEnv &env, const Dim3 &grid,
                              const Dim3 &block,
                              stats::AerialSampler *sampler = nullptr);
@@ -83,8 +129,31 @@ class GpuModel
     cycle_t totalCycles() const { return totals_.cycles; }
 
   private:
+    /** Cumulative-counter snapshot used to report per-window deltas. */
+    struct StatBase
+    {
+        uint64_t l1_h = 0, l1_m = 0;
+        uint64_t l2_h = 0, l2_m = 0;
+        uint64_t row_h = 0, row_m = 0, l2_wb = 0;
+        std::vector<CoreCounters> core;
+    };
+
+    /** One resident grid. */
+    struct ActiveKernel
+    {
+        uint64_t token = 0;
+        func::LaunchEnv env;   ///< owned copy; disp.env points here
+        KernelDispatch disp;
+        cycle_t not_before = 0;
+        cycle_t start_clock = 0;
+        bool started = false;
+        StatBase base; ///< snapshot at start (per-kernel attribution)
+    };
+
     void cycleOnce(cycle_t now, stats::AerialSampler *sampler);
     bool anythingInFlight() const;
+    StatBase snapshot() const;
+    KernelCompletion finishActive(size_t idx);
 
     GpuConfig cfg_;
     func::Interpreter *interp_;
@@ -94,12 +163,21 @@ class GpuModel
     DelayQueue<MemFetch> to_core_;
     TimingTotals totals_;
 
+    std::vector<std::unique_ptr<ActiveKernel>> active_; ///< launch order
+    std::map<uint64_t, KernelRunStats> finished_;       ///< awaiting collect
+    StatBase totals_base_; ///< totals_ accumulated up to this snapshot
+    uint64_t next_token_ = 0;
+
     /**
-     * Persistent device clock. Component timestamps (DRAM bank/bus ready
-     * times, pipeline delays) survive across kernel launches, so the clock
-     * must too — each launch reports its own delta.
+     * Persistent device clock, now shared with the DeviceEngine's stream
+     * timeline. Component timestamps (DRAM bank/bus ready times, pipeline
+     * delays) survive across kernel launches, so the clock must too.
      */
     cycle_t clock_ = 0;
+
+    // Forward-progress watchdog across advanceUntil calls.
+    cycle_t last_progress_clock_ = 0;
+    uint64_t last_completed_sum_ = 0;
 };
 
 } // namespace mlgs::timing

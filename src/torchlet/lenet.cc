@@ -75,11 +75,19 @@ LeNet::predict(const float *images)
 float
 LeNet::trainStep(const float *images, const uint32_t *labels, float lr)
 {
+    // Labels are only consumed after the forward pass: upload them on a
+    // dedicated stream so the copy overlaps forward compute in device time.
+    auto &ctx = h_->context();
+    if (!upload_stream_)
+        upload_stream_ = ctx.createStream();
+    ctx.memcpyH2D(labels_dev_, labels, size_t(batch_) * 4, upload_stream_);
+    cuda::Event *labels_ready = ctx.createEvent();
+    ctx.recordEvent(labels_ready, upload_stream_);
+
     const auto probs = forward(images);
     (void)probs;
-    auto &ctx = h_->context();
-    ctx.memcpyH2D(labels_dev_, labels, size_t(batch_) * 4);
 
+    ctx.streamWaitEvent(nullptr, labels_ready);
     h_->nllLoss(batch_, 10, probs_.data(), labels_dev_, loss_dev_);
     h_->softmaxNllBackward(batch_, 10, probs_.data(), labels_dev_, f2_.grad(),
                            1.0f / float(batch_));

@@ -70,6 +70,7 @@ class LeNet
     Tensor x_, c1_, p1_, l1_, c2_, p2_, f1_, r1_, f2_, probs_;
     addr_t labels_dev_ = 0;
     addr_t loss_dev_ = 0;
+    cuda::Stream *upload_stream_ = nullptr; ///< label uploads overlap forward
 };
 
 } // namespace mlgs::torchlet

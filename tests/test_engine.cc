@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Device-engine tests: event-driven stream scheduling, cross-stream ordering
+ * through cudaStreamWaitEvent (kernel-after-copy), deterministic integral
+ * copy durations, and concurrent kernel residency — two streams' kernels
+ * overlap in the cycle model, bounded by GpuConfig::max_resident_kernels.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cudnn/cudnn.h"
+#include "runtime/context.h"
+
+using namespace mlgs;
+using namespace mlgs::cuda;
+
+namespace
+{
+
+/** Writes float(iters) to buf[i] after a per-thread busy loop. */
+const char *kBusyKernel = R"(
+.visible .entry busy(.param .u64 buf, .param .u32 n, .param .u32 iters)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<8>;
+    .reg .f32 %f<3>;
+    .reg .pred %p<3>;
+    ld.param.u64 %rd1, [buf];
+    ld.param.u32 %r1, [n];
+    ld.param.u32 %r2, [iters];
+    mov.u32 %r3, %ctaid.x;
+    mov.u32 %r4, %ntid.x;
+    mov.u32 %r5, %tid.x;
+    mad.lo.u32 %r6, %r3, %r4, %r5;
+    setp.ge.u32 %p1, %r6, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd2, %r6, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r7, 0;
+LOOP:
+    add.f32 %f1, %f1, 0f3F800000;
+    add.u32 %r7, %r7, 1;
+    setp.lt.u32 %p2, %r7, %r2;
+    @%p2 bra LOOP;
+    st.global.f32 [%rd3], %f1;
+DONE:
+    ret;
+}
+)";
+
+const char *kScaleKernel = R"(
+.visible .entry scale(.param .u64 buf, .param .u32 n, .param .f32 k)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<6>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [buf];
+    ld.param.u32 %r1, [n];
+    ld.param.f32 %f1, [k];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd2, %r5, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f2, [%rd3];
+    mul.f32 %f3, %f2, %f1;
+    st.global.f32 [%rd3], %f3;
+DONE:
+    ret;
+}
+)";
+
+TEST(Engine, CopyDurationIsIntegralRoundUp)
+{
+    // 100 bytes at 8 bytes/cycle = 12.5 -> 13 whole cycles, deterministically.
+    Context ctx;
+    std::vector<uint8_t> h(100, 1);
+    const addr_t d = ctx.malloc(100);
+    Stream *s = ctx.createStream();
+    Event *ev = ctx.createEvent();
+    ctx.memcpyH2D(d, h.data(), 100, s);
+    ctx.recordEvent(ev, s);
+    ctx.streamSynchronize(s);
+    EXPECT_EQ(ev->completeTime(), 13u);
+}
+
+TEST(Engine, CrossStreamKernelAfterCopyOrdering)
+{
+    // Satellite regression: a kernel on stream B made dependent (via
+    // cudaStreamWaitEvent) on a copy running on stream A must both read the
+    // copied data and start no earlier than the copy's completion time.
+    Context ctx;
+    ctx.loadModule(kScaleKernel, "scale.ptx");
+    const unsigned n = 1 << 14;
+    std::vector<float> h(n, 3.0f);
+    const addr_t d = ctx.malloc(n * 4);
+
+    Stream *copy_stream = ctx.createStream();
+    Stream *exec_stream = ctx.createStream();
+    Event *copied = ctx.createEvent();
+
+    ctx.memcpyH2D(d, h.data(), n * 4, copy_stream);
+    ctx.recordEvent(copied, copy_stream);
+
+    ctx.streamWaitEvent(exec_stream, copied);
+    KernelArgs args;
+    args.ptr(d).u32(n).f32(2.0f);
+    ctx.launch("scale", Dim3(n / 128), Dim3(128), args, exec_stream);
+    ctx.deviceSynchronize();
+
+    // n*4 bytes at 8 bytes/cycle.
+    const cycle_t copy_cycles = n * 4 / 8;
+    EXPECT_EQ(copied->completeTime(), copy_cycles);
+    ASSERT_EQ(ctx.launchLog().size(), 1u);
+    const LaunchRecord &rec = ctx.launchLog()[0];
+    EXPECT_GE(rec.start_cycle, copy_cycles);
+    EXPECT_GT(rec.end_cycle, rec.start_cycle);
+
+    std::vector<float> out(n);
+    ctx.memcpyD2H(out.data(), d, n * 4);
+    for (unsigned i = 0; i < n; i++)
+        ASSERT_FLOAT_EQ(out[i], 6.0f); // copy happened before the kernel
+}
+
+TEST(Engine, FunctionalModeStreamsOverlapKernels)
+{
+    // The functional backend has unlimited residency: independent kernels on
+    // two streams occupy overlapping device-time intervals.
+    auto run = [](bool two_streams) {
+        Context ctx;
+        ctx.loadModule(kBusyKernel, "busy.ptx");
+        const unsigned n = 2048;
+        const addr_t a = ctx.malloc(n * 4);
+        const addr_t b = ctx.malloc(n * 4);
+        Stream *s1 = ctx.createStream();
+        Stream *s2 = two_streams ? ctx.createStream() : s1;
+        KernelArgs a1, a2;
+        a1.ptr(a).u32(n).u32(64);
+        a2.ptr(b).u32(n).u32(64);
+        ctx.launch("busy", Dim3(n / 128), Dim3(128), a1, s1);
+        ctx.launch("busy", Dim3(n / 128), Dim3(128), a2, s2);
+        ctx.deviceSynchronize();
+        float v = 0;
+        ctx.memcpyD2H(&v, b, 4);
+        EXPECT_FLOAT_EQ(v, 64.0f);
+        return ctx.elapsedCycles();
+    };
+
+    const cycle_t serial = run(false);
+    const cycle_t overlapped = run(true);
+    EXPECT_LT(overlapped, serial);
+    // Identical independent kernels: the overlapped makespan is one kernel.
+    EXPECT_EQ(overlapped, serial / 2);
+}
+
+class EnginePerfOverlap : public ::testing::Test
+{
+  protected:
+    static ContextOptions makeOpts(unsigned max_resident)
+    {
+        ContextOptions opts;
+        opts.mode = SimMode::Performance;
+        opts.gpu.num_cores = 2;
+        opts.gpu.max_resident_kernels = max_resident;
+        return opts;
+    }
+
+    /** Launches the busy kernel over `buf` and returns its solo cycles. */
+    static cycle_t
+    runSolo()
+    {
+        Context ctx(makeOpts(2));
+        ctx.loadModule(kBusyKernel, "busy.ptx");
+        const unsigned n = 2048;
+        const addr_t a = ctx.malloc(n * 4);
+        KernelArgs args;
+        args.ptr(a).u32(n).u32(64);
+        Stream *s = ctx.createStream();
+        ctx.launch("busy", Dim3(n / 128), Dim3(128), args, s);
+        ctx.deviceSynchronize();
+        return ctx.elapsedCycles();
+    }
+
+    /** Two independent kernels; on one stream or two. */
+    static cycle_t
+    runPair(unsigned max_resident, bool two_streams)
+    {
+        Context ctx(makeOpts(max_resident));
+        ctx.loadModule(kBusyKernel, "busy.ptx");
+        const unsigned n = 2048;
+        const addr_t a = ctx.malloc(n * 4);
+        const addr_t b = ctx.malloc(n * 4);
+        Stream *s1 = ctx.createStream();
+        Stream *s2 = two_streams ? ctx.createStream() : s1;
+        KernelArgs a1, a2;
+        a1.ptr(a).u32(n).u32(64);
+        a2.ptr(b).u32(n).u32(64);
+        ctx.launch("busy", Dim3(n / 128), Dim3(128), a1, s1);
+        ctx.launch("busy", Dim3(n / 128), Dim3(128), a2, s2);
+        ctx.deviceSynchronize();
+        float va = 0, vb = 0;
+        ctx.memcpyD2H(&va, a, 4);
+        ctx.memcpyD2H(&vb, b, 4);
+        EXPECT_FLOAT_EQ(va, 64.0f);
+        EXPECT_FLOAT_EQ(vb, 64.0f);
+        return ctx.elapsedCycles();
+    }
+};
+
+TEST_F(EnginePerfOverlap, TwoStreamsBeatSumOfSolos)
+{
+    const cycle_t solo = runSolo();
+    const cycle_t overlapped = runPair(2, true);
+    EXPECT_LT(overlapped, 2 * solo); // genuine overlap in the cycle model
+    EXPECT_GE(overlapped, solo);     // but no free lunch
+}
+
+TEST_F(EnginePerfOverlap, MaxResidentOneMatchesSerialExecution)
+{
+    // With residency capped at one kernel, two streams degrade to exactly
+    // the single-stream back-to-back schedule, cycle for cycle.
+    const cycle_t serial = runPair(2, false);     // in-order single stream
+    const cycle_t restricted = runPair(1, true);  // two streams, cap 1
+    EXPECT_EQ(restricted, serial);
+    EXPECT_LT(runPair(2, true), serial);
+}
+
+TEST(Engine, CudnnStreamedFftMatchesDefaultStream)
+{
+    // cudnn's FFT path forks its independent filter transform onto an
+    // internal auxiliary stream when the handle has an explicit stream; the
+    // result must match the fully serialized default-stream execution.
+    auto run = [](bool use_stream) {
+        Context ctx;
+        cudnn::CudnnHandle h(ctx);
+        if (use_stream)
+            h.setStream(ctx.createStream());
+        const cudnn::TensorDesc xd(2, 3, 12, 12);
+        const cudnn::FilterDesc wd(4, 3, 3, 3);
+        const cudnn::ConvDesc conv{1, 1};
+        const cudnn::TensorDesc yd = conv.outputDim(xd, wd);
+
+        Rng rng(99);
+        std::vector<float> hx(xd.count()), hw(wd.count());
+        for (auto &v : hx)
+            v = rng.uniform(-1.0f, 1.0f);
+        for (auto &v : hw)
+            v = rng.uniform(-1.0f, 1.0f);
+        const addr_t x = ctx.malloc(xd.bytes());
+        const addr_t w = ctx.malloc(wd.bytes());
+        const addr_t y = ctx.malloc(yd.bytes());
+        ctx.memcpyH2D(x, hx.data(), xd.bytes());
+        ctx.memcpyH2D(w, hw.data(), wd.bytes());
+
+        h.convolutionForward(xd, x, wd, w, conv, cudnn::ConvFwdAlgo::Fft, yd,
+                             y);
+        ctx.deviceSynchronize();
+        std::vector<float> out(yd.count());
+        ctx.memcpyD2H(out.data(), y, yd.bytes());
+        return out;
+    };
+
+    const auto serial = run(false);
+    const auto streamed = run(true);
+    ASSERT_EQ(serial.size(), streamed.size());
+    for (size_t i = 0; i < serial.size(); i++)
+        ASSERT_FLOAT_EQ(serial[i], streamed[i]) << "at index " << i;
+}
+
+TEST(Engine, ConcurrentKernelsRecordOverlappingIntervals)
+{
+    // The launch log's [start_cycle, end_cycle) intervals must interleave
+    // when two streams' kernels are simultaneously resident.
+    ContextOptions opts;
+    opts.mode = SimMode::Performance;
+    opts.gpu.num_cores = 2;
+    opts.gpu.max_resident_kernels = 2;
+    Context ctx(opts);
+    ctx.loadModule(kBusyKernel, "busy.ptx");
+    const unsigned n = 2048;
+    const addr_t a = ctx.malloc(n * 4);
+    const addr_t b = ctx.malloc(n * 4);
+    Stream *s1 = ctx.createStream();
+    Stream *s2 = ctx.createStream();
+    KernelArgs a1, a2;
+    a1.ptr(a).u32(n).u32(64);
+    a2.ptr(b).u32(n).u32(64);
+    ctx.launch("busy", Dim3(n / 128), Dim3(128), a1, s1);
+    ctx.launch("busy", Dim3(n / 128), Dim3(128), a2, s2);
+    ctx.deviceSynchronize();
+
+    ASSERT_EQ(ctx.launchLog().size(), 2u);
+    const LaunchRecord &r1 = ctx.launchLog()[0];
+    const LaunchRecord &r2 = ctx.launchLog()[1];
+    EXPECT_LT(r1.start_cycle, r2.end_cycle);
+    EXPECT_LT(r2.start_cycle, r1.end_cycle); // intervals overlap
+}
+
+} // namespace

@@ -186,7 +186,7 @@ TEST(Runtime, StreamOverlapShortensMakespan)
     ctx.memcpyH2D(d1, h.data(), big, s1);
     ctx.memcpyH2D(d2, h.data(), big, s2);
     ctx.deviceSynchronize();
-    const double overlapped = ctx.elapsedCycles();
+    const cycle_t overlapped = ctx.elapsedCycles();
 
     Context ctx2;
     const addr_t e1 = ctx2.malloc(big);
@@ -195,7 +195,7 @@ TEST(Runtime, StreamOverlapShortensMakespan)
     ctx2.memcpyH2D(e1, h.data(), big, t1);
     ctx2.memcpyH2D(e2, h.data(), big, t1);
     ctx2.deviceSynchronize();
-    const double serial = ctx2.elapsedCycles();
+    const cycle_t serial = ctx2.elapsedCycles();
 
     EXPECT_LT(overlapped, serial);
 }

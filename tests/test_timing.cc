@@ -285,4 +285,36 @@ TEST(Timing, ResumeFromSkippedCtasMatchesFull)
     }
 }
 
+TEST(TimingTotals, PlusEqualsSumsEveryField)
+{
+    // Brace-initialize every field with a distinct value: if a field is ever
+    // added to TimingTotals without updating operator+=, the excess
+    // initializer here fails to compile, and the per-field checks below
+    // catch an operator+= that forgets to accumulate it.
+    const timing::TimingTotals a{1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                 10, 11, 12, 13, 14, 15, 16, 17, 18};
+    timing::TimingTotals sum{100, 200, 300, 400, 500, 600, 700, 800, 900,
+                             1000, 1100, 1200, 1300, 1400, 1500, 1600, 1700,
+                             1800};
+    sum += a;
+    EXPECT_EQ(sum.cycles, 101u);
+    EXPECT_EQ(sum.warp_instructions, 202u);
+    EXPECT_EQ(sum.thread_instructions, 303u);
+    EXPECT_EQ(sum.alu, 404u);
+    EXPECT_EQ(sum.sfu, 505u);
+    EXPECT_EQ(sum.mem_insts, 606u);
+    EXPECT_EQ(sum.shared_accesses, 707u);
+    EXPECT_EQ(sum.l1_hits, 808u);
+    EXPECT_EQ(sum.l1_misses, 909u);
+    EXPECT_EQ(sum.l2_hits, 1010u);
+    EXPECT_EQ(sum.l2_misses, 1111u);
+    EXPECT_EQ(sum.icnt_flits, 1212u);
+    EXPECT_EQ(sum.dram_reads, 1313u);
+    EXPECT_EQ(sum.dram_writes, 1414u);
+    EXPECT_EQ(sum.dram_row_hits, 1515u);
+    EXPECT_EQ(sum.dram_row_misses, 1616u);
+    EXPECT_EQ(sum.core_active_cycles, 1717u);
+    EXPECT_EQ(sum.core_idle_cycles, 1818u);
+}
+
 } // namespace
