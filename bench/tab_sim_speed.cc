@@ -3,9 +3,17 @@
  * Section III-F claims, as a google-benchmark table: Performance mode is
  * ~7-8x slower (wall clock) than Functional mode, and checkpointing lets a
  * user fast-forward functionally and pay the detailed-model cost only for
- * the region of interest.
+ * the region of interest. Also emits BENCH_sim_speed.json — a
+ * machine-readable record of simulator throughput (kernels/sec,
+ * warp-instrs/sec, wall-clock) per sim_threads setting, so the perf
+ * trajectory is tracked across PRs.
  */
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "chkpt/checkpoint.h"
@@ -16,13 +24,21 @@ using namespace mlgs::bench;
 namespace
 {
 
+/** What one conv-workload run executed (throughput denominators). */
+struct WorkloadCounts
+{
+    uint64_t kernels = 0;
+    uint64_t warp_instructions = 0;
+};
+
 /** A mid-sized conv workload used for mode-speed comparison. */
-void
-runConvWorkload(cuda::SimMode mode)
+WorkloadCounts
+runConvWorkload(cuda::SimMode mode, unsigned sim_threads = 1)
 {
     cuda::ContextOptions opts;
     opts.mode = mode;
     opts.gpu = timing::GpuConfig::gtx1050();
+    opts.sim_threads = sim_threads;
     cuda::Context ctx(opts);
     cudnn::CudnnHandle h(ctx);
 
@@ -38,23 +54,32 @@ runConvWorkload(cuda::SimMode mode)
     h.convolutionForward(xd, x, wd, w, conv,
                          cudnn::ConvFwdAlgo::WinogradNonfused, yd, y);
     ctx.deviceSynchronize();
+
+    WorkloadCounts counts;
+    counts.kernels = ctx.launchLog().size();
+    counts.warp_instructions = ctx.totalWarpInstructions();
+    if (mode == cuda::SimMode::Performance)
+        counts.warp_instructions = ctx.gpuModel().totals().warp_instructions;
+    return counts;
 }
 
 void
 BM_FunctionalMode(benchmark::State &state)
 {
+    const auto threads = unsigned(state.range(0));
     for (auto _ : state)
-        runConvWorkload(cuda::SimMode::Functional);
+        runConvWorkload(cuda::SimMode::Functional, threads);
 }
-BENCHMARK(BM_FunctionalMode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FunctionalMode)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void
 BM_PerformanceMode(benchmark::State &state)
 {
+    const auto threads = unsigned(state.range(0));
     for (auto _ : state)
-        runConvWorkload(cuda::SimMode::Performance);
+        runConvWorkload(cuda::SimMode::Performance, threads);
 }
-BENCHMARK(BM_PerformanceMode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PerformanceMode)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 /** Checkpoint fast-forward: functional prefix + detailed tail. */
 void
@@ -166,6 +191,94 @@ DONE:
 }
 BENCHMARK(BM_FullPerformanceRun)->Unit(benchmark::kMillisecond);
 
+// ---- machine-readable sim-speed record (BENCH_sim_speed.json) ----
+
+struct SweepPoint
+{
+    const char *mode_name;
+    cuda::SimMode mode;
+    unsigned sim_threads;
+    double wall_seconds = 0.0;
+    WorkloadCounts counts;
+};
+
+/** Best-of-3 wall clock for one (mode, threads) configuration. */
+void
+measure(SweepPoint &pt)
+{
+    double best = 1e300;
+    for (int rep = 0; rep < 3; rep++) {
+        const auto t0 = std::chrono::steady_clock::now();
+        pt.counts = runConvWorkload(pt.mode, pt.sim_threads);
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    pt.wall_seconds = best;
+}
+
+void
+writeSimSpeedJson(const char *path)
+{
+    SweepPoint pts[] = {
+        {"functional", cuda::SimMode::Functional, 1, 0.0, {}},
+        {"functional", cuda::SimMode::Functional, 2, 0.0, {}},
+        {"functional", cuda::SimMode::Functional, 4, 0.0, {}},
+        {"performance", cuda::SimMode::Performance, 1, 0.0, {}},
+        {"performance", cuda::SimMode::Performance, 4, 0.0, {}},
+    };
+    for (auto &pt : pts)
+        measure(pt);
+
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"workload\": \"conv_fwd implicit_gemm+winograd_nonfused"
+                    " n2c8h14w14 k8r3s3 gtx1050\",\n");
+    std::fprintf(f, "  \"host_threads_available\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"runs\": [\n");
+    const size_t n = sizeof(pts) / sizeof(pts[0]);
+    for (size_t i = 0; i < n; i++) {
+        const SweepPoint &pt = pts[i];
+        const double ks = double(pt.counts.kernels) / pt.wall_seconds;
+        const double ws = double(pt.counts.warp_instructions) / pt.wall_seconds;
+        std::fprintf(f,
+                     "    {\"mode\": \"%s\", \"sim_threads\": %u, "
+                     "\"wall_seconds\": %.6f, \"kernels\": %llu, "
+                     "\"kernels_per_sec\": %.2f, "
+                     "\"warp_instructions\": %llu, "
+                     "\"warp_instrs_per_sec\": %.2f}%s\n",
+                     pt.mode_name, pt.sim_threads, pt.wall_seconds,
+                     (unsigned long long)pt.counts.kernels, ks,
+                     (unsigned long long)pt.counts.warp_instructions, ws,
+                     i + 1 < n ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"speedup_functional_4t\": %.3f,\n",
+                 pts[0].wall_seconds / pts[2].wall_seconds);
+    std::fprintf(f, "  \"speedup_performance_4t\": %.3f\n",
+                 pts[3].wall_seconds / pts[4].wall_seconds);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s (functional 4t speedup %.2fx, "
+                "performance 4t speedup %.2fx)\n",
+                path, pts[0].wall_seconds / pts[2].wall_seconds,
+                pts[3].wall_seconds / pts[4].wall_seconds);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    writeSimSpeedJson("BENCH_sim_speed.json");
+    return 0;
+}

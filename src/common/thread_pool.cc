@@ -1,0 +1,148 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace mlgs
+{
+
+namespace
+{
+
+// Spin this many epoch checks before a worker goes to sleep on the condvar.
+// The timing model issues one job per simulated cycle, so between jobs the
+// gap is typically far shorter than a sleep/wake round trip.
+constexpr unsigned kSpinLimit = 1u << 14;
+
+// Safety cap: more threads than this is never useful for this simulator.
+constexpr unsigned kMaxThreads = 256;
+
+} // namespace
+
+unsigned
+ThreadPool::resolveThreadCount(unsigned requested)
+{
+    if (requested > 0)
+        return std::min(requested, kMaxThreads);
+    if (const char *env = std::getenv("MLGS_SIM_THREADS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return unsigned(std::min<unsigned long>(v, kMaxThreads));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? std::min(hw, kMaxThreads) : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads > kMaxThreads)
+        threads = kMaxThreads;
+    for (unsigned w = 1; w < std::max(threads, 1u); w++)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    stop_.store(true);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        cv_.notify_all();
+    }
+    // Wake spinners too: the epoch bump makes them re-check stop_.
+    epoch_.fetch_add(1);
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runShard(unsigned worker)
+{
+    const auto &body = *body_;
+    const uint64_t n = total_;
+    while (!failed_.load(std::memory_order_relaxed)) {
+        const uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            break;
+        try {
+            body(i, worker);
+        } catch (...) {
+            if (!failed_.exchange(true))
+                first_error_ = std::current_exception();
+            break;
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop(unsigned worker)
+{
+    uint64_t seen = 0;
+    while (true) {
+        unsigned spins = 0;
+        while (true) {
+            const uint64_t e = epoch_.load();
+            if (stop_.load())
+                return;
+            if (e != seen) {
+                seen = e;
+                break;
+            }
+            if (++spins < kSpinLimit) {
+                continue;
+            }
+            std::unique_lock<std::mutex> lk(mu_);
+            sleepers_.fetch_add(1);
+            cv_.wait(lk, [&] {
+                return stop_.load() || epoch_.load() != seen;
+            });
+            sleepers_.fetch_sub(1);
+            spins = 0;
+        }
+        if (stop_.load())
+            return;
+        runShard(worker);
+        pending_.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+void
+ThreadPool::parallelFor(uint64_t n,
+                        const std::function<void(uint64_t, unsigned)> &body)
+{
+    if (workers_.empty() || n <= 1) {
+        for (uint64_t i = 0; i < n; i++)
+            body(i, 0);
+        return;
+    }
+
+    body_ = &body;
+    total_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    pending_.store(unsigned(workers_.size()), std::memory_order_relaxed);
+    epoch_.fetch_add(1); // publish (seq_cst pairs with the sleepers_ check)
+    if (sleepers_.load() > 0) {
+        std::lock_guard<std::mutex> lk(mu_);
+        cv_.notify_all();
+    }
+
+    runShard(0);
+
+    // Workers still draining indices; help by just waiting (each remaining
+    // index is claimed exactly once via next_).
+    unsigned spins = 0;
+    while (pending_.load(std::memory_order_acquire) > 0) {
+        if (++spins >= kSpinLimit) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+    body_ = nullptr;
+
+    if (first_error_)
+        std::rethrow_exception(first_error_);
+}
+
+} // namespace mlgs

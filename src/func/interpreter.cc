@@ -640,7 +640,7 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
             // float -> int, saturating; default rounding truncates (rzi);
             // .rni rounds to nearest even.
             double x = asF(st, a);
-            if (ins.text.find(".rni") != std::string::npos)
+            if (ins.cvt_round == ptx::CvtRound::Nearest)
                 x = std::nearbyint(x);
             else
                 x = std::trunc(x);
@@ -969,7 +969,7 @@ Interpreter::stepWarp(CtaExec &cta, unsigned warp, const LaunchEnv &env)
     res.active = exec;
     cta.warpInstrCount(warp)++;
     if (coverage_)
-        coverage_->hit(ins.text);
+        coverage_->hit(ins.variant_id);
 
     if (ins.op == Op::Bra) {
         st.branch(exec, ins.target_pc, pc + 1, ins.reconv_pc);

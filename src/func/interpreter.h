@@ -44,6 +44,7 @@ class Interpreter
 
     /** Optional coverage collection (differential coverage debugging). */
     void setCoverage(CoverageMap *cov) { coverage_ = cov; }
+    CoverageMap *coverage() const { return coverage_; }
 
     const BugModel &bugs() const { return bugs_; }
     GpuMemory &memory() { return *mem_; }

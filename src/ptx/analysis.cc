@@ -5,8 +5,11 @@
  * post-dominator, matching GPGPU-Sim's SIMT-stack reconvergence policy.
  */
 #include <algorithm>
+#include <deque>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 #include "ptx/ir.h"
 
@@ -69,6 +72,65 @@ computeRegLists(Instr &ins)
 
 } // namespace
 
+namespace
+{
+
+/** Process-wide mnemonic intern table (kernel parse/analysis time only). */
+struct VariantRegistry
+{
+    std::mutex mu;
+    std::unordered_map<std::string, uint32_t> ids;
+    std::deque<std::string> names; ///< deque: references stay valid as it grows
+
+    static VariantRegistry &
+    instance()
+    {
+        static VariantRegistry r;
+        return r;
+    }
+};
+
+} // namespace
+
+uint32_t
+internVariant(const std::string &text)
+{
+    VariantRegistry &r = VariantRegistry::instance();
+    std::lock_guard<std::mutex> lk(r.mu);
+    const auto it = r.ids.find(text);
+    if (it != r.ids.end())
+        return it->second;
+    const auto id = uint32_t(r.names.size());
+    r.names.push_back(text);
+    r.ids.emplace(text, id);
+    return id;
+}
+
+const std::string &
+variantName(uint32_t id)
+{
+    VariantRegistry &r = VariantRegistry::instance();
+    std::lock_guard<std::mutex> lk(r.mu);
+    MLGS_ASSERT(id < r.names.size(), "variantName: unknown id ", id);
+    return r.names[id];
+}
+
+uint32_t
+variantCount()
+{
+    VariantRegistry &r = VariantRegistry::instance();
+    std::lock_guard<std::mutex> lk(r.mu);
+    return uint32_t(r.names.size());
+}
+
+bool
+usesGlobalAtomics(const KernelDef &kernel)
+{
+    MLGS_ASSERT(kernel.analyzed,
+                "usesGlobalAtomics before analyzeKernel on ", kernel.name);
+    return kernel.global_atomics;
+}
+
 void
 analyzeKernel(KernelDef &kernel)
 {
@@ -76,8 +138,16 @@ analyzeKernel(KernelDef &kernel)
         return;
     kernel.analyzed = true;
 
-    for (auto &ins : kernel.instrs)
+    kernel.global_atomics = false;
+    for (auto &ins : kernel.instrs) {
         computeRegLists(ins);
+        ins.variant_id = internVariant(ins.text);
+        // Generic-space atomics (Space::None) may resolve to shared or
+        // global at runtime; count them as global to stay conservative.
+        if ((ins.op == Op::Atom || ins.op == Op::Red) &&
+            ins.space != Space::Shared)
+            kernel.global_atomics = true;
+    }
 
     const uint32_t n = uint32_t(kernel.instrs.size());
     MLGS_REQUIRE(n > 0, "kernel ", kernel.name, " has no instructions");

@@ -112,6 +112,12 @@ enum class MulMode : uint8_t { Default, Lo, Hi, Wide };
 /** Atomic operation kind. */
 enum class AtomOp : uint8_t { Add, Min, Max, Exch, Cas, And, Or, Inc };
 
+/**
+ * cvt float->int rounding modifier, decoded at parse time. Trunc covers the
+ * default and .rzi; Nearest is .rni (round to nearest even).
+ */
+enum class CvtRound : uint8_t { Trunc, Nearest };
+
 /** Special (read-only) register identifiers. */
 enum class SReg : uint8_t
 {
@@ -187,6 +193,7 @@ struct Instr
     bool sat = false;
     bool ftz = false;
     bool uni = false;        ///< bra.uni
+    CvtRound cvt_round = CvtRound::Trunc; ///< cvt float->int rounding
     unsigned vec_width = 1;  ///< 1, 2 or 4 for ld/st
     unsigned tex_dim = 2;    ///< tex.1d / tex.2d
 
@@ -204,6 +211,12 @@ struct Instr
 
     int line = 0;             ///< source line for diagnostics
     std::string text;         ///< original source text
+
+    /**
+     * Interned id of the mnemonic text (coverage key), assigned by
+     * analyzeKernel via internVariant(). kNoVariant until then.
+     */
+    uint32_t variant_id = 0xffffffffu;
 
     bool isBranch() const { return op == Op::Bra; }
     bool isExit() const { return op == Op::Ret || op == Op::Exit; }
@@ -247,6 +260,9 @@ struct GlobalVar
 /** Sentinel reconvergence PC meaning "reconverge only at thread exit". */
 constexpr uint32_t kReconvExit = 0xffffffffu;
 
+/** Sentinel variant id for instructions not yet seen by analyzeKernel. */
+constexpr uint32_t kNoVariant = 0xffffffffu;
+
 /** A parsed kernel. */
 struct KernelDef
 {
@@ -280,6 +296,13 @@ struct KernelDef
     }
 
     bool analyzed = false; ///< reconvergence points computed
+
+    /**
+     * Kernel performs atomics outside shared memory (set by analyzeKernel).
+     * Such kernels communicate across CTAs, so the functional engine runs
+     * them serially to keep float-atomic ordering — and numerics — fixed.
+     */
+    bool global_atomics = false;
 
     int
     regId(const std::string &name) const
@@ -347,6 +370,25 @@ void analyzeKernel(KernelDef &kernel);
 
 /** Render an instruction back to text (used by the instrumentation pass). */
 std::string formatInstr(const KernelDef &kernel, const Instr &ins);
+
+/**
+ * Does the kernel use atom/red outside shared memory? Requires analyzeKernel
+ * to have run (parseModule does; instrumented kernels are re-analyzed).
+ */
+bool usesGlobalAtomics(const KernelDef &kernel);
+
+/**
+ * Process-wide intern table mapping instruction mnemonic text to dense ids.
+ * Thread-safe; ids are stable for the life of the process, so coverage maps
+ * from different kernels and workers index the same space.
+ */
+uint32_t internVariant(const std::string &text);
+
+/** Mnemonic text for an interned id (id must come from internVariant). */
+const std::string &variantName(uint32_t id);
+
+/** Number of interned variants so far. */
+uint32_t variantCount();
 
 } // namespace mlgs::ptx
 

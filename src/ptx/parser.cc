@@ -639,7 +639,12 @@ class Parser
         if (mod == "const") { ins.space = Space::Const; return; }
         if (mod == "to") { return; } // cvta.to.<space>
         if (mod == "rn" || mod == "rz" || mod == "rm" || mod == "rp") { return; }
-        if (mod == "rni" || mod == "rmi" || mod == "rpi") { ins.approx = false; return; }
+        if (mod == "rni") {
+            ins.approx = false;
+            ins.cvt_round = CvtRound::Nearest;
+            return;
+        }
+        if (mod == "rmi" || mod == "rpi") { ins.approx = false; return; }
         if (mod == "rzi") { return; }
         if (mod == "approx" || mod == "full") { ins.approx = (mod == "approx"); return; }
         if (mod == "sat") { ins.sat = true; return; }

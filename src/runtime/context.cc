@@ -15,6 +15,13 @@ Context::Context(ContextOptions opts)
       func_engine_(interp_),
       gpu_(std::make_unique<timing::GpuModel>(opts_.gpu, interp_))
 {
+    const unsigned sim_threads =
+        ThreadPool::resolveThreadCount(opts_.sim_threads);
+    if (sim_threads > 1) {
+        pool_ = std::make_unique<ThreadPool>(sim_threads);
+        func_engine_.setThreadPool(pool_.get());
+        gpu_->setThreadPool(pool_.get());
+    }
     if (opts_.mode == SimMode::Performance) {
         auto tb = std::make_unique<engine::TimingBackend>(*gpu_);
         timing_backend_ = tb.get();

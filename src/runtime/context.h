@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "engine/device_engine.h"
 #include "engine/exec_backend.h"
 #include "func/engine.h"
@@ -68,6 +69,15 @@ struct ContextOptions
 
     /** Host<->device copy throughput used for stream-overlap timing. */
     double memcpy_bytes_per_cycle = 8.0;
+
+    /**
+     * Host worker threads for the simulation itself: parallel CTA fan-out
+     * in functional mode, sharded per-cycle core stepping in performance
+     * mode. 0 = auto (MLGS_SIM_THREADS env var, else hardware concurrency);
+     * 1 = exact legacy serial path. Results are bitwise identical at any
+     * setting.
+     */
+    unsigned sim_threads = 0;
 };
 
 /** A 2D cudaArray backing texture fetches (f32 texels). */
@@ -207,6 +217,9 @@ class Context : public func::TextureProvider
     /** Functional-instruction grand total (sim-speed comparisons). */
     uint64_t totalWarpInstructions() const { return total_warp_instructions_; }
 
+    /** Resolved simulation worker count (>= 1). */
+    unsigned simThreads() const { return pool_ ? pool_->threadCount() : 1; }
+
   private:
     struct TexRef
     {
@@ -226,6 +239,7 @@ class Context : public func::TextureProvider
     void captureLaunch(const LaunchRecord &rec);
 
     ContextOptions opts_;
+    std::unique_ptr<ThreadPool> pool_; ///< outlives the engines that use it
     GpuMemory mem_;
     DeviceAllocator alloc_;
     func::Interpreter interp_;

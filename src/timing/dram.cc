@@ -9,6 +9,8 @@ DramChannel::DramChannel(const GpuConfig &cfg, unsigned partition_id)
     : cfg_(&cfg), partition_id_(partition_id), banks_(cfg.dram_banks)
 {
     pending_per_bank_.assign(cfg.dram_banks, 0);
+    bank_row_hits_.assign(cfg.dram_banks, 0);
+    bank_row_misses_.assign(cfg.dram_banks, 0);
 }
 
 unsigned
@@ -83,8 +85,10 @@ DramChannel::cycle(cycle_t now)
         latency += cfg_->dram_row_cycle;
         bank.open_row = row;
         row_misses_++;
+        bank_row_misses_[b]++;
     } else {
         row_hits_++;
+        bank_row_hits_[b]++;
     }
 
     const cycle_t transfer_start = std::max(now + latency, bus_free_);

@@ -48,6 +48,14 @@ class DramChannel
     uint64_t rowHits() const { return row_hits_; }
     uint64_t rowMisses() const { return row_misses_; }
 
+    // Per-bank breakdown (determinism checks, bank-camping diagnostics).
+    uint64_t bankRowHits(unsigned bank) const { return bank_row_hits_[bank]; }
+    uint64_t
+    bankRowMisses(unsigned bank) const
+    {
+        return bank_row_misses_[bank];
+    }
+
     /** Address mapping exposed for tests. */
     unsigned bankOf(addr_t line_addr) const;
     uint64_t rowOf(addr_t line_addr) const;
@@ -72,6 +80,8 @@ class DramChannel
 
     uint64_t row_hits_ = 0;
     uint64_t row_misses_ = 0;
+    std::vector<uint64_t> bank_row_hits_;
+    std::vector<uint64_t> bank_row_misses_;
 };
 
 } // namespace mlgs::timing

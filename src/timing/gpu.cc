@@ -59,16 +59,48 @@ GpuModel::anythingInFlight() const
     return !to_partition_.empty() || !to_core_.empty();
 }
 
+bool
+GpuModel::parallelStepAllowed(const stats::AerialSampler *sampler) const
+{
+    if (!pool_ || pool_->threadCount() <= 1)
+        return false;
+    // The sampler and the coverage map are shared mutable state written
+    // from inside ShaderCore::cycle / stepWarp; keep those runs serial.
+    if (sampler || interp_->coverage())
+        return false;
+    // Global atomics order cross-CTA memory updates; a started kernel
+    // using them pins the whole device to the serial path.
+    for (const auto &ak : active_)
+        if (ak->started && ptx::usesGlobalAtomics(*ak->env.kernel))
+            return false;
+    return true;
+}
+
 void
 GpuModel::cycleOnce(cycle_t now, stats::AerialSampler *sampler)
 {
-    // 1. Shader cores (issue + writeback).
+    // 1. Shader cores (issue + writeback). Cores are independent within a
+    //    cycle: each only touches its own CTA slots, L1, queues and
+    //    counters, plus GpuMemory (thread-safe) and the atomic CTA
+    //    completion count. Everything cross-core below runs on this thread
+    //    in ascending core-id order, so the sharded step is bitwise
+    //    equivalent to the serial loop.
+    unsigned busy = 0;
     for (auto &core : cores_) {
-        if (core->liveWarps())
+        if (core->liveWarps()) {
             totals_.core_active_cycles++;
-        else
+            busy++;
+        } else {
             totals_.core_idle_cycles++;
-        core->cycle(now, sampler);
+        }
+    }
+    if (busy >= 2 && parallelStepAllowed(sampler)) {
+        pool_->parallelFor(cores_.size(), [&](uint64_t c, unsigned) {
+            cores_[c]->cycle(now, nullptr);
+        });
+    } else {
+        for (auto &core : cores_)
+            core->cycle(now, sampler);
     }
 
     // 2. Core -> interconnect (all outgoing requests enter the crossbar;
@@ -119,6 +151,26 @@ GpuModel::cycleOnce(cycle_t now, stats::AerialSampler *sampler)
 
     if (sampler)
         sampler->endCycle();
+}
+
+std::vector<uint64_t>
+GpuModel::perBankRowHits() const
+{
+    std::vector<uint64_t> out;
+    for (const auto &p : partitions_)
+        for (unsigned b = 0; b < cfg_.dram_banks; b++)
+            out.push_back(p->dram().bankRowHits(b));
+    return out;
+}
+
+std::vector<uint64_t>
+GpuModel::perBankRowMisses() const
+{
+    std::vector<uint64_t> out;
+    for (const auto &p : partitions_)
+        for (unsigned b = 0; b < cfg_.dram_banks; b++)
+            out.push_back(p->dram().bankRowMisses(b));
+    return out;
 }
 
 GpuModel::StatBase
