@@ -4,8 +4,19 @@
  * convolution algorithm the paper iterates over in conv_sample (forward,
  * backward data, backward filter), plus the DESIGN.md ablations: GTO vs LRR
  * scheduling and FR-FCFS vs FCFS DRAM scheduling.
+ *
+ * `tab_algo_sweep --replay [N]` runs the same sweep through the trace
+ * subsystem instead: each configuration is recorded once and replayed N
+ * times (default 5) straight from the trace, with every replay's timing
+ * totals checked bitwise against the live run. Emits
+ * BENCH_trace_replay.json with the record-once-replay-N speedup.
  */
-#include "bench/bench_util.h"
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "bench/trace_workloads.h"
 
 using namespace mlgs;
 using namespace mlgs::bench;
@@ -45,11 +56,181 @@ sweep(Pass pass, const char *title, const std::vector<int> &algos)
     std::printf("  highest IPC: %s\n", best.c_str());
 }
 
+// ---- trace-replay mode (--replay [N]) ----
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+bool
+totalsEqual(const timing::TimingTotals &a, const timing::TimingTotals &b)
+{
+    return a.cycles == b.cycles &&
+           a.warp_instructions == b.warp_instructions &&
+           a.thread_instructions == b.thread_instructions && a.alu == b.alu &&
+           a.sfu == b.sfu && a.mem_insts == b.mem_insts &&
+           a.shared_accesses == b.shared_accesses && a.l1_hits == b.l1_hits &&
+           a.l1_misses == b.l1_misses && a.l2_hits == b.l2_hits &&
+           a.l2_misses == b.l2_misses && a.icnt_flits == b.icnt_flits &&
+           a.dram_reads == b.dram_reads && a.dram_writes == b.dram_writes &&
+           a.dram_row_hits == b.dram_row_hits &&
+           a.dram_row_misses == b.dram_row_misses &&
+           a.core_active_cycles == b.core_active_cycles &&
+           a.core_idle_cycles == b.core_idle_cycles;
+}
+
+const char *
+passName(Pass p)
+{
+    switch (p) {
+      case Pass::Forward: return "forward";
+      case Pass::BackwardData: return "bwd_data";
+      case Pass::BackwardFilter: return "bwd_filter";
+    }
+    return "?";
+}
+
+std::vector<ConvTraceSpec>
+sweepSpecs()
+{
+    std::vector<ConvTraceSpec> specs;
+    const auto add = [&](Pass pass, int algo) {
+        ConvTraceSpec s;
+        s.pass = pass;
+        s.algo = algo;
+        specs.push_back(s);
+    };
+    for (int a = 0; a <= int(cudnn::ConvFwdAlgo::WinogradNonfused); a++)
+        add(Pass::Forward, a);
+    for (int a = 0; a <= int(cudnn::ConvBwdDataAlgo::WinogradNonfused); a++)
+        add(Pass::BackwardData, a);
+    for (int a = 0; a <= int(cudnn::ConvBwdFilterAlgo::WinogradNonfused); a++)
+        add(Pass::BackwardFilter, a);
+    return specs;
+}
+
+int
+replaySweep(int repeat)
+{
+    printHeader("Algo sweep (trace replay)",
+                "record each configuration once, replay from the trace");
+    std::printf("  %d replays per configuration, every replay checked "
+                "bitwise against the live run\n\n", repeat);
+    std::printf("  %-10s %-32s %10s %10s %10s %8s\n", "pass", "algorithm",
+                "live ms", "record ms", "replay ms", "speedup");
+
+    double live_total = 0, record_total = 0, replay_total = 0;
+    std::string rows;
+    bool all_match = true;
+
+    for (const auto &spec : sweepSpecs()) {
+        // Live run: exactly what the live sweep does per configuration —
+        // frontend + simulation with the AerialVision sampler attached.
+        const auto t_live = std::chrono::steady_clock::now();
+        timing::TimingTotals live;
+        {
+            const auto res = runConvSample(spec.pass, spec.algo, spec.shape,
+                                           256, spec.sched, spec.frfcfs);
+            live = res.totals;
+        }
+        const double live_ms = msSince(t_live);
+
+        // Record run: same work with a TraceRecorder observing, also
+        // capturing the warp instruction streams for trace-driven replay.
+        const auto t_rec = std::chrono::steady_clock::now();
+        trace::TraceFile trace;
+        std::shared_ptr<const func::WarpStreamCache> streams;
+        {
+            cuda::Context ctx(convTraceOptions(spec));
+            trace::TraceRecorder rec(ctx);
+            rec.captureWarpStreams();
+            runConvFrontend(ctx, spec);
+            rec.detach();
+            trace = rec.finalize();
+            streams = rec.warpStreams();
+        }
+        const double record_ms = msSince(t_rec);
+
+        // Replay runs: trace-driven timing-only — no frontend and no
+        // functional interpretation in the loop.
+        const trace::TraceReplayer rep(std::move(trace));
+        double replay_ms = 0;
+        bool match = true;
+        for (int i = 0; i < repeat; i++) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto run = replayTrace(rep, nullptr, streams.get());
+            replay_ms += msSince(t0);
+            match = match && totalsEqual(live, run.totals);
+        }
+        replay_ms /= repeat;
+        all_match = all_match && match;
+
+        live_total += live_ms;
+        record_total += record_ms;
+        replay_total += replay_ms;
+
+        const char *algo = convAlgoName(spec);
+        std::printf("  %-10s %-32s %10.1f %10.1f %10.1f %7.1fx%s\n",
+                    passName(spec.pass), algo, live_ms, record_ms, replay_ms,
+                    live_ms / replay_ms, match ? "" : "  MISMATCH");
+
+        char row[512];
+        std::snprintf(row, sizeof row,
+                      "    {\"pass\": \"%s\", \"algo\": \"%s\", "
+                      "\"live_ms\": %.3f, \"record_ms\": %.3f, "
+                      "\"replay_ms\": %.3f, \"cycles\": %llu, "
+                      "\"bitwise_match\": %s},\n",
+                      passName(spec.pass), algo, live_ms, record_ms,
+                      replay_ms, (unsigned long long)live.cycles,
+                      match ? "true" : "false");
+        rows += row;
+    }
+    if (!rows.empty())
+        rows.erase(rows.size() - 2, 1); // trailing comma
+
+    // Sweep cost model: N live sweeps vs record-once + N replays.
+    const double live_n = live_total * repeat;
+    const double traced_n = record_total + replay_total * repeat;
+    const double replay_speedup = live_total / replay_total;
+    const double sweep_speedup = live_n / traced_n;
+
+    std::ofstream os("BENCH_trace_replay.json", std::ios::binary);
+    os << "{\n"
+       << "  \"repeat\": " << repeat << ",\n"
+       << "  \"replay_mode\": \"timing_only_warp_stream\",\n"
+       << "  \"all_bitwise_match\": " << (all_match ? "true" : "false")
+       << ",\n"
+       << "  \"live_ms_total\": " << live_total << ",\n"
+       << "  \"record_ms_total\": " << record_total << ",\n"
+       << "  \"replay_ms_total\": " << replay_total << ",\n"
+       << "  \"replay_speedup_vs_live\": " << replay_speedup << ",\n"
+       << "  \"sweep_speedup_record_once_replay_n\": " << sweep_speedup
+       << ",\n"
+       << "  \"rows\": [\n"
+       << rows << "  ]\n"
+       << "}\n";
+
+    std::printf("\n  per-run replay speedup: %.1fx; %d-replay sweep "
+                "(record once): %.1fx vs live re-execution\n",
+                replay_speedup, repeat, sweep_speedup);
+    std::printf("  all replays bitwise-identical to live: %s\n",
+                all_match ? "yes" : "NO");
+    std::printf("  wrote BENCH_trace_replay.json\n");
+    return all_match ? 0 : 1;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--replay") == 0)
+        return replaySweep(argc > 2 ? std::max(1, std::atoi(argv[2])) : 5);
+
     printHeader("Algo sweep", "conv_sample across every cuDNN algorithm "
                               "(GTX1080Ti model)");
 

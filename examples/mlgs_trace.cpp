@@ -1,0 +1,275 @@
+/**
+ * @file
+ * mlgs-trace: record, replay, and inspect .mlgstrace workload traces.
+ *
+ *   mlgs-trace record <out.mlgstrace> [--workload conv|lenet]
+ *                     [--pass forward|bwd-data|bwd-filter] [--algo N]
+ *                     [--stats FILE]
+ *       Runs a built-in workload with a TraceRecorder attached and writes
+ *       the trace. The default workload is the fig11/fig12 conv_sample
+ *       problem (forward convolution, GEMM, GTX 1080 Ti).
+ *
+ *   mlgs-trace replay <in.mlgstrace> [--repeat N] [--timing-only] [--stats FILE]
+ *       Re-drives the simulator straight from the trace — no cudnn/blas/
+ *       torchlet frontend code runs. Every repeat is verified to produce
+ *       identical timing totals; recorded D2H payloads are verified inside
+ *       the replayer op by op. With --timing-only, the first replay
+ *       captures the warp instruction streams and the remaining repeats
+ *       re-drive only the timing model (trace-driven simulation): much
+ *       faster, same bitwise statistics, D2H payloads not re-verified.
+ *
+ *   mlgs-trace info <in.mlgstrace>
+ *       Prints the trace's configuration, tables, and op breakdown.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "bench/trace_workloads.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+namespace
+{
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path, std::ios::binary);
+    MLGS_REQUIRE(os.good(), "cannot open ", path, " for writing");
+    os << text;
+    MLGS_REQUIRE(os.good(), "short write to ", path);
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mlgs-trace record <out.mlgstrace> [--workload conv|lenet]\n"
+        "                         [--pass forward|bwd-data|bwd-filter]\n"
+        "                         [--algo N] [--stats FILE]\n"
+        "       mlgs-trace replay <in.mlgstrace> [--repeat N] [--timing-only]\n"
+        "                         [--stats FILE]\n"
+        "       mlgs-trace info   <in.mlgstrace>\n");
+    return 2;
+}
+
+struct Args
+{
+    std::string cmd, path;
+    std::string workload = "conv";
+    std::string pass = "forward";
+    int algo = int(cudnn::ConvFwdAlgo::Gemm);
+    int repeat = 1;
+    bool timing_only = false;
+    std::string stats;
+};
+
+bool
+parseArgs(int argc, char **argv, Args &a)
+{
+    if (argc < 3)
+        return false;
+    a.cmd = argv[1];
+    a.path = argv[2];
+    for (int i = 3; i < argc; i++) {
+        const std::string flag = argv[i];
+        const auto value = [&]() -> const char * {
+            MLGS_REQUIRE(i + 1 < argc, "missing value for ", flag);
+            return argv[++i];
+        };
+        if (flag == "--workload")
+            a.workload = value();
+        else if (flag == "--pass")
+            a.pass = value();
+        else if (flag == "--algo")
+            a.algo = std::atoi(value());
+        else if (flag == "--repeat")
+            a.repeat = std::atoi(value());
+        else if (flag == "--timing-only")
+            a.timing_only = true;
+        else if (flag == "--stats")
+            a.stats = value();
+        else {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            return false;
+        }
+    }
+    return a.cmd == "record" || a.cmd == "replay" || a.cmd == "info";
+}
+
+int
+doRecord(const Args &a)
+{
+    cuda::ContextOptions opts;
+    ConvTraceSpec spec;
+    if (a.workload == "conv") {
+        if (a.pass == "forward")
+            spec.pass = Pass::Forward;
+        else if (a.pass == "bwd-data")
+            spec.pass = Pass::BackwardData;
+        else if (a.pass == "bwd-filter")
+            spec.pass = Pass::BackwardFilter;
+        else {
+            std::fprintf(stderr, "unknown pass: %s\n", a.pass.c_str());
+            return 2;
+        }
+        spec.algo = a.algo;
+        opts = convTraceOptions(spec);
+    } else if (a.workload == "lenet") {
+        opts = lenetTraceOptions();
+    } else {
+        std::fprintf(stderr, "unknown workload: %s\n", a.workload.c_str());
+        return 2;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    cuda::Context ctx(opts);
+    trace::TraceRecorder rec(ctx); // before the frontend: module loads count
+    if (a.workload == "conv") {
+        runConvFrontend(ctx, spec);
+        std::printf("recorded conv_sample %s/%s\n", a.pass.c_str(),
+                    convAlgoName(spec));
+    } else {
+        const float loss = runLenetTrainStepFrontend(ctx);
+        std::printf("recorded lenet train step (loss %.4f)\n", loss);
+    }
+    rec.detach();
+    rec.write(a.path);
+    const auto &t = ctx.gpuModel().totals();
+    std::printf("  %llu ops, %llu launches, %llu cycles, %.0f ms -> %s\n",
+                (unsigned long long)rec.opCount(),
+                (unsigned long long)rec.launchCount(),
+                (unsigned long long)t.cycles, msSince(t0), a.path.c_str());
+    if (!a.stats.empty())
+        writeFileOrDie(a.stats, trace::statsJson(ctx));
+    return 0;
+}
+
+bool
+totalsEqual(const timing::TimingTotals &a, const timing::TimingTotals &b)
+{
+    return a.cycles == b.cycles &&
+           a.warp_instructions == b.warp_instructions &&
+           a.thread_instructions == b.thread_instructions && a.alu == b.alu &&
+           a.sfu == b.sfu && a.mem_insts == b.mem_insts &&
+           a.shared_accesses == b.shared_accesses && a.l1_hits == b.l1_hits &&
+           a.l1_misses == b.l1_misses && a.l2_hits == b.l2_hits &&
+           a.l2_misses == b.l2_misses && a.icnt_flits == b.icnt_flits &&
+           a.dram_reads == b.dram_reads && a.dram_writes == b.dram_writes &&
+           a.dram_row_hits == b.dram_row_hits &&
+           a.dram_row_misses == b.dram_row_misses &&
+           a.core_active_cycles == b.core_active_cycles &&
+           a.core_idle_cycles == b.core_idle_cycles;
+}
+
+int
+doReplay(const Args &a)
+{
+    const auto rep = trace::TraceReplayer::fromFile(a.path);
+    const int repeat = std::max(1, a.repeat);
+    func::WarpStreamCache streams;
+    ReplayRun first;
+    std::string json;
+    double total_ms = 0;
+    for (int i = 0; i < repeat; i++) {
+        const auto t0 = std::chrono::steady_clock::now();
+        ReplayRun run;
+        if (a.timing_only && i == 0) {
+            // Full-fidelity first replay that captures the warp streams.
+            cuda::Context ctx(rep.options());
+            run.result = rep.replayCapturing(ctx, streams);
+            run.totals = ctx.gpuModel().totals();
+            run.elapsed_cycles = ctx.elapsedCycles();
+            json = trace::statsJson(ctx);
+        } else {
+            run = replayTrace(rep, &json,
+                              a.timing_only ? &streams : nullptr);
+        }
+        total_ms += msSince(t0);
+        if (i == 0) {
+            first = std::move(run);
+        } else {
+            MLGS_REQUIRE(totalsEqual(first.totals, run.totals),
+                         "replay ", i, " diverged from replay 0");
+        }
+    }
+    const auto &t = first.totals;
+    std::printf("replayed %s x%d: %llu ops, %llu launches (%llu modules "
+                "elided), %llu cycles, %llu verified D2H bytes, "
+                "%.0f ms/replay\n",
+                a.path.c_str(), repeat,
+                (unsigned long long)first.result.ops,
+                (unsigned long long)first.result.launches,
+                (unsigned long long)first.result.modules_elided,
+                (unsigned long long)t.cycles,
+                (unsigned long long)first.result.verified_bytes,
+                total_ms / repeat);
+    if (!a.stats.empty())
+        writeFileOrDie(a.stats, json);
+    return 0;
+}
+
+int
+doInfo(const Args &a)
+{
+    const auto t = trace::TraceFile::load(a.path);
+    std::printf("%s: .mlgstrace version %u\n", a.path.c_str(),
+                trace::kTraceVersion);
+    std::printf("  mode: %s, gpu: %s (%u cores, %u partitions)\n",
+                cuda::SimMode(t.options.mode) == cuda::SimMode::Performance
+                    ? "performance"
+                    : "functional",
+                t.options.gpu.name.c_str(), t.options.gpu.num_cores,
+                t.options.gpu.num_partitions);
+    std::printf("  strings: %u, blobs: %u (%llu bytes stored)\n",
+                t.strings.size(), t.blobs.size(),
+                (unsigned long long)t.blobs.storedBytes());
+    std::printf("  modules: %zu\n", t.modules.size());
+    for (const auto &m : t.modules)
+        std::printf("    %-28s %s, %zu globals\n",
+                    t.strings.str(m.name_sid).c_str(),
+                    m.source_blob == trace::kNoBlob ? "source elided"
+                                                    : "with source",
+                    m.global_allocs.size());
+    std::map<std::string, uint64_t> by_op;
+    for (const auto &op : t.ops)
+        by_op[trace::opCodeName(op.code)]++;
+    std::printf("  ops: %zu\n", t.ops.size());
+    for (const auto &[name, count] : by_op)
+        std::printf("    %-20s %llu\n", name.c_str(),
+                    (unsigned long long)count);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a;
+    if (!parseArgs(argc, argv, a))
+        return usage();
+    try {
+        if (a.cmd == "record")
+            return doRecord(a);
+        if (a.cmd == "replay")
+            return doReplay(a);
+        return doInfo(a);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "mlgs-trace: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,5 +1,7 @@
 #include "chkpt/checkpoint.h"
 
+#include "trace/trace_format.h"
+
 namespace mlgs::chkpt
 {
 
@@ -7,6 +9,14 @@ namespace
 {
 
 constexpr uint64_t kMagic = 0x4d4c47534348504bull; // "MLGSCHPK"
+
+/**
+ * Version 2: validated header (putHeader/readHeader) and kernel identity via
+ * the trace subsystem's interned (module name, kernel name) pair instead of
+ * a bare flat kernel name — the same table .mlgstrace files use, so both
+ * formats resolve kernels identically even when names repeat across modules.
+ */
+constexpr uint32_t kVersion = 2;
 
 } // namespace
 
@@ -123,8 +133,18 @@ CheckpointWriter::onLaunch(cuda::LaunchRecord &rec)
     }
 
     BinaryWriter w;
-    w.put<uint64_t>(kMagic);
-    w.putString(rec.kernel_name);
+    w.putHeader(kMagic, kVersion);
+    // Kernel identity: interned (module name, kernel name), shared with the
+    // trace format (see trace::StringIntern).
+    const int mod = ctx_->moduleIndexOf(rec.kernel);
+    MLGS_REQUIRE(mod >= 0, "checkpointed kernel '", rec.kernel_name,
+                 "' is not owned by a loaded module");
+    trace::StringIntern names;
+    const uint32_t module_sid = names.id(ctx_->module(mod).source_name);
+    const uint32_t kernel_sid = names.id(rec.kernel_name);
+    names.save(w);
+    w.put<uint32_t>(module_sid);
+    w.put<uint32_t>(kernel_sid);
     w.put<uint64_t>(cfg_.kernel_x);
     w.put<uint64_t>(m);
     w.put<uint32_t>(rec.grid.x);
@@ -154,8 +174,11 @@ CheckpointLoader::CheckpointLoader(cuda::Context &ctx, const std::string &path)
     : ctx_(&ctx)
 {
     BinaryReader r = BinaryReader::fromFile(path);
-    MLGS_REQUIRE(r.get<uint64_t>() == kMagic, "not a checkpoint file: ", path);
-    kernel_name_ = r.getString();
+    r.readHeader(kMagic, kVersion, kVersion, "checkpoint");
+    trace::StringIntern names;
+    names.load(r);
+    const std::string module_name = names.str(r.get<uint32_t>());
+    kernel_name_ = names.str(r.get<uint32_t>());
     kernel_x_ = r.get<uint64_t>();
     cta_m_ = r.get<uint64_t>();
     grid_.x = r.get<uint32_t>();
@@ -166,18 +189,35 @@ CheckpointLoader::CheckpointLoader(cuda::Context &ctx, const std::string &path)
     block_.z = r.get<uint32_t>();
 
     const auto npartial = r.get<uint64_t>();
-    // The CTA payloads reference the kernel, which the context may not have
-    // loaded yet; stash raw bytes and deserialize at resume time. To slice
-    // the stream we re-serialize each CTA after a trial parse is impossible
-    // without the kernel — instead the whole remaining stream before the
-    // memory image is kept, and CTAs are parsed lazily in order.
-    //
-    // Simpler: the memory image is last, so parse CTAs eagerly only if the
-    // kernel is known; otherwise defer. We require the kernel to be loaded
-    // before constructing the loader.
-    const auto *kernel = ctx_->findKernel(kernel_name_);
+    // The CTA payloads reference the kernel, so the owning module must be
+    // loaded before constructing the loader. Identity is the interned
+    // (module, kernel) pair: resolve the module by name, then the kernel
+    // within it (duplicate kernel names in other modules cannot shadow it).
+    const ptx::KernelDef *kernel = nullptr;
+    for (int h = 0; h < ctx_->moduleCount(); h++) {
+        if (ctx_->module(h).source_name == module_name) {
+            kernel = ctx_->getFunction(h, kernel_name_);
+            break;
+        }
+    }
+    if (!kernel) {
+        // The recorded module is not loaded under that name (the replayed
+        // host program may load its modules later, so the caller preloaded
+        // the kernel under a placeholder name). Fall back to a unique
+        // kernel-name match; ambiguity stays a hard error rather than a
+        // guess.
+        for (int h = 0; h < ctx_->moduleCount(); h++) {
+            if (const auto *k = ctx_->getFunction(h, kernel_name_)) {
+                MLGS_REQUIRE(!kernel, "ambiguous checkpoint kernel ",
+                             kernel_name_, ": found in several loaded modules "
+                             "and the recorded module ", module_name,
+                             " is not loaded");
+                kernel = k;
+            }
+        }
+    }
     MLGS_REQUIRE(kernel, "load the PTX modules before the checkpoint: missing ",
-                 kernel_name_);
+                 kernel_name_, " in module ", module_name);
     for (uint64_t i = 0; i < npartial; i++) {
         auto cta = loadCta(r, *kernel, grid_, block_);
         BinaryWriter w;

@@ -27,7 +27,7 @@ BinaryReader::fromFile(const std::string &path)
     const size_t n = std::fread(bytes.data(), 1, bytes.size(), f);
     std::fclose(f);
     MLGS_REQUIRE(n == bytes.size(), "short read from ", path);
-    return BinaryReader(std::move(bytes));
+    return BinaryReader(std::move(bytes), path);
 }
 
 } // namespace mlgs

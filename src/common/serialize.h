@@ -1,8 +1,14 @@
 /**
  * @file
- * Minimal binary serializer used by the checkpointing subsystem. Streams are
- * tagged with a magic/version header and are byte-order-naive (checkpoints
- * are machine-local artifacts, matching GPGPU-Sim's checkpoint files).
+ * Minimal binary serializer used by the checkpointing and trace subsystems.
+ * Streams are tagged with a magic/version header and are byte-order-naive
+ * (checkpoints and traces are machine-local artifacts, matching GPGPU-Sim's
+ * checkpoint files).
+ *
+ * Every get*() bounds-checks against the remaining bytes — a truncated or
+ * corrupt file fails with a clear FatalError naming the stream instead of
+ * reading garbage. Length prefixes are validated overflow-safely: a corrupt
+ * 64-bit count can not wrap the cursor past the end of the buffer.
  */
 #ifndef MLGS_COMMON_SERIALIZE_H
 #define MLGS_COMMON_SERIALIZE_H
@@ -31,6 +37,14 @@ class BinaryWriter
         static_assert(std::is_trivially_copyable_v<T>);
         const auto *p = reinterpret_cast<const uint8_t *>(&v);
         buf_.insert(buf_.end(), p, p + sizeof(T));
+    }
+
+    /** Magic + format-version prefix; pair with BinaryReader::readHeader. */
+    void
+    putHeader(uint64_t magic, uint32_t version)
+    {
+        put<uint64_t>(magic);
+        put<uint32_t>(version);
     }
 
     void
@@ -70,17 +84,45 @@ class BinaryWriter
 class BinaryReader
 {
   public:
-    explicit BinaryReader(std::vector<uint8_t> bytes) : buf_(std::move(bytes)) {}
+    explicit BinaryReader(std::vector<uint8_t> bytes,
+                          std::string name = "stream")
+        : buf_(std::move(bytes)), name_(std::move(name))
+    {
+    }
 
     /** Load a whole file; fatal() if it cannot be read. */
     static BinaryReader fromFile(const std::string &path);
+
+    /**
+     * Validate a putHeader() prefix: the magic must match and the version
+     * must lie in [min_version, max_version]. Returns the stored version.
+     * `what` names the expected artifact kind in error messages
+     * ("checkpoint", "trace", ...).
+     */
+    uint32_t
+    readHeader(uint64_t magic, uint32_t min_version, uint32_t max_version,
+               const char *what)
+    {
+        MLGS_REQUIRE(remaining() >= sizeof(uint64_t) + sizeof(uint32_t),
+                     "not a ", what, " file: ", name_,
+                     " is too short to hold a header");
+        const auto got = get<uint64_t>();
+        MLGS_REQUIRE(got == magic, "not a ", what, " file: ", name_,
+                     " has magic ", got, ", expected ", magic);
+        const auto version = get<uint32_t>();
+        MLGS_REQUIRE(version >= min_version && version <= max_version,
+                     "unsupported ", what, " version ", version, " in ", name_,
+                     " (this build reads versions ", min_version, "..",
+                     max_version, ")");
+        return version;
+    }
 
     template <typename T>
     T
     get()
     {
         static_assert(std::is_trivially_copyable_v<T>);
-        MLGS_REQUIRE(pos_ + sizeof(T) <= buf_.size(), "checkpoint truncated");
+        need(sizeof(T), "value");
         T v;
         std::memcpy(&v, buf_.data() + pos_, sizeof(T));
         pos_ += sizeof(T);
@@ -91,7 +133,7 @@ class BinaryReader
     getString()
     {
         const auto n = get<uint64_t>();
-        MLGS_REQUIRE(pos_ + n <= buf_.size(), "checkpoint truncated");
+        need(n, "string payload");
         std::string s(reinterpret_cast<const char *>(buf_.data() + pos_), n);
         pos_ += n;
         return s;
@@ -103,7 +145,11 @@ class BinaryReader
     {
         static_assert(std::is_trivially_copyable_v<T>);
         const auto n = get<uint64_t>();
-        MLGS_REQUIRE(pos_ + n * sizeof(T) <= buf_.size(), "checkpoint truncated");
+        // Divide instead of multiplying: n * sizeof(T) could wrap and pass a
+        // naive comparison, making a corrupt count look satisfiable.
+        MLGS_REQUIRE(n <= remaining() / sizeof(T), "corrupt or truncated ",
+                     name_, ": vector of ", n, " x ", sizeof(T),
+                     " bytes exceeds the ", remaining(), " bytes remaining");
         std::vector<T> v(n);
         std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
         pos_ += n * sizeof(T);
@@ -113,15 +159,29 @@ class BinaryReader
     void
     getBytes(void *out, size_t n)
     {
-        MLGS_REQUIRE(pos_ + n <= buf_.size(), "checkpoint truncated");
+        need(n, "raw bytes");
         std::memcpy(out, buf_.data() + pos_, n);
         pos_ += n;
     }
 
+    /** Bytes not yet consumed. */
+    size_t remaining() const { return buf_.size() - pos_; }
+
     bool atEnd() const { return pos_ == buf_.size(); }
 
+    const std::string &name() const { return name_; }
+
   private:
+    void
+    need(uint64_t n, const char *what)
+    {
+        MLGS_REQUIRE(n <= remaining(), "corrupt or truncated ", name_,
+                     ": reading ", what, " of ", n, " bytes with only ",
+                     remaining(), " remaining");
+    }
+
     std::vector<uint8_t> buf_;
+    std::string name_;
     size_t pos_ = 0;
 };
 

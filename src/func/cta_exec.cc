@@ -4,7 +4,7 @@ namespace mlgs::func
 {
 
 CtaExec::CtaExec(const ptx::KernelDef &kernel, const Dim3 &grid_dim,
-                 const Dim3 &block_dim, const Dim3 &cta_id)
+                 const Dim3 &block_dim, const Dim3 &cta_id, bool alloc_state)
     : kernel_(&kernel),
       grid_dim_(grid_dim),
       block_dim_(block_dim),
@@ -15,10 +15,12 @@ CtaExec::CtaExec(const ptx::KernelDef &kernel, const Dim3 &grid_dim,
     MLGS_REQUIRE(num_threads_ > 0 && num_threads_ <= 1024,
                  "CTA size out of range: ", num_threads_);
 
-    threads_.resize(num_threads_);
-    for (auto &t : threads_) {
-        t.regs.assign(kernel.reg_types.size(), ptx::RegVal());
-        t.local.assign(kernel.local_bytes, 0);
+    if (alloc_state) {
+        threads_.resize(num_threads_);
+        for (auto &t : threads_) {
+            t.regs.assign(kernel.reg_types.size(), ptx::RegVal());
+            t.local.assign(kernel.local_bytes, 0);
+        }
     }
 
     stacks_.resize(num_warps_);
@@ -30,7 +32,7 @@ CtaExec::CtaExec(const ptx::KernelDef &kernel, const Dim3 &grid_dim,
         stacks_[w].init(mask);
     }
 
-    shared_.assign(kernel.shared_bytes, 0);
+    shared_.assign(alloc_state ? kernel.shared_bytes : 0, 0);
     at_barrier_.assign(num_warps_, 0);
     instr_count_.assign(num_warps_, 0);
 }

@@ -28,8 +28,15 @@ struct ThreadState
 class CtaExec
 {
   public:
+    /**
+     * @param alloc_state allocate per-thread registers/local and shared
+     * memory. Warp-stream replay (trace-driven timing) passes false: it
+     * never reads or writes functional state, only the SIMT stacks, barrier
+     * flags, and instruction counters.
+     */
     CtaExec(const ptx::KernelDef &kernel, const Dim3 &grid_dim,
-            const Dim3 &block_dim, const Dim3 &cta_id);
+            const Dim3 &block_dim, const Dim3 &cta_id,
+            bool alloc_state = true);
 
     const ptx::KernelDef &kernel() const { return *kernel_; }
     const Dim3 &gridDim() const { return grid_dim_; }

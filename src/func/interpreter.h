@@ -15,6 +15,7 @@
 #include "func/cta_exec.h"
 #include "func/texture.h"
 #include "func/warp_step.h"
+#include "func/warp_stream.h"
 #include "mem/gpu_memory.h"
 #include "ptx/ir.h"
 
@@ -31,6 +32,14 @@ struct LaunchEnv
     std::vector<uint8_t> params;            ///< packed parameter block
     const SymbolTable *symbols = nullptr;   ///< may be null (no module globals)
     const TextureProvider *textures = nullptr; ///< may be null (no textures)
+
+    /**
+     * Position of this launch in the run's launch order, stamped by
+     * GpuModel::beginKernel. Keys the warp-stream cache (trace-driven
+     * timing replay); launch order is deterministic, so the same workload
+     * always produces the same numbering.
+     */
+    uint64_t launch_seq = 0;
 };
 
 /** Executes warp instructions against a CtaExec and global memory. */
@@ -46,6 +55,34 @@ class Interpreter
     void setCoverage(CoverageMap *cov) { coverage_ = cov; }
     CoverageMap *coverage() const { return coverage_; }
 
+    /**
+     * Record every stepped warp instruction into `cache` (trace-driven
+     * timing replay capture). Pass nullptr to detach.
+     */
+    void setWarpStreamRecord(WarpStreamCache *cache) { record_streams_ = cache; }
+
+    /**
+     * Replay warp instructions from previously recorded streams instead of
+     * interpreting: stepWarp() pops the next recorded step for the warp and
+     * performs no register or memory work, so device memory is not updated.
+     * Pass nullptr to detach. Mutually exclusive with record.
+     */
+    void
+    setWarpStreamReplay(const WarpStreamCache *cache)
+    {
+        replay_streams_ = cache;
+    }
+
+    /** A warp-stream cache is attached (forces the serial timing path). */
+    bool
+    warpStreamActive() const
+    {
+        return record_streams_ != nullptr || replay_streams_ != nullptr;
+    }
+
+    /** Stream replay is attached (CTA register state is never read). */
+    bool warpStreamReplayActive() const { return replay_streams_ != nullptr; }
+
     const BugModel &bugs() const { return bugs_; }
     GpuMemory &memory() { return *mem_; }
 
@@ -56,6 +93,11 @@ class Interpreter
     WarpStepResult stepWarp(CtaExec &cta, unsigned warp, const LaunchEnv &env);
 
   private:
+    WarpStepResult stepWarpExec(CtaExec &cta, unsigned warp,
+                                const LaunchEnv &env);
+    WarpStepResult replayStep(CtaExec &cta, unsigned warp,
+                              const LaunchEnv &env);
+
     ptx::RegVal readOperand(const ptx::Instr &ins, const ptx::Operand &op,
                             const CtaExec &cta, unsigned tid,
                             const LaunchEnv &env) const;
@@ -86,6 +128,8 @@ class Interpreter
     GpuMemory *mem_;
     BugModel bugs_;
     CoverageMap *coverage_ = nullptr;
+    WarpStreamCache *record_streams_ = nullptr;
+    const WarpStreamCache *replay_streams_ = nullptr;
 };
 
 } // namespace mlgs::func

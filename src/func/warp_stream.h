@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Warp instruction streams: the per-warp sequence of WarpStepResults a
+ * performance-mode run produces, recorded once and replayed into the timing
+ * model without functional interpretation (trace-driven timing simulation).
+ *
+ * A stream is keyed by (launch sequence number, linear CTA id, warp) and
+ * consumed strictly in program order per warp, so it is insensitive to how
+ * the scheduler interleaves warps — replaying the streams through the timing
+ * model reproduces the original run's statistics bitwise while skipping all
+ * register/memory work. Device memory is NOT written during stream replay,
+ * so recorded D2H payloads cannot be re-verified in this mode.
+ */
+#ifndef MLGS_FUNC_WARP_STREAM_H
+#define MLGS_FUNC_WARP_STREAM_H
+
+#include <vector>
+
+#include "common/log.h"
+#include "func/cta_exec.h"
+#include "func/warp_step.h"
+
+namespace mlgs::func
+{
+
+/** One recorded warp instruction: everything the timing model consumes. */
+struct WarpStreamStep
+{
+    uint32_t pc = 0;
+    warp_mask_t active = 0;
+    uint32_t first_access = 0; ///< index into WarpStream::accesses
+    uint16_t num_accesses = 0;
+    uint16_t shared_accesses = 0;
+    bool barrier = false;
+    bool exited = false;
+};
+
+/** Program-order instruction stream of one warp. */
+struct WarpStream
+{
+    std::vector<WarpStreamStep> steps;
+    std::vector<MemAccess> accesses; ///< pooled, sliced by (first, num)
+};
+
+/** Streams of one launch, indexed [linear_cta * warps_per_cta + warp]. */
+struct KernelStreams
+{
+    Dim3 grid, block;
+    unsigned warps_per_cta = 0;
+    std::vector<WarpStream> warps;
+};
+
+/** Warp streams of a whole run, indexed by LaunchEnv::launch_seq. */
+class WarpStreamCache
+{
+  public:
+    void
+    append(uint64_t launch_seq, const CtaExec &cta, unsigned warp,
+           const WarpStepResult &res)
+    {
+        if (launch_seq >= launches_.size())
+            launches_.resize(launch_seq + 1);
+        KernelStreams &ks = launches_[launch_seq];
+        if (ks.warps.empty()) {
+            ks.grid = cta.gridDim();
+            ks.block = cta.blockDim();
+            ks.warps_per_cta = cta.numWarps();
+            ks.warps.resize(size_t(ks.grid.count()) * ks.warps_per_cta);
+        }
+        WarpStream &ws = ks.warps[stream_index(ks, cta, warp)];
+        WarpStreamStep s;
+        s.pc = res.pc;
+        s.active = res.active;
+        s.first_access = uint32_t(ws.accesses.size());
+        s.num_accesses = uint16_t(res.accesses.size());
+        s.shared_accesses = uint16_t(res.shared_accesses);
+        s.barrier = res.barrier;
+        s.exited = res.exited;
+        ws.accesses.insert(ws.accesses.end(), res.accesses.begin(),
+                           res.accesses.end());
+        ws.steps.push_back(s);
+    }
+
+    const WarpStream &
+    stream(uint64_t launch_seq, const CtaExec &cta, unsigned warp) const
+    {
+        MLGS_REQUIRE(launch_seq < launches_.size(),
+                     "warp stream replay: launch ", launch_seq,
+                     " was never recorded (", launches_.size(),
+                     " launches in the cache)");
+        const KernelStreams &ks = launches_[launch_seq];
+        return ks.warps[stream_index(ks, cta, warp)];
+    }
+
+    size_t launchCount() const { return launches_.size(); }
+
+    uint64_t
+    totalSteps() const
+    {
+        uint64_t n = 0;
+        for (const auto &ks : launches_)
+            for (const auto &ws : ks.warps)
+                n += ws.steps.size();
+        return n;
+    }
+
+  private:
+    static size_t
+    stream_index(const KernelStreams &ks, const CtaExec &cta, unsigned warp)
+    {
+        MLGS_ASSERT(warp < ks.warps_per_cta, "warp out of range");
+        const uint64_t lin = flatten(cta.ctaId(), ks.grid);
+        return size_t(lin) * ks.warps_per_cta + warp;
+    }
+
+    std::vector<KernelStreams> launches_;
+};
+
+} // namespace mlgs::func
+
+#endif // MLGS_FUNC_WARP_STREAM_H

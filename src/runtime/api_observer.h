@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Observation interface over the simulated CUDA API boundary. A registered
+ * ApiObserver sees every device-visible call a workload frontend makes on a
+ * Context — module loads, allocations, copies, launches, stream/event
+ * operations, texture bindings — in exact API-call order and *after* the call
+ * has taken effect (so observed results such as allocation addresses and
+ * D2H payloads are available).
+ *
+ * This is the capture side of the trace subsystem (src/trace): replaying the
+ * observed sequence against a fresh Context reproduces the run bit for bit
+ * with no frontend code in the loop. Default implementations are no-ops so
+ * observers only override what they care about.
+ */
+#ifndef MLGS_RUNTIME_API_OBSERVER_H
+#define MLGS_RUNTIME_API_OBSERVER_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "func/texture.h"
+
+namespace mlgs::cuda
+{
+
+class ApiObserver
+{
+  public:
+    virtual ~ApiObserver() = default;
+
+    // ---- modules ----
+    /** Fired after loadModule(); `handle` indexes Context::module(). */
+    virtual void
+    onModuleLoaded(int handle, const std::string &ptx_source,
+                   const std::string &name)
+    {
+        (void)handle;
+        (void)ptx_source;
+        (void)name;
+    }
+
+    // ---- memory ----
+    virtual void
+    onMalloc(addr_t addr, size_t bytes, size_t align)
+    {
+        (void)addr;
+        (void)bytes;
+        (void)align;
+    }
+
+    virtual void
+    onFree(addr_t addr)
+    {
+        (void)addr;
+    }
+
+    virtual void
+    onMemcpyH2D(addr_t dst, const void *src, size_t bytes, unsigned stream_id)
+    {
+        (void)dst;
+        (void)src;
+        (void)bytes;
+        (void)stream_id;
+    }
+
+    /** `result` is the host destination, already filled. */
+    virtual void
+    onMemcpyD2H(const void *result, addr_t src, size_t bytes,
+                unsigned stream_id)
+    {
+        (void)result;
+        (void)src;
+        (void)bytes;
+        (void)stream_id;
+    }
+
+    virtual void
+    onMemcpyD2D(addr_t dst, addr_t src, size_t bytes, unsigned stream_id)
+    {
+        (void)dst;
+        (void)src;
+        (void)bytes;
+        (void)stream_id;
+    }
+
+    virtual void
+    onMemset(addr_t dst, uint8_t value, size_t bytes, unsigned stream_id)
+    {
+        (void)dst;
+        (void)value;
+        (void)bytes;
+        (void)stream_id;
+    }
+
+    virtual void
+    onMemcpyToSymbol(const std::string &name, addr_t addr, const void *src,
+                     size_t bytes)
+    {
+        (void)name;
+        (void)addr;
+        (void)src;
+        (void)bytes;
+    }
+
+    // ---- launches ----
+    /** Fired at enqueue time (API order), before the op may execute. */
+    virtual void
+    onLaunch(int module_handle, const std::string &kernel, const Dim3 &grid,
+             const Dim3 &block, const std::vector<uint8_t> &params,
+             unsigned stream_id)
+    {
+        (void)module_handle;
+        (void)kernel;
+        (void)grid;
+        (void)block;
+        (void)params;
+        (void)stream_id;
+    }
+
+    // ---- streams & events ----
+    virtual void
+    onCreateStream(unsigned stream_id)
+    {
+        (void)stream_id;
+    }
+
+    virtual void
+    onDestroyStream(unsigned stream_id)
+    {
+        (void)stream_id;
+    }
+
+    /** Events are identified by creation order (0, 1, 2, ...). */
+    virtual void
+    onCreateEvent(unsigned event_id)
+    {
+        (void)event_id;
+    }
+
+    virtual void
+    onRecordEvent(unsigned event_id, unsigned stream_id)
+    {
+        (void)event_id;
+        (void)stream_id;
+    }
+
+    virtual void
+    onWaitEvent(unsigned stream_id, unsigned event_id)
+    {
+        (void)stream_id;
+        (void)event_id;
+    }
+
+    virtual void
+    onStreamSynchronize(unsigned stream_id)
+    {
+        (void)stream_id;
+    }
+
+    virtual void onDeviceSynchronize() {}
+
+    // ---- textures ----
+    virtual void
+    onRegisterTexture(const std::string &name, int texref)
+    {
+        (void)name;
+        (void)texref;
+    }
+
+    /** Arrays are identified by creation order (0, 1, 2, ...). */
+    virtual void
+    onMallocArray(unsigned array_id, unsigned width, unsigned height,
+                  unsigned channels, addr_t addr)
+    {
+        (void)array_id;
+        (void)width;
+        (void)height;
+        (void)channels;
+        (void)addr;
+    }
+
+    virtual void
+    onFreeArray(unsigned array_id)
+    {
+        (void)array_id;
+    }
+
+    virtual void
+    onMemcpyToArray(unsigned array_id, const float *src, size_t count)
+    {
+        (void)array_id;
+        (void)src;
+        (void)count;
+    }
+
+    virtual void
+    onBindTextureToArray(int texref, unsigned array_id,
+                         func::TexAddressMode mode)
+    {
+        (void)texref;
+        (void)array_id;
+        (void)mode;
+    }
+
+    virtual void
+    onBindTextureLinear(int texref, addr_t ptr, unsigned width,
+                        unsigned channels, func::TexAddressMode mode)
+    {
+        (void)texref;
+        (void)ptr;
+        (void)width;
+        (void)channels;
+        (void)mode;
+    }
+
+    virtual void
+    onUnbindTexture(int texref)
+    {
+        (void)texref;
+    }
+};
+
+} // namespace mlgs::cuda
+
+#endif // MLGS_RUNTIME_API_OBSERVER_H

@@ -5,6 +5,7 @@
 
 #include "engine/functional_backend.h"
 #include "engine/timing_backend.h"
+#include "runtime/api_observer.h"
 
 namespace mlgs::cuda
 {
@@ -55,13 +56,18 @@ Context::attachSampler(stats::AerialSampler *s)
 addr_t
 Context::malloc(size_t bytes, size_t align)
 {
-    return alloc_.alloc(bytes, align);
+    const addr_t addr = alloc_.alloc(bytes, align);
+    if (api_observer_)
+        api_observer_->onMalloc(addr, bytes, align);
+    return addr;
 }
 
 void
 Context::free(addr_t ptr)
 {
     alloc_.free(ptr);
+    if (api_observer_)
+        api_observer_->onFree(ptr);
 }
 
 void
@@ -73,6 +79,9 @@ Context::memcpyH2D(addr_t dst, const void *src, size_t bytes, Stream *stream)
     op.bytes = bytes;
     op.host_data.assign(static_cast<const uint8_t *>(src),
                         static_cast<const uint8_t *>(src) + bytes);
+    if (api_observer_)
+        api_observer_->onMemcpyH2D(dst, src, bytes,
+                                   stream ? stream->id() : 0);
     engine_->enqueue(stream, std::move(op));
 }
 
@@ -86,7 +95,11 @@ Context::memcpyD2H(void *dst, addr_t src, size_t bytes, Stream *stream)
     op.host_dst = dst;
     engine_->enqueue(stream, std::move(op));
     // D2H must complete before the host may look at dst: drain the stream.
-    streamSynchronize(stream ? stream : defaultStream());
+    // The implied synchronize is part of this API call, so the observer sees
+    // one D2H (with the result payload), not a copy plus a separate sync.
+    syncStream(stream ? stream : defaultStream());
+    if (api_observer_)
+        api_observer_->onMemcpyD2H(dst, src, bytes, stream ? stream->id() : 0);
 }
 
 void
@@ -97,6 +110,9 @@ Context::memcpyD2D(addr_t dst, addr_t src, size_t bytes, Stream *stream)
     op.dst = dst;
     op.src = src;
     op.bytes = bytes;
+    if (api_observer_)
+        api_observer_->onMemcpyD2D(dst, src, bytes,
+                                   stream ? stream->id() : 0);
     engine_->enqueue(stream, std::move(op));
 }
 
@@ -108,6 +124,8 @@ Context::memsetD(addr_t dst, uint8_t value, size_t bytes, Stream *stream)
     op.dst = dst;
     op.bytes = bytes;
     op.fill = value;
+    if (api_observer_)
+        api_observer_->onMemset(dst, value, bytes, stream ? stream->id() : 0);
     engine_->enqueue(stream, std::move(op));
 }
 
@@ -121,11 +139,25 @@ Context::loadModule(const std::string &ptx_source, const std::string &name)
     // the module, but the flat symbol table keeps first-wins semantics for
     // cudaMemcpyToSymbol-style access.
     for (auto &g : mod->globals) {
-        g.addr = alloc_.alloc(std::max<size_t>(g.size, 1), std::max(g.align, 4u));
+        const auto [bytes, align] = globalAllocShape(g);
+        g.addr = alloc_.alloc(bytes, align);
         symbols_.emplace(g.name, g.addr);
     }
     modules_.push_back(std::move(mod));
-    return int(modules_.size()) - 1;
+    const int handle = int(modules_.size()) - 1;
+    if (api_observer_)
+        api_observer_->onModuleLoaded(handle, ptx_source, name);
+    return handle;
+}
+
+int
+Context::moduleIndexOf(const ptx::KernelDef *kernel) const
+{
+    for (size_t m = 0; m < modules_.size(); m++)
+        for (const auto &k : modules_[m]->kernels)
+            if (&k == kernel)
+                return int(m);
+    return -1;
 }
 
 const ptx::Module &
@@ -171,6 +203,10 @@ Context::cuLaunchKernel(const ptx::KernelDef *kernel, const Dim3 &grid,
     MLGS_REQUIRE(args.bytes().size() >= kernel->param_bytes,
                  "insufficient kernel arguments for ", kernel->name, ": got ",
                  args.bytes().size(), " bytes, need ", kernel->param_bytes);
+    if (api_observer_)
+        api_observer_->onLaunch(moduleIndexOf(kernel), kernel->name, grid,
+                                block, args.bytes(),
+                                stream ? stream->id() : 0);
     Stream::Op op;
     op.kind = Stream::Op::Kind::Launch;
     op.kernel = kernel;
@@ -240,21 +276,31 @@ Context::captureLaunch(const LaunchRecord &rec)
 Stream *
 Context::createStream()
 {
-    return engine_->createStream();
+    Stream *s = engine_->createStream();
+    if (api_observer_)
+        api_observer_->onCreateStream(s->id());
+    return s;
 }
 
 void
 Context::destroyStream(Stream *s)
 {
     MLGS_REQUIRE(s && s->id() != 0, "cannot destroy the default stream");
-    streamSynchronize(s);
+    syncStream(s);
     engine_->resetStream(s); // keep the slot so ids stay stable
+    if (api_observer_)
+        api_observer_->onDestroyStream(s->id());
 }
 
 Event *
 Context::createEvent()
 {
-    return engine_->createEvent();
+    Event *e = engine_->createEvent();
+    const unsigned id = unsigned(event_ids_.size());
+    event_ids_.emplace(e, id);
+    if (api_observer_)
+        api_observer_->onCreateEvent(id);
+    return e;
 }
 
 void
@@ -264,6 +310,9 @@ Context::recordEvent(Event *e, Stream *stream)
     Stream::Op op;
     op.kind = Stream::Op::Kind::RecordEvent;
     op.event = e;
+    if (api_observer_)
+        api_observer_->onRecordEvent(event_ids_.at(e),
+                                     stream ? stream->id() : 0);
     engine_->enqueue(stream, std::move(op));
 }
 
@@ -274,17 +323,28 @@ Context::streamWaitEvent(Stream *stream, Event *e)
     Stream::Op op;
     op.kind = Stream::Op::Kind::WaitEvent;
     op.event = e;
+    if (api_observer_)
+        api_observer_->onWaitEvent(stream ? stream->id() : 0,
+                                   event_ids_.at(e));
     engine_->enqueue(stream, std::move(op));
 }
 
 void
-Context::streamSynchronize(Stream *stream)
+Context::syncStream(Stream *stream)
 {
     MLGS_REQUIRE(stream, "streamSynchronize: null stream");
     engine_->drain();
     MLGS_REQUIRE(engine_->drained(stream),
                  "stream deadlock: stream ", stream->id(),
                  " is blocked on an event that is never recorded");
+}
+
+void
+Context::streamSynchronize(Stream *stream)
+{
+    syncStream(stream);
+    if (api_observer_)
+        api_observer_->onStreamSynchronize(stream->id());
 }
 
 void
@@ -295,6 +355,8 @@ Context::deviceSynchronize()
         MLGS_REQUIRE(engine_->drained(s.get()),
                      "device deadlock: stream ", s->id(),
                      " is blocked on an event that is never recorded");
+    if (api_observer_)
+        api_observer_->onDeviceSynchronize();
 }
 
 cycle_t
@@ -322,6 +384,8 @@ Context::registerTexture(const std::string &name)
     } else {
         entry.texrefs.push_back(ref.id); // fixed: name -> set of texrefs
     }
+    if (api_observer_)
+        api_observer_->onRegisterTexture(name, ref.id);
     return ref.id;
 }
 
@@ -336,6 +400,9 @@ Context::mallocArray(unsigned width, unsigned height, unsigned channels)
     arr->channels = channels;
     arr->addr = alloc_.alloc(size_t(width) * height * channels * 4);
     arrays_.push_back(std::move(arr));
+    if (api_observer_)
+        api_observer_->onMallocArray(unsigned(arrays_.size()) - 1, width,
+                                     height, channels, arrays_.back()->addr);
     return arrays_.back().get();
 }
 
@@ -345,6 +412,8 @@ Context::freeArray(TexArray *arr)
     MLGS_REQUIRE(arr, "freeArray: null array");
     alloc_.free(arr->addr);
     arr->addr = 0;
+    if (api_observer_)
+        api_observer_->onFreeArray(arrayIndexOf(arr));
 }
 
 void
@@ -354,6 +423,18 @@ Context::memcpyToArray(TexArray *arr, const float *src, size_t count)
     MLGS_REQUIRE(count <= size_t(arr->width) * arr->height * arr->channels,
                  "memcpyToArray overflow");
     mem_.write(arr->addr, src, count * 4);
+    if (api_observer_)
+        api_observer_->onMemcpyToArray(arrayIndexOf(arr), src, count);
+}
+
+unsigned
+Context::arrayIndexOf(const TexArray *arr) const
+{
+    for (size_t i = 0; i < arrays_.size(); i++)
+        if (arrays_[i].get() == arr)
+            return unsigned(i);
+    MLGS_ASSERT(false, "TexArray not owned by this context");
+    return 0;
 }
 
 void
@@ -381,6 +462,8 @@ Context::bindTextureToArray(int texref, TexArray *arr,
     entry.binding.height = arr->height;
     entry.binding.channels = arr->channels;
     entry.binding.address_mode = mode;
+    if (api_observer_)
+        api_observer_->onBindTextureToArray(texref, arrayIndexOf(arr), mode);
 }
 
 void
@@ -404,6 +487,8 @@ Context::bindTextureLinear(int texref, addr_t ptr, unsigned width,
     entry.binding.height = 1;
     entry.binding.channels = channels;
     entry.binding.address_mode = mode;
+    if (api_observer_)
+        api_observer_->onBindTextureLinear(texref, ptr, width, channels, mode);
 }
 
 void
@@ -414,6 +499,8 @@ Context::unbindTexture(int texref)
     auto it = tex_names_.find(texrefs_[size_t(texref)].name);
     if (it != tex_names_.end())
         it->second.bound = false;
+    if (api_observer_)
+        api_observer_->onUnbindTexture(texref);
 }
 
 const func::TexBinding *
@@ -438,7 +525,10 @@ Context::getSymbolAddress(const std::string &name) const
 void
 Context::memcpyToSymbol(const std::string &name, const void *src, size_t bytes)
 {
-    mem_.write(getSymbolAddress(name), src, bytes);
+    const addr_t addr = getSymbolAddress(name);
+    mem_.write(addr, src, bytes);
+    if (api_observer_)
+        api_observer_->onMemcpyToSymbol(name, addr, src, bytes);
 }
 
 } // namespace mlgs::cuda

@@ -15,10 +15,12 @@
 #ifndef MLGS_RUNTIME_CONTEXT_H
 #define MLGS_RUNTIME_CONTEXT_H
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -40,6 +42,8 @@ class TimingBackend;
 
 namespace mlgs::cuda
 {
+
+class ApiObserver;
 
 /** Functional vs Performance simulation (Section III-F terminology). */
 enum class SimMode { Functional, Performance };
@@ -191,6 +195,32 @@ class Context : public func::TextureProvider
     using LaunchHook = std::function<bool(LaunchRecord &)>;
     void setLaunchHook(LaunchHook hook) { launch_hook_ = std::move(hook); }
 
+    // ---- API observation (trace capture, src/trace) ----
+    /**
+     * Register (or clear with nullptr) an observer that sees every
+     * device-visible API call in order. At most one observer is active; the
+     * caller keeps ownership and must outlive the context or detach first.
+     */
+    void setApiObserver(ApiObserver *obs) { api_observer_ = obs; }
+    ApiObserver *apiObserver() const { return api_observer_; }
+
+    /** Module handle owning this kernel definition, or -1. */
+    int moduleIndexOf(const ptx::KernelDef *kernel) const;
+
+    /** Number of loaded modules (valid handles are 0..count-1). */
+    int moduleCount() const { return int(modules_.size()); }
+
+    /**
+     * The (bytes, align) request loadModule() issues for one module-scope
+     * global. Exposed so trace replay can reproduce the allocator effects of
+     * a module load without parsing the module's PTX.
+     */
+    static std::pair<size_t, size_t>
+    globalAllocShape(const ptx::GlobalVar &g)
+    {
+        return {std::max<size_t>(g.size, 1), std::max<size_t>(g.align, 4)};
+    }
+
     // ---- capture / observation (debug tool, Fig 2) ----
     void setCaptureLaunches(bool on) { opts_.capture_launches = on; }
     const std::vector<CapturedLaunch> &capturedLaunches() const
@@ -200,6 +230,7 @@ class Context : public func::TextureProvider
     void clearCapturedLaunches() { captured_.clear(); }
 
     // ---- introspection ----
+    const ContextOptions &options() const { return opts_; }
     GpuMemory &memory() { return mem_; }
     DeviceAllocator &allocator() { return alloc_; }
     func::Interpreter &interpreter() { return interp_; }
@@ -238,6 +269,12 @@ class Context : public func::TextureProvider
     void retireLaunch(LaunchRecord &&rec, bool executed);
     void captureLaunch(const LaunchRecord &rec);
 
+    /** Drain + deadlock-check without notifying the API observer. */
+    void syncStream(Stream *stream);
+
+    /** Creation-order index of an owned TexArray (observer identity). */
+    unsigned arrayIndexOf(const TexArray *arr) const;
+
     ContextOptions opts_;
     std::unique_ptr<ThreadPool> pool_; ///< outlives the engines that use it
     GpuMemory mem_;
@@ -262,6 +299,9 @@ class Context : public func::TextureProvider
     std::vector<CapturedLaunch> captured_;
     LaunchHook launch_hook_;
     uint64_t total_warp_instructions_ = 0;
+
+    ApiObserver *api_observer_ = nullptr;
+    std::map<const Event *, unsigned> event_ids_; ///< creation order
 };
 
 } // namespace mlgs::cuda

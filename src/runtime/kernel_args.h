@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace mlgs::cuda
@@ -27,6 +28,14 @@ class KernelArgs
             bytes_.push_back(0);
         const auto *p = reinterpret_cast<const uint8_t *>(&v);
         bytes_.insert(bytes_.end(), p, p + sizeof(T));
+        return *this;
+    }
+
+    /** Replace the block with pre-marshalled bytes (trace replay). */
+    KernelArgs &
+    raw(std::vector<uint8_t> marshalled)
+    {
+        bytes_ = std::move(marshalled);
         return *this;
     }
 

@@ -61,8 +61,9 @@ ShaderCore::tryIssueCta(KernelDispatch &disp)
         disp.preloaded[pidx]) {
         cs.cta = std::move(disp.preloaded[pidx]); // checkpoint-restored state
     } else {
-        cs.cta = std::make_unique<func::CtaExec>(*disp.env->kernel, disp.grid,
-                                                 disp.block, cta_id);
+        cs.cta = std::make_unique<func::CtaExec>(
+            *disp.env->kernel, disp.grid, disp.block, cta_id,
+            /*alloc_state=*/!interp_->warpStreamReplayActive());
     }
     cs.disp = &disp;
     cs.warp_slots = slots;

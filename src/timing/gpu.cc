@@ -68,6 +68,10 @@ GpuModel::parallelStepAllowed(const stats::AerialSampler *sampler) const
     // from inside ShaderCore::cycle / stepWarp; keep those runs serial.
     if (sampler || interp_->coverage())
         return false;
+    // Warp-stream capture appends to shared per-warp vectors and replay is
+    // only meaningful against a serially recorded stream; keep both serial.
+    if (interp_->warpStreamActive())
+        return false;
     // Global atomics order cross-CTA memory updates; a started kernel
     // using them pins the whole device to the serial path.
     for (const auto &ak : active_)
@@ -203,6 +207,7 @@ GpuModel::beginKernel(const func::LaunchEnv &env, const Dim3 &grid,
     auto ak = std::make_unique<ActiveKernel>();
     ak->token = next_token_++;
     ak->env = env;
+    ak->env.launch_seq = next_launch_seq_++;
     ak->not_before = not_before;
 
     KernelDispatch &disp = ak->disp;

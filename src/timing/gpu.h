@@ -188,6 +188,7 @@ class GpuModel
     std::map<uint64_t, KernelRunStats> finished_;       ///< awaiting collect
     StatBase totals_base_; ///< totals_ accumulated up to this snapshot
     uint64_t next_token_ = 0;
+    uint64_t next_launch_seq_ = 0; ///< stamps LaunchEnv::launch_seq
 
     /**
      * Persistent device clock, now shared with the DeviceEngine's stream

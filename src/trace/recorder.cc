@@ -1,0 +1,294 @@
+#include "trace/recorder.h"
+
+#include "common/log.h"
+
+namespace mlgs::trace
+{
+
+TraceRecorder::TraceRecorder(cuda::Context &ctx) : ctx_(&ctx)
+{
+    const auto &o = ctx.options();
+    trace_.options.mode = uint8_t(o.mode);
+    trace_.options.legacy_texture_name_map = o.legacy_texture_name_map;
+    trace_.options.memcpy_bytes_per_cycle = o.memcpy_bytes_per_cycle;
+    trace_.options.bugs = o.bugs;
+    trace_.options.gpu = o.gpu;
+
+    MLGS_REQUIRE(!ctx.apiObserver(),
+                 "context already has an API observer attached");
+    ctx.setApiObserver(this);
+}
+
+TraceRecorder::~TraceRecorder()
+{
+    detach();
+}
+
+void
+TraceRecorder::detach()
+{
+    if (ctx_) {
+        if (ctx_->apiObserver() == this)
+            ctx_->setApiObserver(nullptr);
+        if (warp_streams_)
+            ctx_->interpreter().setWarpStreamRecord(nullptr);
+    }
+    ctx_ = nullptr;
+}
+
+void
+TraceRecorder::captureWarpStreams()
+{
+    MLGS_REQUIRE(ctx_, "captureWarpStreams after detach");
+    MLGS_REQUIRE(ctx_->options().mode == cuda::SimMode::Performance,
+                 "warp-stream capture requires performance mode");
+    if (!warp_streams_) {
+        warp_streams_ = std::make_shared<func::WarpStreamCache>();
+        ctx_->interpreter().setWarpStreamRecord(warp_streams_.get());
+    }
+}
+
+TraceOp &
+TraceRecorder::push(OpCode code)
+{
+    trace_.ops.emplace_back();
+    trace_.ops.back().code = code;
+    return trace_.ops.back();
+}
+
+TraceFile
+TraceRecorder::finalize() const
+{
+    TraceFile out = trace_;
+    for (size_t m = 0; m < out.modules.size(); m++) {
+        if (m < module_used_.size() && module_used_[m]) {
+            const auto &src = module_sources_[m];
+            out.modules[m].source_blob = out.blobs.put(src.data(), src.size());
+        }
+    }
+    return out;
+}
+
+void
+TraceRecorder::write(const std::string &path) const
+{
+    finalize().save(path);
+}
+
+void
+TraceRecorder::onModuleLoaded(int handle, const std::string &ptx_source,
+                              const std::string &name)
+{
+    MLGS_ASSERT(handle == int(trace_.modules.size()),
+                "module handles must be observed in order");
+    TraceModule m;
+    m.name_sid = trace_.strings.id(name);
+    for (const auto &g : ctx_->module(handle).globals) {
+        const auto [bytes, align] = cuda::Context::globalAllocShape(g);
+        m.global_allocs.emplace_back(bytes, align);
+    }
+    trace_.modules.push_back(std::move(m));
+    module_sources_.push_back(ptx_source);
+    module_used_.push_back(false);
+
+    push(OpCode::LoadModule).id = uint32_t(handle);
+}
+
+void
+TraceRecorder::onMalloc(addr_t addr, size_t bytes, size_t align)
+{
+    auto &op = push(OpCode::Malloc);
+    op.a = bytes;
+    op.b = align;
+    op.c = addr;
+}
+
+void
+TraceRecorder::onFree(addr_t addr)
+{
+    push(OpCode::Free).a = addr;
+}
+
+void
+TraceRecorder::onMemcpyH2D(addr_t dst, const void *src, size_t bytes,
+                           unsigned stream_id)
+{
+    auto &op = push(OpCode::MemcpyH2D);
+    op.a = dst;
+    op.blob = trace_.blobs.put(src, bytes);
+    op.stream = stream_id;
+}
+
+void
+TraceRecorder::onMemcpyD2H(const void *result, addr_t src, size_t bytes,
+                           unsigned stream_id)
+{
+    auto &op = push(OpCode::MemcpyD2H);
+    op.a = src;
+    op.b = bytes;
+    op.blob = trace_.blobs.put(result, bytes);
+    op.stream = stream_id;
+}
+
+void
+TraceRecorder::onMemcpyD2D(addr_t dst, addr_t src, size_t bytes,
+                           unsigned stream_id)
+{
+    auto &op = push(OpCode::MemcpyD2D);
+    op.a = dst;
+    op.b = src;
+    op.c = bytes;
+    op.stream = stream_id;
+}
+
+void
+TraceRecorder::onMemset(addr_t dst, uint8_t value, size_t bytes,
+                        unsigned stream_id)
+{
+    auto &op = push(OpCode::Memset);
+    op.a = dst;
+    op.b = bytes;
+    op.u8 = value;
+    op.stream = stream_id;
+}
+
+void
+TraceRecorder::onMemcpyToSymbol(const std::string &name, addr_t addr,
+                                const void *src, size_t bytes)
+{
+    auto &op = push(OpCode::MemcpyToSymbol);
+    op.sid = trace_.strings.id(name);
+    op.a = addr;
+    op.blob = trace_.blobs.put(src, bytes);
+}
+
+void
+TraceRecorder::onLaunch(int module_handle, const std::string &kernel,
+                        const Dim3 &grid, const Dim3 &block,
+                        const std::vector<uint8_t> &params, unsigned stream_id)
+{
+    MLGS_REQUIRE(module_handle >= 0 &&
+                     size_t(module_handle) < module_used_.size(),
+                 "launch of '", kernel, "' from unknown module");
+    module_used_[module_handle] = true;
+    launches_++;
+
+    auto &op = push(OpCode::Launch);
+    op.id = uint32_t(module_handle);
+    op.sid = trace_.strings.id(kernel);
+    op.grid = grid;
+    op.block = block;
+    op.blob = trace_.blobs.put(params);
+    op.stream = stream_id;
+}
+
+void
+TraceRecorder::onCreateStream(unsigned stream_id)
+{
+    push(OpCode::CreateStream).id = stream_id;
+}
+
+void
+TraceRecorder::onDestroyStream(unsigned stream_id)
+{
+    push(OpCode::DestroyStream).id = stream_id;
+}
+
+void
+TraceRecorder::onCreateEvent(unsigned event_id)
+{
+    push(OpCode::CreateEvent).id = event_id;
+}
+
+void
+TraceRecorder::onRecordEvent(unsigned event_id, unsigned stream_id)
+{
+    auto &op = push(OpCode::RecordEvent);
+    op.id = event_id;
+    op.stream = stream_id;
+}
+
+void
+TraceRecorder::onWaitEvent(unsigned stream_id, unsigned event_id)
+{
+    auto &op = push(OpCode::WaitEvent);
+    op.id = event_id;
+    op.stream = stream_id;
+}
+
+void
+TraceRecorder::onStreamSynchronize(unsigned stream_id)
+{
+    push(OpCode::StreamSync).stream = stream_id;
+}
+
+void
+TraceRecorder::onDeviceSynchronize()
+{
+    push(OpCode::DeviceSync);
+}
+
+void
+TraceRecorder::onRegisterTexture(const std::string &name, int texref)
+{
+    auto &op = push(OpCode::RegisterTexture);
+    op.sid = trace_.strings.id(name);
+    op.id = uint32_t(texref);
+}
+
+void
+TraceRecorder::onMallocArray(unsigned array_id, unsigned width,
+                             unsigned height, unsigned channels, addr_t addr)
+{
+    auto &op = push(OpCode::MallocArray);
+    op.id = array_id;
+    op.a = addr;
+    op.b = width;
+    op.c = height;
+    op.d = channels;
+}
+
+void
+TraceRecorder::onFreeArray(unsigned array_id)
+{
+    push(OpCode::FreeArray).id = array_id;
+}
+
+void
+TraceRecorder::onMemcpyToArray(unsigned array_id, const float *src,
+                               size_t count)
+{
+    auto &op = push(OpCode::MemcpyToArray);
+    op.id = array_id;
+    op.blob = trace_.blobs.put(src, count * sizeof(float));
+}
+
+void
+TraceRecorder::onBindTextureToArray(int texref, unsigned array_id,
+                                    func::TexAddressMode mode)
+{
+    auto &op = push(OpCode::BindTextureToArray);
+    op.id = uint32_t(texref);
+    op.b = array_id;
+    op.u8 = uint8_t(mode);
+}
+
+void
+TraceRecorder::onBindTextureLinear(int texref, addr_t ptr, unsigned width,
+                                   unsigned channels, func::TexAddressMode mode)
+{
+    auto &op = push(OpCode::BindTextureLinear);
+    op.id = uint32_t(texref);
+    op.a = ptr;
+    op.b = width;
+    op.c = channels;
+    op.u8 = uint8_t(mode);
+}
+
+void
+TraceRecorder::onUnbindTexture(int texref)
+{
+    push(OpCode::UnbindTexture).id = uint32_t(texref);
+}
+
+} // namespace mlgs::trace

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * TraceRecorder: an ApiObserver that serializes the complete device-visible
+ * workload of a Context into a .mlgstrace file. Attach it before the
+ * frontend (cudnn/blas/torchlet handles) is constructed so module loads are
+ * captured; run the workload; call write(). The resulting trace replays
+ * through TraceReplayer with bitwise-identical timing totals, DRAM bank
+ * statistics and AerialVision samples — and without any frontend code.
+ */
+#ifndef MLGS_TRACE_RECORDER_H
+#define MLGS_TRACE_RECORDER_H
+
+#include <memory>
+
+#include "func/warp_stream.h"
+#include "runtime/api_observer.h"
+#include "runtime/context.h"
+#include "trace/trace_format.h"
+
+namespace mlgs::trace
+{
+
+class TraceRecorder final : public cuda::ApiObserver
+{
+  public:
+    /** Attaches itself to `ctx` and snapshots its options. */
+    explicit TraceRecorder(cuda::Context &ctx);
+    ~TraceRecorder() override;
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** Stop observing (write() may still be called afterwards). */
+    void detach();
+
+    /**
+     * Also capture the run's warp instruction streams (performance mode
+     * only; call before the workload runs). The captured streams feed
+     * TraceReplayer::replayTimingOnly for cheap repeated replays in the
+     * same process; they are not part of the .mlgstrace file.
+     */
+    void captureWarpStreams();
+
+    /** Captured streams (null unless captureWarpStreams() was enabled). */
+    std::shared_ptr<const func::WarpStreamCache>
+    warpStreams() const
+    {
+        return warp_streams_;
+    }
+
+    /**
+     * Finalize and serialize. Module sources are elided for modules no
+     * launch referenced; everything else is written verbatim.
+     */
+    void write(const std::string &path) const;
+
+    /** Finalized in-memory image (same elision as write()). */
+    TraceFile finalize() const;
+
+    uint64_t opCount() const { return trace_.ops.size(); }
+    uint64_t launchCount() const { return launches_; }
+
+    // ---- ApiObserver ----
+    void onModuleLoaded(int handle, const std::string &ptx_source,
+                        const std::string &name) override;
+    void onMalloc(addr_t addr, size_t bytes, size_t align) override;
+    void onFree(addr_t addr) override;
+    void onMemcpyH2D(addr_t dst, const void *src, size_t bytes,
+                     unsigned stream_id) override;
+    void onMemcpyD2H(const void *result, addr_t src, size_t bytes,
+                     unsigned stream_id) override;
+    void onMemcpyD2D(addr_t dst, addr_t src, size_t bytes,
+                     unsigned stream_id) override;
+    void onMemset(addr_t dst, uint8_t value, size_t bytes,
+                  unsigned stream_id) override;
+    void onMemcpyToSymbol(const std::string &name, addr_t addr,
+                          const void *src, size_t bytes) override;
+    void onLaunch(int module_handle, const std::string &kernel,
+                  const Dim3 &grid, const Dim3 &block,
+                  const std::vector<uint8_t> &params,
+                  unsigned stream_id) override;
+    void onCreateStream(unsigned stream_id) override;
+    void onDestroyStream(unsigned stream_id) override;
+    void onCreateEvent(unsigned event_id) override;
+    void onRecordEvent(unsigned event_id, unsigned stream_id) override;
+    void onWaitEvent(unsigned stream_id, unsigned event_id) override;
+    void onStreamSynchronize(unsigned stream_id) override;
+    void onDeviceSynchronize() override;
+    void onRegisterTexture(const std::string &name, int texref) override;
+    void onMallocArray(unsigned array_id, unsigned width, unsigned height,
+                       unsigned channels, addr_t addr) override;
+    void onFreeArray(unsigned array_id) override;
+    void onMemcpyToArray(unsigned array_id, const float *src,
+                         size_t count) override;
+    void onBindTextureToArray(int texref, unsigned array_id,
+                              func::TexAddressMode mode) override;
+    void onBindTextureLinear(int texref, addr_t ptr, unsigned width,
+                             unsigned channels,
+                             func::TexAddressMode mode) override;
+    void onUnbindTexture(int texref) override;
+
+  private:
+    TraceOp &push(OpCode code);
+
+    cuda::Context *ctx_;
+    TraceFile trace_;
+    /** PTX sources by module handle; interned into blobs at finalize(). */
+    std::vector<std::string> module_sources_;
+    std::vector<bool> module_used_;
+    uint64_t launches_ = 0;
+    std::shared_ptr<func::WarpStreamCache> warp_streams_;
+};
+
+} // namespace mlgs::trace
+
+#endif // MLGS_TRACE_RECORDER_H

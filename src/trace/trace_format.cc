@@ -1,0 +1,327 @@
+#include "trace/trace_format.h"
+
+#include <cstring>
+
+namespace mlgs::trace
+{
+
+namespace
+{
+
+constexpr uint64_t kEndMarker = 0x444e455343524c4dull; // "MLRCSEND"
+
+uint64_t
+fnv1a(const void *data, size_t n)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < n; i++) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+const char *
+opCodeName(OpCode c)
+{
+    switch (c) {
+      case OpCode::LoadModule: return "load_module";
+      case OpCode::Malloc: return "malloc";
+      case OpCode::Free: return "free";
+      case OpCode::MemcpyH2D: return "memcpy_h2d";
+      case OpCode::MemcpyD2H: return "memcpy_d2h";
+      case OpCode::MemcpyD2D: return "memcpy_d2d";
+      case OpCode::Memset: return "memset";
+      case OpCode::MemcpyToSymbol: return "memcpy_to_symbol";
+      case OpCode::Launch: return "launch";
+      case OpCode::CreateStream: return "create_stream";
+      case OpCode::DestroyStream: return "destroy_stream";
+      case OpCode::CreateEvent: return "create_event";
+      case OpCode::RecordEvent: return "record_event";
+      case OpCode::WaitEvent: return "wait_event";
+      case OpCode::StreamSync: return "stream_sync";
+      case OpCode::DeviceSync: return "device_sync";
+      case OpCode::RegisterTexture: return "register_texture";
+      case OpCode::MallocArray: return "malloc_array";
+      case OpCode::FreeArray: return "free_array";
+      case OpCode::MemcpyToArray: return "memcpy_to_array";
+      case OpCode::BindTextureToArray: return "bind_texture_array";
+      case OpCode::BindTextureLinear: return "bind_texture_linear";
+      case OpCode::UnbindTexture: return "unbind_texture";
+    }
+    return "unknown";
+}
+
+// ---- BlobStore ----
+
+uint32_t
+BlobStore::put(const void *data, size_t n)
+{
+    offered_bytes_ += n;
+    const uint64_t h = fnv1a(data, n);
+    const auto [lo, hi] = by_hash_.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+        const auto &candidate = blobs_[it->second];
+        if (candidate.size() == n &&
+            (n == 0 || std::memcmp(candidate.data(), data, n) == 0))
+            return it->second;
+    }
+    const auto bid = uint32_t(blobs_.size());
+    const auto *p = static_cast<const uint8_t *>(data);
+    blobs_.emplace_back(p, p + n);
+    by_hash_.emplace(h, bid);
+    stored_bytes_ += n;
+    return bid;
+}
+
+void
+BlobStore::save(BinaryWriter &w) const
+{
+    w.put<uint32_t>(size());
+    for (const auto &b : blobs_)
+        w.putVector(b);
+}
+
+void
+BlobStore::load(BinaryReader &r)
+{
+    blobs_.clear();
+    by_hash_.clear();
+    stored_bytes_ = 0;
+    offered_bytes_ = 0;
+    const auto n = r.get<uint32_t>();
+    for (uint32_t i = 0; i < n; i++) {
+        auto bytes = r.getVector<uint8_t>();
+        // Re-intern so a loaded store can keep deduplicating if appended to.
+        const auto bid = put(bytes.data(), bytes.size());
+        MLGS_REQUIRE(bid == i, "corrupt ", r.name(),
+                     ": duplicate blob in stored table");
+    }
+}
+
+// ---- TraceOptions ----
+
+namespace
+{
+
+void
+saveCache(BinaryWriter &w, const timing::CacheConfig &c)
+{
+    w.put<uint32_t>(c.size_bytes);
+    w.put<uint32_t>(c.line_bytes);
+    w.put<uint32_t>(c.assoc);
+    w.put<uint32_t>(c.mshr_entries);
+    w.put<uint32_t>(c.hit_latency);
+}
+
+void
+loadCache(BinaryReader &r, timing::CacheConfig &c)
+{
+    c.size_bytes = r.get<uint32_t>();
+    c.line_bytes = r.get<uint32_t>();
+    c.assoc = r.get<uint32_t>();
+    c.mshr_entries = r.get<uint32_t>();
+    c.hit_latency = r.get<uint32_t>();
+}
+
+} // namespace
+
+void
+TraceOptions::save(BinaryWriter &w) const
+{
+    w.put<uint8_t>(mode);
+    w.put<uint8_t>(legacy_texture_name_map);
+    w.put<double>(memcpy_bytes_per_cycle);
+    w.put<uint8_t>(bugs.legacy_rem);
+    w.put<uint8_t>(bugs.legacy_bfe);
+    w.put<uint8_t>(bugs.split_fma);
+
+    w.putString(gpu.name);
+    w.put<uint32_t>(gpu.num_cores);
+    w.put<uint32_t>(gpu.max_warps_per_core);
+    w.put<uint32_t>(gpu.max_ctas_per_core);
+    w.put<uint32_t>(gpu.max_threads_per_core);
+    w.put<uint32_t>(gpu.shared_mem_per_core);
+    w.put<uint32_t>(gpu.schedulers_per_core);
+    w.put<uint8_t>(uint8_t(gpu.sched_policy));
+    w.put<uint32_t>(gpu.alu_latency);
+    w.put<uint32_t>(gpu.sfu_latency);
+    w.put<uint32_t>(gpu.shared_latency);
+    w.put<uint32_t>(gpu.max_pending_loads_per_warp);
+    saveCache(w, gpu.l1);
+    w.put<uint32_t>(gpu.max_resident_kernels);
+    w.put<uint32_t>(gpu.icnt_latency);
+    w.put<uint32_t>(gpu.num_partitions);
+    saveCache(w, gpu.l2);
+    w.put<uint32_t>(gpu.dram_banks);
+    w.put<uint32_t>(gpu.dram_row_bytes);
+    w.put<uint32_t>(gpu.dram_cas);
+    w.put<uint32_t>(gpu.dram_row_cycle);
+    w.put<uint32_t>(gpu.dram_burst_cycles);
+    w.put<uint32_t>(gpu.dram_sched_window);
+    w.put<uint8_t>(gpu.dram_frfcfs);
+    w.put<double>(gpu.core_clock_ghz);
+}
+
+void
+TraceOptions::load(BinaryReader &r)
+{
+    mode = r.get<uint8_t>();
+    legacy_texture_name_map = r.get<uint8_t>();
+    memcpy_bytes_per_cycle = r.get<double>();
+    bugs.legacy_rem = r.get<uint8_t>();
+    bugs.legacy_bfe = r.get<uint8_t>();
+    bugs.split_fma = r.get<uint8_t>();
+
+    gpu.name = r.getString();
+    gpu.num_cores = r.get<uint32_t>();
+    gpu.max_warps_per_core = r.get<uint32_t>();
+    gpu.max_ctas_per_core = r.get<uint32_t>();
+    gpu.max_threads_per_core = r.get<uint32_t>();
+    gpu.shared_mem_per_core = r.get<uint32_t>();
+    gpu.schedulers_per_core = r.get<uint32_t>();
+    gpu.sched_policy = timing::SchedPolicy(r.get<uint8_t>());
+    gpu.alu_latency = r.get<uint32_t>();
+    gpu.sfu_latency = r.get<uint32_t>();
+    gpu.shared_latency = r.get<uint32_t>();
+    gpu.max_pending_loads_per_warp = r.get<uint32_t>();
+    loadCache(r, gpu.l1);
+    gpu.max_resident_kernels = r.get<uint32_t>();
+    gpu.icnt_latency = r.get<uint32_t>();
+    gpu.num_partitions = r.get<uint32_t>();
+    loadCache(r, gpu.l2);
+    gpu.dram_banks = r.get<uint32_t>();
+    gpu.dram_row_bytes = r.get<uint32_t>();
+    gpu.dram_cas = r.get<uint32_t>();
+    gpu.dram_row_cycle = r.get<uint32_t>();
+    gpu.dram_burst_cycles = r.get<uint32_t>();
+    gpu.dram_sched_window = r.get<uint32_t>();
+    gpu.dram_frfcfs = r.get<uint8_t>();
+    gpu.core_clock_ghz = r.get<double>();
+}
+
+// ---- TraceFile ----
+
+void
+TraceFile::write(BinaryWriter &w) const
+{
+    w.putHeader(kTraceMagic, kTraceVersion);
+    options.save(w);
+    strings.save(w);
+    blobs.save(w);
+
+    w.put<uint32_t>(uint32_t(modules.size()));
+    for (const auto &m : modules) {
+        w.put<uint32_t>(m.name_sid);
+        w.put<uint32_t>(m.source_blob);
+        w.put<uint32_t>(uint32_t(m.global_allocs.size()));
+        for (const auto &[bytes, align] : m.global_allocs) {
+            w.put<uint64_t>(bytes);
+            w.put<uint64_t>(align);
+        }
+    }
+
+    w.put<uint64_t>(ops.size());
+    for (const auto &op : ops) {
+        w.put<uint8_t>(uint8_t(op.code));
+        w.put<uint64_t>(op.a);
+        w.put<uint64_t>(op.b);
+        w.put<uint64_t>(op.c);
+        w.put<uint64_t>(op.d);
+        w.put<uint32_t>(op.id);
+        w.put<uint32_t>(op.sid);
+        w.put<uint32_t>(op.blob);
+        w.put<uint32_t>(op.stream);
+        w.put<uint32_t>(op.grid.x);
+        w.put<uint32_t>(op.grid.y);
+        w.put<uint32_t>(op.grid.z);
+        w.put<uint32_t>(op.block.x);
+        w.put<uint32_t>(op.block.y);
+        w.put<uint32_t>(op.block.z);
+        w.put<uint8_t>(op.u8);
+    }
+    w.put<uint64_t>(kEndMarker);
+}
+
+TraceFile
+TraceFile::read(BinaryReader &r)
+{
+    TraceFile t;
+    r.readHeader(kTraceMagic, kTraceVersion, kTraceVersion, "trace");
+    t.options.load(r);
+    t.strings.load(r);
+    t.blobs.load(r);
+
+    const auto nmodules = r.get<uint32_t>();
+    for (uint32_t i = 0; i < nmodules; i++) {
+        TraceModule m;
+        m.name_sid = r.get<uint32_t>();
+        m.source_blob = r.get<uint32_t>();
+        const auto nglobals = r.get<uint32_t>();
+        for (uint32_t g = 0; g < nglobals; g++) {
+            const auto bytes = r.get<uint64_t>();
+            const auto align = r.get<uint64_t>();
+            m.global_allocs.emplace_back(bytes, align);
+        }
+        t.strings.str(m.name_sid); // bounds validation
+        MLGS_REQUIRE(m.source_blob == kNoBlob ||
+                         m.source_blob < t.blobs.size(),
+                     "corrupt ", r.name(), ": module ", i,
+                     " references missing source blob");
+        t.modules.push_back(std::move(m));
+    }
+
+    const auto nops = r.get<uint64_t>();
+    for (uint64_t i = 0; i < nops; i++) {
+        TraceOp op;
+        const auto code = r.get<uint8_t>();
+        MLGS_REQUIRE(code >= 1 && code <= uint8_t(OpCode::kMaxOp),
+                     "corrupt ", r.name(), ": unknown trace opcode ",
+                     unsigned(code), " at op ", i,
+                     " (trace written by a newer build?)");
+        op.code = OpCode(code);
+        op.a = r.get<uint64_t>();
+        op.b = r.get<uint64_t>();
+        op.c = r.get<uint64_t>();
+        op.d = r.get<uint64_t>();
+        op.id = r.get<uint32_t>();
+        op.sid = r.get<uint32_t>();
+        op.blob = r.get<uint32_t>();
+        op.stream = r.get<uint32_t>();
+        op.grid.x = r.get<uint32_t>();
+        op.grid.y = r.get<uint32_t>();
+        op.grid.z = r.get<uint32_t>();
+        op.block.x = r.get<uint32_t>();
+        op.block.y = r.get<uint32_t>();
+        op.block.z = r.get<uint32_t>();
+        op.u8 = r.get<uint8_t>();
+        MLGS_REQUIRE(op.blob == kNoBlob || op.blob < t.blobs.size(),
+                     "corrupt ", r.name(), ": op ", i,
+                     " references missing blob ", op.blob);
+        t.ops.push_back(op);
+    }
+
+    MLGS_REQUIRE(r.get<uint64_t>() == kEndMarker, "corrupt or truncated ",
+                 r.name(), ": end marker missing");
+    return t;
+}
+
+void
+TraceFile::save(const std::string &path) const
+{
+    BinaryWriter w;
+    write(w);
+    w.writeFile(path);
+}
+
+TraceFile
+TraceFile::load(const std::string &path)
+{
+    BinaryReader r = BinaryReader::fromFile(path);
+    return read(r);
+}
+
+} // namespace mlgs::trace

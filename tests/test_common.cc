@@ -163,6 +163,94 @@ TEST(Serialize, FileRoundTrip)
     EXPECT_EQ(r.getString(), "file payload");
 }
 
+// Capture the message a reader action fails with ("" if it succeeds).
+template <typename Fn>
+static std::string
+failureMessage(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(Serialize, HeaderRoundTripReturnsVersion)
+{
+    BinaryWriter w;
+    w.putHeader(0x1122334455667788ull, 3);
+    w.put<uint32_t>(42);
+    BinaryReader r(w.bytes(), "artifact.bin");
+    EXPECT_EQ(r.readHeader(0x1122334455667788ull, 2, 4, "widget"), 3u);
+    EXPECT_EQ(r.get<uint32_t>(), 42u);
+}
+
+TEST(Serialize, HeaderRejectsWrongMagic)
+{
+    BinaryWriter w;
+    w.putHeader(0xabcdull, 1);
+    const auto msg = failureMessage([&] {
+        BinaryReader r(w.bytes(), "artifact.bin");
+        r.readHeader(0x1234ull, 1, 1, "widget");
+    });
+    EXPECT_NE(msg.find("not a widget file"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("artifact.bin"), std::string::npos) << msg;
+}
+
+TEST(Serialize, HeaderRejectsVersionOutsideRange)
+{
+    for (const uint32_t bad : {1u, 9u}) {
+        BinaryWriter w;
+        w.putHeader(0x77ull, bad);
+        const auto msg = failureMessage([&] {
+            BinaryReader r(w.bytes(), "artifact.bin");
+            r.readHeader(0x77ull, 2, 4, "widget");
+        });
+        EXPECT_NE(msg.find("unsupported widget version"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("2..4"), std::string::npos) << msg;
+    }
+}
+
+TEST(Serialize, HeaderRejectsStreamShorterThanHeader)
+{
+    BinaryWriter w;
+    w.put<uint32_t>(7); // 4 bytes; a header needs 12
+    const auto msg = failureMessage([&] {
+        BinaryReader r(w.bytes(), "stub.bin");
+        r.readHeader(0x77ull, 1, 1, "widget");
+    });
+    EXPECT_NE(msg.find("too short to hold a header"), std::string::npos)
+        << msg;
+}
+
+TEST(Serialize, CorruptVectorCountCannotOverflow)
+{
+    // A count whose byte size wraps uint64: n * sizeof(T) overflows to a
+    // small number, so a naive `n * sizeof(T) <= remaining` check passes
+    // and the reader would allocate/copy garbage. The divide-based check
+    // must reject it.
+    BinaryWriter w;
+    w.put<uint64_t>(0x2000000000000001ull); // * 8 wraps to 8
+    w.put<uint64_t>(0); // 8 bytes of "payload" so remaining() >= 8
+    BinaryReader r(w.bytes(), "evil.bin");
+    const auto msg = failureMessage([&] { r.getVector<uint64_t>(); });
+    EXPECT_NE(msg.find("corrupt or truncated evil.bin"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("exceeds the"), std::string::npos) << msg;
+}
+
+TEST(Serialize, CorruptStringLengthIsFatal)
+{
+    BinaryWriter w;
+    w.put<uint64_t>(~0ull); // huge length prefix, no payload
+    BinaryReader r(w.bytes(), "evil.bin");
+    const auto msg = failureMessage([&] { r.getString(); });
+    EXPECT_NE(msg.find("corrupt or truncated evil.bin"), std::string::npos)
+        << msg;
+}
+
 // ---- allocator ----
 
 TEST(Allocator, AllocatesAlignedDisjointBlocks)

@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "chkpt/checkpoint.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "cudnn/cudnn.h"
@@ -273,6 +274,146 @@ TEST(Determinism, SharedAtomicsDoNotForceSerial)
     const ptx::KernelDef *k = ctx.findKernel("shared_atom");
     ASSERT_NE(k, nullptr);
     EXPECT_FALSE(ptx::usesGlobalAtomics(*k));
+}
+
+// ---- checkpoint round-trip under parallel stepping ----
+
+// Same two-kernel app the checkpoint tests in test_tools.cc use (scale then
+// ring-shift), replicated here because those kernels are file-local there.
+const char *kCkptScale = R"(
+.visible .entry scale_buf(.param .u64 Buf, .param .u32 n, .param .f32 a)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<6>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [Buf];
+    ld.param.u32 %r1, [n];
+    ld.param.f32 %f1, [a];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd2, %r5, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f2, [%rd3];
+    mul.f32 %f3, %f2, %f1;
+    st.global.f32 [%rd3], %f3;
+DONE:
+    ret;
+}
+)";
+
+const char *kCkptRingShift = R"(
+.visible .entry ring_shift(
+    .param .u64 Src, .param .u64 Dst, .param .u32 n, .param .s32 k)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<8>;
+    .reg .s32 %s<6>;
+    .reg .f32 %f<3>;
+    .reg .pred %p<3>;
+    ld.param.u64 %rd1, [Src];
+    ld.param.u64 %rd2, [Dst];
+    ld.param.u32 %r1, [n];
+    ld.param.s32 %s1, [k];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    cvt.s32.u32 %s2, %r5;
+    sub.s32 %s3, %s2, %s1;
+    cvt.s32.u32 %s4, %r1;
+    rem.s32 %s5, %s3, %s4;
+    setp.lt.s32 %p2, %s5, 0;
+    @%p2 add.s32 %s5, %s5, %s4;
+    cvt.u32.s32 %r6, %s5;
+    mul.wide.u32 %rd3, %r6, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f1, [%rd4];
+    mul.wide.u32 %rd3, %r5, 4;
+    add.u64 %rd5, %rd2, %rd3;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    ret;
+}
+)";
+
+TEST(Determinism, CheckpointRoundTripBitwiseEqualAtFourThreads)
+{
+    // Write a mid-kernel checkpoint and resume it, with every context —
+    // straight run, writer, loader — stepping at sim_threads=4. The resumed
+    // memory image must match the straight run bitwise.
+    const unsigned n = 2048;
+    std::vector<float> host(n);
+    for (unsigned i = 0; i < n; i++)
+        host[i] = float(i % 17) + 0.5f;
+
+    const auto optsAt4 = [] {
+        cuda::ContextOptions opts;
+        opts.mode = cuda::SimMode::Functional;
+        opts.sim_threads = 4;
+        return opts;
+    };
+    const auto runApp = [&](cuda::Context &ctx, addr_t src, addr_t dst) {
+        cuda::KernelArgs scale_args;
+        scale_args.ptr(src).u32(n).f32(2.0f);
+        ctx.launch("scale_buf", Dim3((n + 127) / 128), Dim3(128), scale_args);
+        cuda::KernelArgs shift_args;
+        shift_args.ptr(src).ptr(dst).u32(n).s32(5);
+        ctx.launch("ring_shift", Dim3((n + 127) / 128), Dim3(128),
+                   shift_args);
+        ctx.deviceSynchronize();
+    };
+    const auto buildApp = [&](cuda::Context &ctx, addr_t &src, addr_t &dst) {
+        ctx.loadModule(kCkptScale, "scale.ptx");
+        ctx.loadModule(kCkptRingShift, "ring.ptx");
+        src = ctx.malloc(n * 4);
+        dst = ctx.malloc(n * 4);
+        ctx.memcpyH2D(src, host.data(), n * 4);
+        runApp(ctx, src, dst);
+    };
+
+    std::vector<float> want(n);
+    {
+        cuda::Context ctx(optsAt4());
+        addr_t src, dst;
+        buildApp(ctx, src, dst);
+        ctx.memcpyD2H(want.data(), dst, n * 4);
+    }
+
+    const std::string path = "/tmp/mlgs_test_mt.ckpt";
+    {
+        cuda::Context ctx(optsAt4());
+        chkpt::CheckpointConfig cfg;
+        cfg.kernel_x = 1; // inside the ring shift
+        cfg.cta_m = 4;
+        cfg.cta_t = 2;
+        cfg.instr_y = 6;
+        cfg.path = path;
+        chkpt::CheckpointWriter writer(ctx, cfg);
+        addr_t src, dst;
+        buildApp(ctx, src, dst);
+        EXPECT_TRUE(writer.reached());
+    }
+
+    {
+        cuda::Context ctx(optsAt4());
+        ctx.loadModule(kCkptScale, "scale.ptx");
+        ctx.loadModule(kCkptRingShift, "ring.ptx");
+        chkpt::CheckpointLoader loader(ctx, path);
+        const addr_t src = ctx.malloc(n * 4);
+        const addr_t dst = ctx.malloc(n * 4);
+        ctx.memcpyH2D(src, host.data(), n * 4);
+        runApp(ctx, src, dst);
+        std::vector<float> got(n);
+        ctx.memcpyD2H(got.data(), dst, n * 4);
+        EXPECT_EQ(got, want);
+    }
 }
 
 // ---- thread-pool substrate ----
