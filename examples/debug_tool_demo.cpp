@@ -114,9 +114,26 @@ runApp(const func::BugModel &bugs, std::vector<cuda::CapturedLaunch> *captured)
 int
 main()
 {
-    std::printf("=== Step 0: reproduce the failure ===\n");
     func::BugModel buggy;
     buggy.legacy_rem = true; // the pre-fix GPGPU-Sim rem_impl
+
+    debug::Replayer replayer(
+        {{kScale, "scale.ptx"}, {kRingShift, "ring.ptx"}}, func::BugModel{},
+        buggy);
+
+    std::printf("=== Step 0: lint the PTX under suspicion (mlgs-lint) ===\n");
+    const auto diags = replayer.lintModules();
+    if (diags.empty()) {
+        std::printf("all modules verify clean — the bug is in the simulator, "
+                    "not the PTX; proceed to replay\n\n");
+    } else {
+        for (const auto &d : diags)
+            std::printf("%s\n",
+                        ptx::verifier::formatDiagnostic("<module>", d).c_str());
+        std::printf("\n");
+    }
+
+    std::printf("=== Step 1: reproduce the failure ===\n");
     std::vector<cuda::CapturedLaunch> captured;
     const auto good = runApp({}, &captured);
     const auto bad = runApp(buggy, nullptr);
@@ -126,10 +143,6 @@ main()
     std::printf("application output: %u/%zu values wrong under the legacy "
                 "functional model\n\n",
                 wrong, good.size());
-
-    debug::Replayer replayer(
-        {{kScale, "scale.ptx"}, {kRingShift, "ring.ptx"}}, func::BugModel{},
-        buggy);
 
     std::printf("=== Step 2 (Fig 2): replay captured kernels, compare "
                 "output buffers ===\n");

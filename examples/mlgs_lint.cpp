@@ -1,0 +1,136 @@
+/**
+ * @file
+ * mlgs-lint: static PTX verifier CLI ("step zero" of the paper's debugging
+ * methodology — lint the module before simulating a single cycle).
+ *
+ *   mlgs-lint --builtin            lint every PTX module shipped with the
+ *                                  simulator (cublas-lite, cudnn-lite)
+ *   mlgs-lint file.ptx [...]       lint PTX files from disk
+ *   mlgs-lint --list-checks        describe the analyses
+ *
+ * Exit status: 0 when every module is clean (notes allowed), 1 when any
+ * diagnostic of severity warning or above is produced, 2 on parse/IO error.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "blas/blas.h"
+#include "cudnn/kernels.h"
+#include "ptx/parser.h"
+#include "ptx/verifier/verifier.h"
+
+using namespace mlgs;
+
+namespace
+{
+
+struct Unit
+{
+    std::string name;
+    std::string source;
+};
+
+std::vector<Unit>
+builtinUnits()
+{
+    return {
+        {"libcublas_lite.ptx", blas::kBlasPtx},
+        {"libcudnn_common.ptx", cudnn::kCommonPtx},
+        {"libcudnn_conv.ptx", cudnn::kConvPtx},
+        {"libcudnn_winograd.ptx", cudnn::kWinogradPtx},
+        {"libcudnn_lrn.ptx", cudnn::kLrnPtx},
+        {"libcudnn_fft32.ptx", cudnn::buildFftPtx32()},
+        {"libcudnn_fft16.ptx", cudnn::buildFftPtx16()},
+        {"libcudnn_cgemm.ptx", cudnn::buildCgemmPtx()},
+    };
+}
+
+/** Lint one unit; returns the worst severity seen (Note when clean). */
+ptx::verifier::Severity
+lintUnit(const Unit &u, unsigned &ndiags)
+{
+    const ptx::Module mod = ptx::parseModule(u.source, u.name);
+    const auto diags = ptx::verifier::verifyModule(mod);
+    for (const auto &d : diags)
+        std::puts(ptx::verifier::formatDiagnostic(u.name, d).c_str());
+    unsigned kernels = unsigned(mod.kernels.size());
+    std::printf("%s: %u kernel%s, %zu diagnostic%s\n", u.name.c_str(),
+                kernels, kernels == 1 ? "" : "s", diags.size(),
+                diags.size() == 1 ? "" : "s");
+    ndiags += unsigned(diags.size());
+    return ptx::verifier::maxSeverity(diags);
+}
+
+void
+listChecks()
+{
+    std::puts("type-mismatch      operand register type/width vs the "
+              "instruction's type specifier");
+    std::puts("uninit-read        register read before any (or before a "
+              "definite) assignment");
+    std::puts("divergent-barrier  bar.sync reachable inside an "
+              "unreconverged divergent region");
+    std::puts("shared-race        same-phase shared-memory accesses that "
+              "distinct threads can overlap");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool builtin = false;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg == "--builtin") {
+            builtin = true;
+        } else if (arg == "--list-checks") {
+            listChecks();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::puts("usage: mlgs-lint [--builtin] [file.ptx ...]");
+            return 0;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (!builtin && files.empty()) {
+        std::fputs("usage: mlgs-lint [--builtin] [file.ptx ...]\n", stderr);
+        return 2;
+    }
+
+    std::vector<Unit> units;
+    if (builtin)
+        units = builtinUnits();
+    for (const auto &f : files) {
+        std::ifstream in(f);
+        if (!in) {
+            std::fprintf(stderr, "mlgs-lint: cannot open '%s'\n", f.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        units.push_back({f, ss.str()});
+    }
+
+    auto worst = ptx::verifier::Severity::Note;
+    unsigned ndiags = 0;
+    for (const Unit &u : units) {
+        try {
+            const auto sev = lintUnit(u, ndiags);
+            if (sev > worst)
+                worst = sev;
+        } catch (const ptx::ParseError &e) {
+            std::fprintf(stderr, "mlgs-lint: parse error: %s\n", e.what());
+            return 2;
+        }
+    }
+    std::printf("mlgs-lint: %zu module%s, %u diagnostic%s\n", units.size(),
+                units.size() == 1 ? "" : "s", ndiags, ndiags == 1 ? "" : "s");
+    return worst >= ptx::verifier::Severity::Warning ? 1 : 0;
+}

@@ -60,6 +60,8 @@ class BinaryWriter
     {
         static_assert(std::is_trivially_copyable_v<T>);
         put<uint64_t>(v.size());
+        if (v.empty())
+            return; // empty vector has no storage; nullptr range is UB
         const auto *p = reinterpret_cast<const uint8_t *>(v.data());
         buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
     }
@@ -151,7 +153,8 @@ class BinaryReader
                      name_, ": vector of ", n, " x ", sizeof(T),
                      " bytes exceeds the ", remaining(), " bytes remaining");
         std::vector<T> v(n);
-        std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+        if (n) // empty vector has no storage; memcpy(nullptr, ..) is UB
+            std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
         pos_ += n * sizeof(T);
         return v;
     }

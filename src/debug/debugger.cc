@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 
 #include "func/engine.h"
 #include "ptx/parser.h"
@@ -15,6 +16,18 @@ Replayer::Replayer(std::vector<ModuleSrc> modules, func::BugModel golden,
 {
     for (const auto &m : modules)
         modules_.push_back(ptx::parseModule(m.source, m.name));
+}
+
+std::vector<ptx::verifier::Diagnostic>
+Replayer::lintModules() const
+{
+    std::vector<ptx::verifier::Diagnostic> all;
+    for (const auto &m : modules_) {
+        auto diags = ptx::verifier::verifyModule(m);
+        all.insert(all.end(), std::make_move_iterator(diags.begin()),
+                   std::make_move_iterator(diags.end()));
+    }
+    return all;
 }
 
 const ptx::KernelDef *

@@ -1,6 +1,11 @@
 /**
  * @file
- * The three-step functional-debug methodology of Section III-D:
+ * The functional-debug methodology of Section III-D, with a static "step
+ * zero" before any replay:
+ *   0. lint every module under suspicion with the PTX verifier
+ *      (Replayer::lintModules) — type/width bugs, uninitialized reads,
+ *      divergent barriers and shared-memory races are cheaper to find
+ *      statically than by bisecting replays;
  *   1. find the first library call with wrong output (app-level, by
  *      comparing per-call output buffers between a golden and a suspect
  *      context — see the tests/examples);
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "debug/instrument.h"
+#include "ptx/verifier/verifier.h"
 #include "runtime/context.h"
 
 namespace mlgs::debug
@@ -59,6 +65,14 @@ class Replayer
 
     Replayer(std::vector<ModuleSrc> modules, func::BugModel golden,
              func::BugModel suspect);
+
+    /**
+     * Step zero: statically verify every supplied module and return the
+     * combined diagnostics (empty = all modules lint clean). Run this before
+     * any replay — a type-width bug or shared-memory race flagged here
+     * usually IS the divergence the replay bisection would find.
+     */
+    std::vector<ptx::verifier::Diagnostic> lintModules() const;
 
     /** Fig 2: first captured launch whose output buffers differ. */
     KernelSearchResult

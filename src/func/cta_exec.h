@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "func/race_check.h"
 #include "func/simt_stack.h"
 #include "ptx/ir.h"
 
@@ -94,7 +95,23 @@ class CtaExec
     {
         for (unsigned w = 0; w < num_warps_; w++)
             at_barrier_[w] = false;
+        if (race_)
+            race_->advancePhase();
     }
+
+    // ---- dynamic race checking (functional mode, ContextOptions) ----
+
+    /** Allocate the per-byte shared-memory shadow (idempotent). */
+    void
+    enableRaceCheck()
+    {
+        if (!race_ && !shared_.empty())
+            race_ = std::make_unique<RaceShadow>(shared_.size());
+    }
+
+    /** Shadow state, or nullptr when race checking is off. */
+    RaceShadow *raceShadow() { return race_.get(); }
+    const RaceShadow *raceShadow() const { return race_.get(); }
 
     /** Per-warp dynamic instruction counters (checkpointing, stats). */
     uint64_t &warpInstrCount(unsigned warp) { return instr_count_[warp]; }
@@ -126,6 +143,7 @@ class CtaExec
     std::vector<uint8_t> shared_;
     std::vector<uint8_t> at_barrier_;
     std::vector<uint64_t> instr_count_;
+    std::unique_ptr<RaceShadow> race_;
 };
 
 } // namespace mlgs::func

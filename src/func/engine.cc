@@ -84,9 +84,25 @@ FunctionalEngine::runCtaWith(Interpreter &interp, CtaExec &cta,
                              const LaunchEnv &env, uint64_t max_instr_per_warp,
                              FuncStats *stats)
 {
+    if (interp.raceCheck())
+        cta.enableRaceCheck();
     while (true) {
-        if (cta.allDone())
+        if (cta.allDone()) {
+            if (const RaceShadow *rs = cta.raceShadow()) {
+                for (const RaceRecord &r : rs->races())
+                    warn("shared-memory race in kernel '", env.kernel->name,
+                         "' cta (", cta.ctaId().x, ",", cta.ctaId().y, ",",
+                         cta.ctaId().z, "): ",
+                         r.a_is_write ? "store" : "load", " at line ",
+                         r.line_a, " (thread ", r.tid_a, ") vs ",
+                         r.b_is_write ? "store" : "load", " at line ",
+                         r.line_b, " (thread ", r.tid_b, ") on shared byte ",
+                         r.offset, " in barrier phase ", r.phase);
+                if (stats)
+                    stats->shared_races += rs->races().size();
+            }
             return true;
+        }
 
         bool progressed = false;
         for (unsigned w = 0; w < cta.numWarps(); w++) {
@@ -158,6 +174,7 @@ FunctionalEngine::launchParallel(const LaunchEnv &env, const Dim3 &grid,
 
     pool_->parallelFor(num_ctas, [&](uint64_t c, unsigned w) {
         Interpreter interp(interp_->memory(), interp_->bugs());
+        interp.setRaceCheck(interp_->raceCheck());
         if (cov)
             interp.setCoverage(&cov_shards[w]);
         auto cta = makeCta(env, grid, block, c);

@@ -30,6 +30,13 @@ struct FuncStats
     uint64_t barriers = 0;
     uint64_t flops = 0;           ///< per-lane floating-point operations
 
+    /**
+     * Same-phase shared-memory conflicts confirmed by the dynamic race
+     * shadow (always 0 unless Interpreter::setRaceCheck is on; the shadow
+     * never alters any other stat or simulated state).
+     */
+    uint64_t shared_races = 0;
+
     void accumulate(const WarpStepResult &res);
 
     FuncStats &
@@ -46,6 +53,7 @@ struct FuncStats
         atomics += o.atomics;
         barriers += o.barriers;
         flops += o.flops;
+        shared_races += o.shared_races;
         return *this;
     }
 };

@@ -600,6 +600,18 @@ Interpreter::execAlu(const Instr &ins, const RegVal &a, const RegVal &b,
     }
 }
 
+namespace
+{
+
+/** Index of an in-flight instruction within its kernel (race reporting). */
+uint32_t
+instrPc(const Instr &ins, const LaunchEnv &env)
+{
+    return uint32_t(&ins - env.kernel->instrs.data());
+}
+
+} // namespace
+
 void
 Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lane,
                       const LaunchEnv &env, WarpStepResult &res)
@@ -755,6 +767,10 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
                 ea.space});
         } else if (ea.space == Space::Shared) {
             res.shared_accesses++;
+            if (RaceShadow *rs = cta.raceShadow())
+                rs->onAccess(size_t(ea.addr - kSharedBase),
+                             size_t(ins.vec_width) * ptx::typeSize(ins.type),
+                             tid, instrPc(ins, env), ins.line, false);
         }
         return;
       }
@@ -777,6 +793,10 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
                 ea.space});
         } else if (ea.space == Space::Shared) {
             res.shared_accesses++;
+            if (RaceShadow *rs = cta.raceShadow())
+                rs->onAccess(size_t(ea.addr - kSharedBase),
+                             size_t(ins.vec_width) * ptx::typeSize(ins.type),
+                             tid, instrPc(ins, env), ins.line, true);
         }
         return;
       }

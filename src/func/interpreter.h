@@ -87,6 +87,13 @@ class Interpreter
     GpuMemory &memory() { return *mem_; }
 
     /**
+     * Record shared-memory ld/st into each CTA's RaceShadow (allocated by
+     * the functional engine when this is on). Purely observational.
+     */
+    void setRaceCheck(bool on) { check_races_ = on; }
+    bool raceCheck() const { return check_races_; }
+
+    /**
      * Execute the next instruction of a warp. The warp must not be done and
      * must not be waiting at a barrier.
      */
@@ -127,6 +134,7 @@ class Interpreter
 
     GpuMemory *mem_;
     BugModel bugs_;
+    bool check_races_ = false;
     CoverageMap *coverage_ = nullptr;
     WarpStreamCache *record_streams_ = nullptr;
     const WarpStreamCache *replay_streams_ = nullptr;

@@ -3,30 +3,20 @@
  * Control-flow analysis: computes the reconvergence PC of every potentially
  * divergent branch as the first instruction of the branch block's immediate
  * post-dominator, matching GPGPU-Sim's SIMT-stack reconvergence policy.
+ * Block construction and post-dominators live in ptx/cfg.h, shared with the
+ * static verifier.
  */
 #include <algorithm>
 #include <deque>
 #include <mutex>
-#include <set>
 #include <sstream>
 #include <unordered_map>
 
+#include "ptx/cfg.h"
 #include "ptx/ir.h"
 
 namespace mlgs::ptx
 {
-
-namespace
-{
-
-struct Block
-{
-    uint32_t first = 0; ///< pc of first instruction
-    uint32_t last = 0;  ///< pc of last instruction (inclusive)
-    std::vector<uint32_t> succs;
-};
-
-} // namespace
 
 namespace
 {
@@ -149,119 +139,9 @@ analyzeKernel(KernelDef &kernel)
             kernel.global_atomics = true;
     }
 
-    const uint32_t n = uint32_t(kernel.instrs.size());
-    MLGS_REQUIRE(n > 0, "kernel ", kernel.name, " has no instructions");
-
-    // 1. Leaders.
-    std::set<uint32_t> leaders;
-    leaders.insert(0);
-    for (uint32_t pc = 0; pc < n; pc++) {
-        const Instr &ins = kernel.instrs[pc];
-        if (ins.isBranch()) {
-            leaders.insert(ins.target_pc);
-            if (pc + 1 < n)
-                leaders.insert(pc + 1);
-        } else if (ins.isExit()) {
-            if (pc + 1 < n)
-                leaders.insert(pc + 1);
-        }
-    }
-
-    // 2. Blocks and a pc -> block map.
-    std::vector<Block> blocks;
-    std::vector<uint32_t> block_of(n, 0);
-    {
-        std::vector<uint32_t> ls(leaders.begin(), leaders.end());
-        for (size_t i = 0; i < ls.size(); i++) {
-            Block b;
-            b.first = ls[i];
-            b.last = (i + 1 < ls.size() ? ls[i + 1] : n) - 1;
-            for (uint32_t pc = b.first; pc <= b.last; pc++)
-                block_of[pc] = uint32_t(blocks.size());
-            blocks.push_back(b);
-        }
-    }
-    const uint32_t num_blocks = uint32_t(blocks.size());
-    const uint32_t exit_node = num_blocks; // virtual exit
-
-    for (uint32_t bi = 0; bi < num_blocks; bi++) {
-        Block &b = blocks[bi];
-        const Instr &last = kernel.instrs[b.last];
-        if (last.isBranch()) {
-            b.succs.push_back(block_of[last.target_pc]);
-            if (last.pred >= 0 && b.last + 1 < n)
-                b.succs.push_back(block_of[b.last + 1]);
-            else if (last.pred >= 0)
-                b.succs.push_back(exit_node);
-        } else if (last.isExit()) {
-            b.succs.push_back(exit_node);
-        } else if (b.last + 1 < n) {
-            b.succs.push_back(block_of[b.last + 1]);
-        } else {
-            b.succs.push_back(exit_node);
-        }
-    }
-
-    // 3. Post-dominator sets, iterative dataflow (small CFGs: fine).
-    const uint32_t total = num_blocks + 1;
-    const uint32_t words = (total + 63) / 64;
-    std::vector<uint64_t> pdom(size_t(total) * words, ~0ull);
-    auto bitOf = [&](uint32_t node, uint32_t member) -> uint64_t & {
-        return pdom[size_t(node) * words + member / 64];
-    };
-    auto testBit = [&](uint32_t node, uint32_t member) {
-        return (bitOf(node, member) >> (member % 64)) & 1ull;
-    };
-    // exit: pdom = {exit}
-    for (uint32_t w = 0; w < words; w++)
-        pdom[size_t(exit_node) * words + w] = 0;
-    bitOf(exit_node, exit_node) |= 1ull << (exit_node % 64);
-
-    bool changed = true;
-    std::vector<uint64_t> tmp(words);
-    while (changed) {
-        changed = false;
-        for (int64_t bi = num_blocks - 1; bi >= 0; bi--) {
-            for (uint32_t w = 0; w < words; w++)
-                tmp[w] = ~0ull;
-            for (const uint32_t s : blocks[size_t(bi)].succs)
-                for (uint32_t w = 0; w < words; w++)
-                    tmp[w] &= pdom[size_t(s) * words + w];
-            tmp[uint32_t(bi) / 64] |= 1ull << (uint32_t(bi) % 64);
-            for (uint32_t w = 0; w < words; w++) {
-                if (pdom[size_t(bi) * words + w] != tmp[w]) {
-                    pdom[size_t(bi) * words + w] = tmp[w];
-                    changed = true;
-                }
-            }
-        }
-    }
-
-    // 4. Immediate post-dominator: among pdom(b)\{b}, the node whose own
-    //    pdom set is largest (post-dominators of a node form a chain).
-    auto pdomCount = [&](uint32_t node) {
-        uint32_t c = 0;
-        for (uint32_t w = 0; w < words; w++)
-            c += uint32_t(__builtin_popcountll(pdom[size_t(node) * words + w]));
-        return c;
-    };
-    auto ipdom = [&](uint32_t b) -> uint32_t {
-        uint32_t best = exit_node;
-        uint32_t best_count = 0;
-        for (uint32_t cand = 0; cand < total; cand++) {
-            if (cand == b || !testBit(b, cand))
-                continue;
-            const uint32_t c = pdomCount(cand);
-            if (c > best_count) {
-                best_count = c;
-                best = cand;
-            }
-        }
-        return best;
-    };
-
-    for (uint32_t bi = 0; bi < num_blocks; bi++) {
-        const Block &b = blocks[bi];
+    const Cfg cfg(kernel);
+    for (uint32_t bi = 0; bi < cfg.numBlocks(); bi++) {
+        const CfgBlock &b = cfg.blocks()[bi];
         Instr &last = kernel.instrs[b.last];
         if (!last.isBranch())
             continue;
@@ -269,8 +149,9 @@ analyzeKernel(KernelDef &kernel)
             last.reconv_pc = kReconvExit; // uniform jump: never diverges
             continue;
         }
-        const uint32_t ip = ipdom(bi);
-        last.reconv_pc = (ip == exit_node) ? kReconvExit : blocks[ip].first;
+        const uint32_t ip = cfg.ipdom(bi);
+        last.reconv_pc =
+            (ip == cfg.exitNode()) ? kReconvExit : cfg.blocks()[ip].first;
     }
 }
 

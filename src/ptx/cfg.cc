@@ -1,0 +1,140 @@
+#include "ptx/cfg.h"
+
+#include <set>
+
+namespace mlgs::ptx
+{
+
+Cfg::Cfg(const KernelDef &kernel)
+{
+    const uint32_t n = uint32_t(kernel.instrs.size());
+    MLGS_REQUIRE(n > 0, "kernel ", kernel.name, " has no instructions");
+
+    // 1. Leaders.
+    std::set<uint32_t> leaders;
+    leaders.insert(0);
+    for (uint32_t pc = 0; pc < n; pc++) {
+        const Instr &ins = kernel.instrs[pc];
+        if (ins.isBranch()) {
+            leaders.insert(ins.target_pc);
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+        } else if (ins.isExit()) {
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+        }
+    }
+
+    // 2. Blocks and the pc -> block map.
+    block_of_.assign(n, 0);
+    {
+        std::vector<uint32_t> ls(leaders.begin(), leaders.end());
+        for (size_t i = 0; i < ls.size(); i++) {
+            CfgBlock b;
+            b.first = ls[i];
+            b.last = (i + 1 < ls.size() ? ls[i + 1] : n) - 1;
+            for (uint32_t pc = b.first; pc <= b.last; pc++)
+                block_of_[pc] = uint32_t(blocks_.size());
+            blocks_.push_back(std::move(b));
+        }
+    }
+
+    // 3. Edges.
+    const uint32_t num_blocks = numBlocks();
+    const uint32_t exit_node = exitNode();
+    for (uint32_t bi = 0; bi < num_blocks; bi++) {
+        CfgBlock &b = blocks_[bi];
+        const Instr &last = kernel.instrs[b.last];
+        if (last.isBranch()) {
+            b.succs.push_back(block_of_[last.target_pc]);
+            if (last.pred >= 0 && b.last + 1 < n)
+                b.succs.push_back(block_of_[b.last + 1]);
+            else if (last.pred >= 0)
+                b.succs.push_back(exit_node);
+        } else if (last.isExit()) {
+            b.succs.push_back(exit_node);
+        } else if (b.last + 1 < n) {
+            b.succs.push_back(block_of_[b.last + 1]);
+        } else {
+            b.succs.push_back(exit_node);
+        }
+    }
+    for (uint32_t bi = 0; bi < num_blocks; bi++)
+        for (const uint32_t s : blocks_[bi].succs)
+            if (s != exit_node)
+                blocks_[s].preds.push_back(bi);
+
+    computePostDominators();
+}
+
+void
+Cfg::computePostDominators()
+{
+    // Iterative dataflow over bitsets (small CFGs: fine).
+    const uint32_t num_blocks = numBlocks();
+    const uint32_t exit_node = exitNode();
+    const uint32_t total = num_blocks + 1;
+    words_ = (total + 63) / 64;
+    pdom_.assign(size_t(total) * words_, ~0ull);
+
+    // exit: pdom = {exit}
+    for (uint32_t w = 0; w < words_; w++)
+        pdom_[size_t(exit_node) * words_ + w] = 0;
+    pdom_[size_t(exit_node) * words_ + exit_node / 64] |=
+        1ull << (exit_node % 64);
+
+    bool changed = true;
+    std::vector<uint64_t> tmp(words_);
+    while (changed) {
+        changed = false;
+        for (int64_t bi = num_blocks - 1; bi >= 0; bi--) {
+            for (uint32_t w = 0; w < words_; w++)
+                tmp[w] = ~0ull;
+            for (const uint32_t s : blocks_[size_t(bi)].succs)
+                for (uint32_t w = 0; w < words_; w++)
+                    tmp[w] &= pdom_[size_t(s) * words_ + w];
+            tmp[uint32_t(bi) / 64] |= 1ull << (uint32_t(bi) % 64);
+            for (uint32_t w = 0; w < words_; w++) {
+                if (pdom_[size_t(bi) * words_ + w] != tmp[w]) {
+                    pdom_[size_t(bi) * words_ + w] = tmp[w];
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+bool
+Cfg::postDominates(uint32_t a, uint32_t b) const
+{
+    MLGS_ASSERT(a <= exitNode() && b <= exitNode(), "postDominates: bad node");
+    return (pdom_[size_t(b) * words_ + a / 64] >> (a % 64)) & 1ull;
+}
+
+uint32_t
+Cfg::ipdom(uint32_t block) const
+{
+    // Among pdom(b)\{b}, the node whose own pdom set is largest (the
+    // post-dominators of a node form a chain).
+    const uint32_t total = numBlocks() + 1;
+    auto pdomCount = [&](uint32_t node) {
+        uint32_t c = 0;
+        for (uint32_t w = 0; w < words_; w++)
+            c += uint32_t(__builtin_popcountll(pdom_[size_t(node) * words_ + w]));
+        return c;
+    };
+    uint32_t best = exitNode();
+    uint32_t best_count = 0;
+    for (uint32_t cand = 0; cand < total; cand++) {
+        if (cand == block || !postDominates(cand, block))
+            continue;
+        const uint32_t c = pdomCount(cand);
+        if (c > best_count) {
+            best_count = c;
+            best = cand;
+        }
+    }
+    return best;
+}
+
+} // namespace mlgs::ptx

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Basic-block control-flow graph over a parsed kernel, with post-dominator
+ * sets. One construction serves two consumers: reconvergence analysis
+ * (analyzeKernel computes each divergent branch's immediate post-dominator)
+ * and the static verifier (dataflow over the block graph, barrier-divergence
+ * regions, barrier-free phase reachability).
+ */
+#ifndef MLGS_PTX_CFG_H
+#define MLGS_PTX_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ptx/ir.h"
+
+namespace mlgs::ptx
+{
+
+/** One basic block: a maximal straight-line pc range. */
+struct CfgBlock
+{
+    uint32_t first = 0; ///< pc of first instruction
+    uint32_t last = 0;  ///< pc of last instruction (inclusive)
+    std::vector<uint32_t> succs; ///< successor block ids (exitNode() = exit)
+    std::vector<uint32_t> preds; ///< predecessor block ids
+};
+
+/**
+ * Control-flow graph of one kernel plus its post-dominator sets. Blocks are
+ * numbered in pc order; a single virtual exit node (id = blocks.size())
+ * collects ret/exit/fall-off-the-end edges.
+ */
+class Cfg
+{
+  public:
+    /** Build the CFG and post-dominator sets. Kernel must be non-empty. */
+    explicit Cfg(const KernelDef &kernel);
+
+    const std::vector<CfgBlock> &blocks() const { return blocks_; }
+    uint32_t numBlocks() const { return uint32_t(blocks_.size()); }
+    uint32_t exitNode() const { return numBlocks(); }
+
+    /** Block id containing the given pc. */
+    uint32_t blockOf(uint32_t pc) const { return block_of_[pc]; }
+
+    /** Does block a post-dominate block b? (a == b counts; exit node ok.) */
+    bool postDominates(uint32_t a, uint32_t b) const;
+
+    /**
+     * Immediate post-dominator of a block, or exitNode() when control can
+     * only rejoin at thread exit.
+     */
+    uint32_t ipdom(uint32_t block) const;
+
+  private:
+    std::vector<CfgBlock> blocks_;
+    std::vector<uint32_t> block_of_; ///< pc -> block id
+
+    // Post-dominator bitsets: node-major, words_ 64-bit words per node,
+    // covering numBlocks()+1 nodes (virtual exit included).
+    uint32_t words_ = 0;
+    std::vector<uint64_t> pdom_;
+
+    void computePostDominators();
+};
+
+} // namespace mlgs::ptx
+
+#endif // MLGS_PTX_CFG_H

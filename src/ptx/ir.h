@@ -210,6 +210,7 @@ struct Instr
     std::vector<int> dst_regs;
 
     int line = 0;             ///< source line for diagnostics
+    int col = 0;              ///< source column (1-based) for diagnostics
     std::string text;         ///< original source text
 
     /**

@@ -19,6 +19,7 @@ struct Token
     Tok kind = Tok::End;
     std::string text;
     int line = 1;
+    int col = 1; ///< 1-based column of the token's first character
     // Number payload:
     bool is_float = false;
     int64_t ival = 0;
@@ -50,10 +51,14 @@ class Lexer
     const std::string &name() const { return name_; }
 
   private:
+    /** 1-based column of byte offset i on the current line. */
+    int col(size_t i) const { return int(i - line_start_) + 1; }
+
     [[noreturn]] void
-    err(const std::string &msg) const
+    err(const std::string &msg, size_t i) const
     {
-        throw ParseError(name_ + ":" + std::to_string(line_) + ": " + msg);
+        throw ParseError(name_ + ":" + std::to_string(line_) + ":" +
+                         std::to_string(col(i)) + ": " + msg);
     }
 
     void
@@ -66,6 +71,7 @@ class Lexer
             if (c == '\n') {
                 line_++;
                 i++;
+                line_start_ = i;
                 continue;
             }
             if (std::isspace(uint8_t(c))) {
@@ -80,12 +86,14 @@ class Lexer
             if (c == '/' && i + 1 < n && src_[i + 1] == '*') {
                 i += 2;
                 while (i + 1 < n && !(src_[i] == '*' && src_[i + 1] == '/')) {
-                    if (src_[i] == '\n')
+                    if (src_[i] == '\n') {
                         line_++;
+                        line_start_ = i + 1;
+                    }
                     i++;
                 }
                 if (i + 1 >= n)
-                    err("unterminated block comment");
+                    err("unterminated block comment", std::min(i, n - 1));
                 i += 2;
                 continue;
             }
@@ -101,6 +109,7 @@ class Lexer
                 t.kind = Tok::Ident;
                 t.text = src_.substr(i, j - i);
                 t.line = line_;
+                t.col = col(i);
                 toks_.push_back(std::move(t));
                 i = j;
                 continue;
@@ -111,15 +120,17 @@ class Lexer
                 t.kind = Tok::Punct;
                 t.text = std::string(1, c);
                 t.line = line_;
+                t.col = col(i);
                 toks_.push_back(std::move(t));
                 i++;
                 continue;
             }
-            err(std::string("unexpected character '") + c + "'");
+            err(std::string("unexpected character '") + c + "'", i);
         }
         Token end;
         end.kind = Tok::End;
         end.line = line_;
+        end.col = col(src_.size());
         toks_.push_back(end);
     }
 
@@ -130,12 +141,13 @@ class Lexer
         Token t;
         t.kind = Tok::Number;
         t.line = line_;
+        t.col = col(i);
 
         auto hexVal = [&](size_t start, size_t count) -> uint64_t {
             uint64_t v = 0;
             for (size_t k = 0; k < count; k++) {
                 if (start + k >= n || !std::isxdigit(uint8_t(src_[start + k])))
-                    err("malformed hex float literal");
+                    err("malformed hex float literal", i);
                 const char h = src_[start + k];
                 v = (v << 4) |
                     uint64_t(std::isdigit(uint8_t(h)) ? h - '0'
@@ -216,6 +228,7 @@ class Lexer
     std::string name_;
     std::vector<Token> toks_;
     int line_ = 1;
+    size_t line_start_ = 0; ///< byte offset of the current line's first char
 };
 
 const std::unordered_map<std::string, Op> kOpTable = {
@@ -363,7 +376,14 @@ class Parser
     [[noreturn]] void
     err(const std::string &msg) const
     {
-        throw ParseError(name_ + ":" + std::to_string(peek().line) + ": " + msg);
+        errAt(peek().line, peek().col, msg);
+    }
+
+    [[noreturn]] void
+    errAt(int line, int col, const std::string &msg) const
+    {
+        throw ParseError(name_ + ":" + std::to_string(line) + ":" +
+                         std::to_string(col) + ": " + msg);
     }
 
     // ---- module-scope variables ----
@@ -547,8 +567,9 @@ class Parser
             MLGS_ASSERT(!ins.ops.empty(), "bra without operand");
             const auto it = k.labels.find(ins.ops[0].label);
             if (it == k.labels.end())
-                throw ParseError(name_ + ": undefined label '" + ins.ops[0].label +
-                                 "' in kernel " + k.name);
+                throw ParseError(name_ + ":" + std::to_string(ins.line) + ":" +
+                                 std::to_string(ins.col) + ": undefined label '" +
+                                 ins.ops[0].label + "' in kernel " + k.name);
             ins.target_pc = it->second;
         }
     }
@@ -558,6 +579,7 @@ class Parser
     {
         Instr ins;
         ins.line = peek().line;
+        ins.col = peek().col;
 
         if (acceptPunct("@")) {
             ins.pred_neg = acceptPunct("!");
@@ -570,7 +592,7 @@ class Parser
         const std::string full = expectIdent();
         ins.text = full;
         if (full[0] == '.')
-            err("instruction cannot start with '.'");
+            errAt(ins.line, ins.col, "instruction cannot start with '.'");
         std::vector<std::string> parts;
         {
             size_t start = 0;
@@ -586,7 +608,7 @@ class Parser
         }
         const auto opIt = kOpTable.find(parts[0]);
         if (opIt == kOpTable.end())
-            err("unknown opcode '" + parts[0] + "'");
+            errAt(ins.line, ins.col, "unknown opcode '" + parts[0] + "'");
         ins.op = opIt->second;
 
         for (size_t i = 1; i < parts.size(); i++)

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Static PTX verifier ("mlgs-lint"): dataflow analyses over the parsed IR
+ * that catch, before a single warp executes, the bug classes the paper's
+ * Section III-D debugging methodology only caught after the fact by
+ * differential comparison against hardware:
+ *
+ *  - type/width consistency per def-use chain (the untyped-rem / signed-bfe
+ *    family: an operand register narrower or differently-classed than the
+ *    instruction's type specifier silently reads stale union bytes);
+ *  - def-before-use on every CFG path (may-be-uninitialized register reads);
+ *  - barrier divergence (bar.sync reachable inside a divergent SIMT-stack
+ *    region whose reconvergence point post-dominates the barrier: the two
+ *    sides execute serially, so the barrier can never complete);
+ *  - a shared-memory race detector: accesses are partitioned into
+ *    barrier-delimited phases and may-race pairs (same phase, overlapping
+ *    address class, at least one write, distinct threads) are reported.
+ *
+ * The verifier runs after analyzeKernel (it needs reconvergence PCs and the
+ * src/dst register lists) and emits a typed diagnostic stream. It is wired
+ * in three places: the mlgs-lint CLI (examples/), module load when
+ * ContextOptions::verify_ptx is enabled, and step zero of the debug-tool
+ * methodology (debug::Replayer::lintModules).
+ */
+#ifndef MLGS_PTX_VERIFIER_VERIFIER_H
+#define MLGS_PTX_VERIFIER_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ptx/ir.h"
+
+namespace mlgs::ptx::verifier
+{
+
+enum class Severity : uint8_t { Note, Warning, Error };
+
+const char *severityName(Severity s);
+
+/** Which analysis produced a diagnostic. */
+enum class Check : uint8_t
+{
+    TypeMismatch,     ///< operand/instruction type-width/class inconsistency
+    UninitRead,       ///< register may be read before any assignment
+    DivergentBarrier, ///< bar.sync reachable under unreconverged divergence
+    SharedRace,       ///< may-race on shared memory within one barrier phase
+};
+
+/** Stable kebab-case slug ("type-mismatch", ...), used in diagnostics. */
+const char *checkName(Check c);
+
+/** One verifier finding, anchored to a kernel instruction. */
+struct Diagnostic
+{
+    Severity severity = Severity::Warning;
+    Check check = Check::TypeMismatch;
+    std::string kernel; ///< kernel name
+    uint32_t pc = 0;    ///< instruction index within the kernel
+    int line = 0;       ///< source line of the instruction (1-based)
+    int col = 0;        ///< source column (1-based)
+    std::string message;
+};
+
+/** "file.ptx:12:5: error: [type-mismatch] ... (kernel 'k', pc 7)" */
+std::string formatDiagnostic(const std::string &source_name,
+                             const Diagnostic &d);
+
+/** Run every check on one kernel. Requires analyzeKernel to have run. */
+std::vector<Diagnostic> verifyKernel(const KernelDef &kernel);
+
+/** Run every check on every kernel of a module. */
+std::vector<Diagnostic> verifyModule(const Module &mod);
+
+/** Highest severity present (Note when empty). */
+Severity maxSeverity(const std::vector<Diagnostic> &diags);
+
+} // namespace mlgs::ptx::verifier
+
+#endif // MLGS_PTX_VERIFIER_VERIFIER_H

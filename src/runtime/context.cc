@@ -5,6 +5,7 @@
 
 #include "engine/functional_backend.h"
 #include "engine/timing_backend.h"
+#include "ptx/verifier/verifier.h"
 #include "runtime/api_observer.h"
 
 namespace mlgs::cuda
@@ -16,6 +17,7 @@ Context::Context(ContextOptions opts)
       func_engine_(interp_),
       gpu_(std::make_unique<timing::GpuModel>(opts_.gpu, interp_))
 {
+    interp_.setRaceCheck(opts_.check_races);
     const unsigned sim_threads =
         ThreadPool::resolveThreadCount(opts_.sim_threads);
     if (sim_threads > 1) {
@@ -135,6 +137,16 @@ int
 Context::loadModule(const std::string &ptx_source, const std::string &name)
 {
     auto mod = std::make_unique<ptx::Module>(ptx::parseModule(ptx_source, name));
+    if (opts_.verify_ptx != PtxVerify::Off) {
+        const auto diags = ptx::verifier::verifyModule(*mod);
+        for (const auto &d : diags)
+            warn("verify_ptx: ", ptx::verifier::formatDiagnostic(name, d));
+        if (opts_.verify_ptx == PtxVerify::Strict &&
+            ptx::verifier::maxSeverity(diags) >=
+                ptx::verifier::Severity::Warning)
+            fatal("verify_ptx: module '", name, "' failed verification with ",
+                  diags.size(), " diagnostic(s)");
+    }
     // Materialize module-scope globals in device memory. Names are scoped to
     // the module, but the flat symbol table keeps first-wins semantics for
     // cudaMemcpyToSymbol-style access.

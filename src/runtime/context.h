@@ -48,6 +48,14 @@ class ApiObserver;
 /** Functional vs Performance simulation (Section III-F terminology). */
 enum class SimMode { Functional, Performance };
 
+/** Static PTX verification policy applied to every loadModule. */
+enum class PtxVerify
+{
+    Off,    ///< no verification
+    Warn,   ///< run the verifier, log diagnostics, keep going
+    Strict, ///< fatal on any diagnostic of severity warning or above
+};
+
 // Device-side work descriptors are owned by the engine layer; the cuda::
 // names remain the public API.
 using Event = engine::Event;
@@ -73,6 +81,21 @@ struct ContextOptions
 
     /** Host<->device copy throughput used for stream-overlap timing. */
     double memcpy_bytes_per_cycle = 8.0;
+
+    /**
+     * Run the static PTX verifier (type/width consistency, def-before-use,
+     * barrier divergence, shared-memory races) over every module at load —
+     * "step zero" of the debug methodology, before anything executes.
+     */
+    PtxVerify verify_ptx = PtxVerify::Off;
+
+    /**
+     * Dynamically confirm shared-memory races in functional mode: per-byte
+     * last-writer/last-reader shadow state between bar.syncs. Confirmed
+     * conflicts are logged and counted in FuncStats::shared_races; all
+     * other stats and every simulated byte are unaffected.
+     */
+    bool check_races = false;
 
     /**
      * Host worker threads for the simulation itself: parallel CTA fan-out
