@@ -156,18 +156,29 @@ replaySweep(int repeat)
         const double record_ms = msSince(t_rec);
 
         // Replay runs: trace-driven timing-only — no frontend and no
-        // functional interpretation in the loop.
+        // functional interpretation in the loop. A replayer fatal (address /
+        // payload fidelity assert) must not abort the sweep after the record
+        // phase succeeded: count it as a mismatch so the JSON is still
+        // written and the process exit stays nonzero for CI.
         const trace::TraceReplayer rep(std::move(trace));
         double replay_ms = 0;
         bool match = true;
+        std::string replay_error;
         for (int i = 0; i < repeat; i++) {
             const auto t0 = std::chrono::steady_clock::now();
-            const auto run = replayTrace(rep, nullptr, streams.get());
+            try {
+                const auto run = replayTrace(rep, nullptr, streams.get());
+                match = match && totalsEqual(live, run.totals);
+            } catch (const std::exception &e) {
+                match = false;
+                replay_error = e.what();
+            }
             replay_ms += msSince(t0);
-            match = match && totalsEqual(live, run.totals);
         }
         replay_ms /= repeat;
         all_match = all_match && match;
+        if (!replay_error.empty())
+            std::printf("  REPLAY FAILED: %s\n", replay_error.c_str());
 
         live_total += live_ms;
         record_total += record_ms;

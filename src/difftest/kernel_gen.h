@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Grammar-driven random PTX kernel generator for differential testing.
+ *
+ * KernelGen produces typed, verifier-well-formed kernels over a weighted
+ * instruction menu (integer/float/f16 arithmetic, rem/div/bfe/bfi/mad/fma,
+ * shared-memory tiles with bar.sync, divergent diamonds with guaranteed
+ * post-dominator reconvergence, global loads/stores over caller-provided
+ * buffers). Kernels are emitted as PTX *text* and consumed through the real
+ * parser so the whole parse/analyze pipeline is on the tested path.
+ *
+ * Every generated statement carries enough structure (def/uses/fallback) for
+ * the minimizer in difftest.cc to bisect the body while preserving both a
+ * failure and the well-formedness invariants (no uninit reads, reconverging
+ * control flow, in-bounds addressing).
+ */
+#ifndef MLGS_DIFFTEST_KERNEL_GEN_H
+#define MLGS_DIFFTEST_KERNEL_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mlgs::difftest
+{
+
+/** Deliberately seeded defect class (for verifier/race-shadow cross-checks). */
+enum class Defect : uint8_t
+{
+    None,        ///< clean, verifier-silent kernel
+    SharedRace,  ///< same-phase shared-memory race (missing bar.sync)
+    WideRemRead, ///< rem.u64 reading a 32-bit register (the paper's bug class)
+};
+
+/** Everything needed to launch a generated kernel besides its PTX text. */
+struct LaunchSpec
+{
+    std::string kernel = "fuzz";
+    Dim3 grid{1, 1, 1};
+    Dim3 block{32, 1, 1};
+    unsigned in_words = 8;  ///< u32 words per thread in each input buffer
+    unsigned out_slots = 8; ///< 8-byte output slots per thread
+    uint64_t data_seed = 1; ///< seeds the input-buffer contents
+
+    uint64_t totalThreads() const { return grid.count() * block.count(); }
+};
+
+/**
+ * One generated statement. `state` (kept in GenKernel) selects between the
+ * original text, the `fallback` (a self-contained mov that keeps the same
+ * destination defined), or dropping the line entirely.
+ */
+struct GenStmt
+{
+    std::string text;     ///< canonical PTX line (no indentation)
+    std::string fallback; ///< imm-only replacement defining `def`; "" = none
+    bool structural = false; ///< prologue/control-flow/address skeleton
+    bool droppable = false;  ///< side-effect-only line (stores): removable
+    bool is_label = false;   ///< emitted without indentation
+    std::string def;             ///< register written ("" if none)
+    std::vector<std::string> uses; ///< registers read by `text`
+};
+
+/** A generated kernel: launch shape + minimizer-aware statement list. */
+struct GenKernel
+{
+    LaunchSpec spec;
+    Defect defect = Defect::None;
+    uint64_t seed = 0; ///< generator seed (reproducibility bookkeeping)
+
+    std::vector<std::string> decl_lines; ///< .reg/.shared declarations
+    std::vector<GenStmt> body;
+    /** Per-statement minimizer state: 0 = keep, 1 = fallback, 2 = dropped. */
+    std::vector<uint8_t> state;
+
+    /** Render the full module (honours `state`). */
+    std::string ptx() const;
+
+    /** Statements still emitted verbatim (minimizer progress metric). */
+    unsigned liveCount() const;
+};
+
+/**
+ * Seedable generator. The same seed always yields the same kernel, byte for
+ * byte, independent of prior generate() calls.
+ */
+class KernelGen
+{
+  public:
+    explicit KernelGen(uint64_t seed) : seed_(seed) {}
+
+    GenKernel generate(Defect defect = Defect::None);
+
+  private:
+    uint64_t seed_;
+};
+
+} // namespace mlgs::difftest
+
+#endif // MLGS_DIFFTEST_KERNEL_GEN_H

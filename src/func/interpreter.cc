@@ -79,13 +79,29 @@ makeInt(Type t, uint64_t x)
     return v;
 }
 
+/**
+ * Arithmetic instructions generate the canonical NaN (0x7fffffff for f32,
+ * 0x7fff for f16), as real SMs do per the PTX ISA. Host NaN propagation is
+ * operand-order dependent (x86 keeps one source's payload), so without this
+ * the same kernel could produce different NaN bits across compilers. Data
+ * movement (ld/st/mov) still preserves NaN payloads — only results computed
+ * through makeF are canonicalized. f64 payloads are preserved, also per ISA.
+ */
 RegVal
 makeF(Type t, double x)
 {
     RegVal v;
     switch (t) {
-      case Type::F16: v.f16bits = fp32ToFp16(float(x)); break;
-      case Type::F32: v.f32 = float(x); break;
+      case Type::F16:
+        v.f16bits = std::isnan(x) ? 0x7fff : fp32ToFp16(float(x));
+        break;
+      case Type::F32:
+        if (std::isnan(x)) {
+            v.u32 = 0x7fffffffu;
+            break;
+        }
+        v.f32 = float(x);
+        break;
       case Type::F64: v.f64 = x; break;
       default: panic("makeF on non-float type");
     }
@@ -97,6 +113,36 @@ unsigned
 bitWidth(Type t)
 {
     return ptx::typeSize(t) * 8;
+}
+
+/**
+ * PTX min/max: a NaN operand is dropped in favour of the other, and signed
+ * zeros are ordered -0 < +0 (IEEE 754-2019 minimum/maximum). libm's
+ * fmin/fmax leave the zero case unspecified — the result flips with how the
+ * compiler schedules the call — so spell the semantics out.
+ */
+double
+fminDet(double x, double y)
+{
+    if (std::isnan(x))
+        return y;
+    if (std::isnan(y))
+        return x;
+    if (x == y)
+        return std::signbit(x) ? x : y;
+    return x < y ? x : y;
+}
+
+double
+fmaxDet(double x, double y)
+{
+    if (std::isnan(x))
+        return y;
+    if (std::isnan(y))
+        return x;
+    if (x == y)
+        return std::signbit(x) ? y : x;
+    return x > y ? x : y;
 }
 
 /**
@@ -505,13 +551,13 @@ Interpreter::execAlu(const Instr &ins, const RegVal &a, const RegVal &b,
         return makeInt(t, uint64_t(-asS64(t, a)));
       case Op::Min:
         if (isFloat(t))
-            return makeF(t, std::fmin(asF(t, a), asF(t, b)));
+            return makeF(t, fminDet(asF(t, a), asF(t, b)));
         if (isSigned(t))
             return makeInt(t, uint64_t(std::min(asS64(t, a), asS64(t, b))));
         return makeInt(t, std::min(asU64(t, a), asU64(t, b)));
       case Op::Max:
         if (isFloat(t))
-            return makeF(t, std::fmax(asF(t, a), asF(t, b)));
+            return makeF(t, fmaxDet(asF(t, a), asF(t, b)));
         if (isSigned(t))
             return makeInt(t, uint64_t(std::max(asS64(t, a), asS64(t, b))));
         return makeInt(t, std::max(asU64(t, a), asU64(t, b)));

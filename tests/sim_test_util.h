@@ -6,6 +6,9 @@
 #ifndef MLGS_TESTS_SIM_TEST_UTIL_H
 #define MLGS_TESTS_SIM_TEST_UTIL_H
 
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "func/engine.h"
@@ -15,6 +18,47 @@
 
 namespace mlgs::test
 {
+
+/**
+ * RAII scratch directory under the system temp root. Unique per instance
+ * (mkdtemp), removed with its contents on destruction — including when a
+ * test assertion unwinds the stack — so parallel ctest shards never collide
+ * on fixed /tmp file names and failures don't leave litter behind.
+ */
+class ScopedTmpDir
+{
+  public:
+    ScopedTmpDir()
+    {
+        std::string tmpl =
+            (std::filesystem::temp_directory_path() / "mlgs_test_XXXXXX")
+                .string();
+        MLGS_REQUIRE(::mkdtemp(tmpl.data()) != nullptr,
+                     "mkdtemp failed for ", tmpl);
+        path_ = tmpl;
+    }
+
+    ~ScopedTmpDir()
+    {
+        std::error_code ec; // best-effort cleanup, never throws in a dtor
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    ScopedTmpDir(const ScopedTmpDir &) = delete;
+    ScopedTmpDir &operator=(const ScopedTmpDir &) = delete;
+
+    const std::string &path() const { return path_; }
+
+    /** Absolute path of `name` inside the directory. */
+    std::string
+    file(const std::string &name) const
+    {
+        return (std::filesystem::path(path_) / name).string();
+    }
+
+  private:
+    std::string path_;
+};
 
 /** Packs kernel arguments with natural alignment (must match Param layout). */
 class ParamPack

@@ -13,6 +13,7 @@
 #include "common/serialize.h"
 #include "mem/allocator.h"
 #include "mem/gpu_memory.h"
+#include "sim_test_util.h"
 
 using namespace mlgs;
 
@@ -156,10 +157,12 @@ TEST(Serialize, TruncatedStreamIsFatal)
 
 TEST(Serialize, FileRoundTrip)
 {
+    mlgs::test::ScopedTmpDir tmp;
+    const std::string path = tmp.file("serialize_test.bin");
     BinaryWriter w;
     w.putString("file payload");
-    w.writeFile("/tmp/mlgs_serialize_test.bin");
-    auto r = BinaryReader::fromFile("/tmp/mlgs_serialize_test.bin");
+    w.writeFile(path);
+    auto r = BinaryReader::fromFile(path);
     EXPECT_EQ(r.getString(), "file payload");
 }
 

@@ -17,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "cudnn/cudnn.h"
 #include "runtime/context.h"
+#include "sim_test_util.h"
 #include "torchlet/lenet.h"
 #include "torchlet/lenet_cpu.h"
 #include "torchlet/mnist_synth.h"
@@ -386,7 +387,8 @@ TEST(Determinism, CheckpointRoundTripBitwiseEqualAtFourThreads)
         ctx.memcpyD2H(want.data(), dst, n * 4);
     }
 
-    const std::string path = "/tmp/mlgs_test_mt.ckpt";
+    mlgs::test::ScopedTmpDir tmp;
+    const std::string path = tmp.file("mt.ckpt");
     {
         cuda::Context ctx(optsAt4());
         chkpt::CheckpointConfig cfg;

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Golden-stats regression suite: three representative kernels (the sgemm
+ * forward-GEMM path, the winograd non-fused tile pipeline, implicit gemm)
+ * are simulated live and every TimingTotals counter plus the per-bank DRAM
+ * row hit/miss vectors are diffed against a checked-in JSON baseline —
+ * byte for byte, since the simulator guarantees bitwise-deterministic
+ * statistics across thread counts and compilers. Until now only the
+ * trace-replay bench pinned these numbers; this makes the pin tier-1.
+ *
+ * Regenerating after an intentional model change:
+ *
+ *     MLGS_UPDATE_GOLDEN=1 ./mlgs_tests --gtest_filter='GoldenStats.*'
+ *
+ * rewrites tests/golden_stats.json in the source tree and the test passes;
+ * review the diff like any other code change.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/trace_workloads.h"
+#include "cudnn/cudnn.h"
+#include "runtime/context.h"
+
+using namespace mlgs;
+using namespace mlgs::bench;
+
+namespace
+{
+
+struct GoldenRun
+{
+    const char *name;
+    int fwd_algo;
+};
+
+/**
+ * The three paper workloads the golden file pins. Forward pass of the
+ * conv_sample shape; the algorithm picks the kernel family under test.
+ */
+const GoldenRun kRuns[] = {
+    {"sgemm", int(cudnn::ConvFwdAlgo::Gemm)},
+    {"winograd_tile", int(cudnn::ConvFwdAlgo::WinogradNonfused)},
+    {"implicit_gemm", int(cudnn::ConvFwdAlgo::ImplicitGemm)},
+};
+
+void
+appendBankVector(std::ostringstream &os, const char *key,
+                 const std::vector<uint64_t> &v)
+{
+    os << "      \"" << key << "\": [";
+    for (size_t i = 0; i < v.size(); i++)
+        os << (i ? ", " : "") << v[i];
+    os << "]";
+}
+
+/** Simulate one run and render its stats block (fixed key order). */
+std::string
+renderRun(const GoldenRun &run)
+{
+    ConvTraceSpec spec;
+    spec.pass = Pass::Forward;
+    spec.algo = run.fwd_algo;
+
+    cuda::Context ctx(convTraceOptions(spec));
+    runConvFrontend(ctx, spec);
+
+    const timing::TimingTotals &t = ctx.gpuModel().totals();
+    std::ostringstream os;
+    os << "    \"" << run.name << "\": {\n";
+    const struct
+    {
+        const char *key;
+        uint64_t val;
+    } fields[] = {
+        {"cycles", t.cycles},
+        {"warp_instructions", t.warp_instructions},
+        {"thread_instructions", t.thread_instructions},
+        {"alu", t.alu},
+        {"sfu", t.sfu},
+        {"mem_insts", t.mem_insts},
+        {"shared_accesses", t.shared_accesses},
+        {"l1_hits", t.l1_hits},
+        {"l1_misses", t.l1_misses},
+        {"l2_hits", t.l2_hits},
+        {"l2_misses", t.l2_misses},
+        {"icnt_flits", t.icnt_flits},
+        {"dram_reads", t.dram_reads},
+        {"dram_writes", t.dram_writes},
+        {"dram_row_hits", t.dram_row_hits},
+        {"dram_row_misses", t.dram_row_misses},
+        {"core_active_cycles", t.core_active_cycles},
+        {"core_idle_cycles", t.core_idle_cycles},
+    };
+    for (const auto &f : fields)
+        os << "      \"" << f.key << "\": " << f.val << ",\n";
+    appendBankVector(os, "bank_row_hits", ctx.gpuModel().perBankRowHits());
+    os << ",\n";
+    appendBankVector(os, "bank_row_misses", ctx.gpuModel().perBankRowMisses());
+    os << "\n    }";
+    return os.str();
+}
+
+std::string
+renderAll()
+{
+    std::ostringstream os;
+    os << "{\n  \"golden_stats\": {\n";
+    for (size_t i = 0; i < std::size(kRuns); i++)
+        os << renderRun(kRuns[i]) << (i + 1 < std::size(kRuns) ? ",\n" : "\n");
+    os << "  }\n}\n";
+    return os.str();
+}
+
+/** First line where the two renderings differ, for a readable diff. */
+std::string
+firstLineDiff(const std::string &want, const std::string &got)
+{
+    std::istringstream a(want), b(got);
+    std::string la, lb;
+    unsigned line = 0;
+    while (true) {
+        const bool ea = !std::getline(a, la);
+        const bool eb = !std::getline(b, lb);
+        line++;
+        if (ea && eb)
+            return "no textual difference";
+        if (ea != eb || la != lb) {
+            std::ostringstream os;
+            os << "line " << line << ":\n  golden: " << (ea ? "<eof>" : la)
+               << "\n  live:   " << (eb ? "<eof>" : lb);
+            return os.str();
+        }
+    }
+}
+
+} // namespace
+
+TEST(GoldenStats, RepresentativeKernelsMatchCheckedInBaseline)
+{
+    const std::string live = renderAll();
+    const char *path = MLGS_GOLDEN_STATS_JSON;
+
+    if (std::getenv("MLGS_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << live;
+        SUCCEED() << "regenerated " << path;
+        return;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing " << path
+        << " — run once with MLGS_UPDATE_GOLDEN=1 to create it";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+
+    EXPECT_EQ(golden.str(), live)
+        << "live stats diverged from tests/golden_stats.json; first diff at "
+        << firstLineDiff(golden.str(), live)
+        << "\nIf the change is intentional, regenerate with "
+           "MLGS_UPDATE_GOLDEN=1 and review the JSON diff.";
+}

@@ -7,6 +7,7 @@
 
 #include "oracle/hw_oracle.h"
 #include "power/power_model.h"
+#include "sim_test_util.h"
 #include "stats/aerial.h"
 
 using namespace mlgs;
@@ -70,9 +71,10 @@ TEST(Aerial, CsvContainsAllSeries)
         s.endCycle();
     }
     s.finish();
-    const char *path = "/tmp/mlgs_aerial_test.csv";
+    mlgs::test::ScopedTmpDir tmp;
+    const std::string path = tmp.file("aerial_test.csv");
     s.writeCsv(path);
-    std::FILE *f = std::fopen(path, "r");
+    std::FILE *f = std::fopen(path.c_str(), "r");
     ASSERT_NE(f, nullptr);
     std::string contents;
     char buf[4096];

@@ -11,6 +11,7 @@
 #include "chkpt/checkpoint.h"
 #include "debug/debugger.h"
 #include "oracle/hw_oracle.h"
+#include "sim_test_util.h"
 
 using namespace mlgs;
 
@@ -329,7 +330,8 @@ TEST(Checkpoint, WriteAndResumeMatchesStraightRun)
     }
 
     // Checkpoint inside kernel 1 (the ring shift): M=4, t=2, y=6.
-    const std::string path = "/tmp/mlgs_test.ckpt";
+    mlgs::test::ScopedTmpDir tmp;
+    const std::string path = tmp.file("resume.ckpt");
     {
         cuda::Context ctx;
         chkpt::CheckpointConfig cfg;

@@ -14,6 +14,7 @@
 
 #include "bench/trace_workloads.h"
 #include "common/log.h"
+#include "sim_test_util.h"
 
 using namespace mlgs;
 using namespace mlgs::bench;
@@ -244,7 +245,8 @@ TEST(TraceFormat, DiskRoundTripReplaysIdentically)
     recordLive(convTraceOptions(spec), trace,
                [&](cuda::Context &c) { runConvFrontend(c, spec); });
 
-    const std::string path = "/tmp/mlgs_test_roundtrip.mlgstrace";
+    mlgs::test::ScopedTmpDir tmp;
+    const std::string path = tmp.file("roundtrip.mlgstrace");
     trace.save(path);
     const auto loaded = trace::TraceFile::load(path);
 

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -411,6 +413,34 @@ TEST(PtxAnalysis, UsesGlobalAtomicsRequiresAnalyzedKernel)
     ptx::KernelDef k;
     k.name = "never_analyzed";
     EXPECT_THROW(ptx::usesGlobalAtomics(k), PanicError);
+}
+
+TEST(Verifier, DiagnosticsStableOverDiskRoundTrip)
+{
+    // mlgs-lint consumes modules from files; the diagnostics (including
+    // their line numbers) must not depend on whether the source came from
+    // an in-memory literal or a file read back from disk.
+    mlgs::test::ScopedTmpDir tmp;
+    const std::string path = tmp.file("bad_race.ptx");
+    {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good());
+        out << kBadRace;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream src;
+    src << in.rdbuf();
+
+    const auto mem_diags = lint(kBadRace, "bad_race.ptx");
+    const auto file_diags = lint(src.str().c_str(), "bad_race.ptx");
+    ASSERT_EQ(file_diags.size(), mem_diags.size());
+    for (size_t i = 0; i < mem_diags.size(); i++) {
+        EXPECT_EQ(file_diags[i].check, mem_diags[i].check) << "diag " << i;
+        EXPECT_EQ(file_diags[i].severity, mem_diags[i].severity)
+            << "diag " << i;
+        EXPECT_EQ(file_diags[i].line, mem_diags[i].line) << "diag " << i;
+    }
 }
 
 } // namespace
