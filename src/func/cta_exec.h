@@ -15,6 +15,11 @@
 #include "func/simt_stack.h"
 #include "ptx/ir.h"
 
+namespace mlgs::ptx
+{
+struct UopProgram;
+}
+
 namespace mlgs::func
 {
 
@@ -130,6 +135,17 @@ class CtaExec
     std::vector<uint8_t> &barrierFlags() { return at_barrier_; }
     std::vector<uint64_t> &instrCounts() { return instr_count_; }
 
+    // ---- compiled-backend program cache ----
+
+    /**
+     * Lowered micro-op program resolved for this CTA (compiled backend
+     * only). A CTA is stepped by a single thread, so caching the pointer
+     * here avoids the kernel cache's mutex on every warp step. The program
+     * lives in the kernel's UopCache and outlives the CTA.
+     */
+    const ptx::UopProgram *uopProgram() const { return uops_; }
+    void setUopProgram(const ptx::UopProgram *p) { uops_ = p; }
+
   private:
     const ptx::KernelDef *kernel_;
     Dim3 grid_dim_;
@@ -144,6 +160,7 @@ class CtaExec
     std::vector<uint8_t> at_barrier_;
     std::vector<uint64_t> instr_count_;
     std::unique_ptr<RaceShadow> race_;
+    const ptx::UopProgram *uops_ = nullptr;
 };
 
 } // namespace mlgs::func

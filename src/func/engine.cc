@@ -1,5 +1,7 @@
 #include "func/engine.h"
 
+#include "func/compiled/exec.h"
+
 namespace mlgs::func
 {
 
@@ -86,6 +88,10 @@ FunctionalEngine::runCtaWith(Interpreter &interp, CtaExec &cta,
 {
     if (interp.raceCheck())
         cta.enableRaceCheck();
+    // The compiled backend runs warps in batches (whole basic-block spans per
+    // dispatch) unless a warp-stream cache needs per-step granularity.
+    const bool batch =
+        interp.execMode() == ExecMode::Compiled && !interp.warpStreamActive();
     while (true) {
         if (cta.allDone()) {
             if (const RaceShadow *rs = cta.raceShadow()) {
@@ -106,6 +112,13 @@ FunctionalEngine::runCtaWith(Interpreter &interp, CtaExec &cta,
 
         bool progressed = false;
         for (unsigned w = 0; w < cta.numWarps(); w++) {
+            if (batch) {
+                const uint64_t before = cta.warpInstrCount(w);
+                compiled::runWarp(interp, cta, w, env, max_instr_per_warp,
+                                  stats);
+                progressed |= cta.warpInstrCount(w) != before;
+                continue;
+            }
             while (!cta.warpDone(w) && !cta.warpAtBarrier(w) &&
                    cta.warpInstrCount(w) < max_instr_per_warp) {
                 const WarpStepResult res = interp.stepWarp(cta, w, env);
@@ -173,7 +186,8 @@ FunctionalEngine::launchParallel(const LaunchEnv &env, const Dim3 &grid,
     std::vector<CoverageMap> cov_shards(cov ? workers : 0);
 
     pool_->parallelFor(num_ctas, [&](uint64_t c, unsigned w) {
-        Interpreter interp(interp_->memory(), interp_->bugs());
+        Interpreter interp(interp_->memory(), interp_->bugs(),
+                           interp_->execMode());
         interp.setRaceCheck(interp_->raceCheck());
         if (cov)
             interp.setCoverage(&cov_shards[w]);

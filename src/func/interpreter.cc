@@ -1,16 +1,15 @@
 #include "func/interpreter.h"
 
-#include <cmath>
+#include <cstdlib>
 #include <cstring>
 
-#include "common/fp16.h"
-#include "mem/addrspace.h"
+#include "func/compiled/exec.h"
+#include "func/exec_semantics.h"
 
 namespace mlgs::func
 {
 
 using ptx::AtomOp;
-using ptx::CmpOp;
 using ptx::Instr;
 using ptx::MulMode;
 using ptx::Op;
@@ -19,188 +18,38 @@ using ptx::RegVal;
 using ptx::Space;
 using ptx::Type;
 
+ExecMode
+resolveExecMode(ExecMode requested)
+{
+    if (requested != ExecMode::Auto)
+        return requested;
+    if (const char *env = std::getenv("MLGS_EXEC")) {
+        if (std::strcmp(env, "interp") == 0)
+            return ExecMode::Interp;
+        if (std::strcmp(env, "compiled") == 0)
+            return ExecMode::Compiled;
+        fatal("MLGS_EXEC must be 'interp' or 'compiled', got '", env, "'");
+    }
+    return ExecMode::Compiled;
+}
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Interp: return "interp";
+      case ExecMode::Compiled: return "compiled";
+      default: return "auto";
+    }
+}
+
 namespace
 {
 
-/** Read an operand value as a signed 64-bit integer per type. */
-int64_t
-asS64(Type t, const RegVal &v)
-{
-    switch (t) {
-      case Type::S8: return v.s8;
-      case Type::S16: return v.s16;
-      case Type::S32: return v.s32;
-      case Type::S64: return v.s64;
-      case Type::U8: case Type::B8: return int64_t(v.u8);
-      case Type::U16: case Type::B16: return int64_t(v.u16);
-      case Type::U32: case Type::B32: return int64_t(v.u32);
-      case Type::U64: case Type::B64: return int64_t(v.u64);
-      default: panic("asS64 on non-integer type");
-    }
-}
-
-/** Read an operand value as an unsigned 64-bit integer per type. */
-uint64_t
-asU64(Type t, const RegVal &v)
-{
-    switch (t) {
-      case Type::U8: case Type::B8: case Type::S8: return v.u8;
-      case Type::U16: case Type::B16: case Type::S16: return v.u16;
-      case Type::U32: case Type::B32: case Type::S32: return v.u32;
-      case Type::U64: case Type::B64: case Type::S64: return v.u64;
-      default: panic("asU64 on non-integer type");
-    }
-}
-
-/** Read a float operand (f16 is widened to f32). */
-double
-asF(Type t, const RegVal &v)
-{
-    switch (t) {
-      case Type::F16: return fp16ToFp32(v.f16bits);
-      case Type::F32: return v.f32;
-      case Type::F64: return v.f64;
-      default: panic("asF on non-float type");
-    }
-}
-
-/** Build a RegVal holding x in the field selected by t (other bits zero). */
+/** Operand read against a thread's register file and the launch env. */
 RegVal
-makeInt(Type t, uint64_t x)
-{
-    RegVal v;
-    switch (t) {
-      case Type::U8: case Type::B8: case Type::S8: v.u8 = uint8_t(x); break;
-      case Type::U16: case Type::B16: case Type::S16: v.u16 = uint16_t(x); break;
-      case Type::U32: case Type::B32: case Type::S32: v.u32 = uint32_t(x); break;
-      case Type::U64: case Type::B64: case Type::S64: v.u64 = x; break;
-      default: panic("makeInt on non-integer type");
-    }
-    return v;
-}
-
-/**
- * Arithmetic instructions generate the canonical NaN (0x7fffffff for f32,
- * 0x7fff for f16), as real SMs do per the PTX ISA. Host NaN propagation is
- * operand-order dependent (x86 keeps one source's payload), so without this
- * the same kernel could produce different NaN bits across compilers. Data
- * movement (ld/st/mov) still preserves NaN payloads — only results computed
- * through makeF are canonicalized. f64 payloads are preserved, also per ISA.
- */
-RegVal
-makeF(Type t, double x)
-{
-    RegVal v;
-    switch (t) {
-      case Type::F16:
-        v.f16bits = std::isnan(x) ? 0x7fff : fp32ToFp16(float(x));
-        break;
-      case Type::F32:
-        if (std::isnan(x)) {
-            v.u32 = 0x7fffffffu;
-            break;
-        }
-        v.f32 = float(x);
-        break;
-      case Type::F64: v.f64 = x; break;
-      default: panic("makeF on non-float type");
-    }
-    return v;
-}
-
-/** Bit width of an integer type. */
-unsigned
-bitWidth(Type t)
-{
-    return ptx::typeSize(t) * 8;
-}
-
-/**
- * PTX min/max: a NaN operand is dropped in favour of the other, and signed
- * zeros are ordered -0 < +0 (IEEE 754-2019 minimum/maximum). libm's
- * fmin/fmax leave the zero case unspecified — the result flips with how the
- * compiler schedules the call — so spell the semantics out.
- */
-double
-fminDet(double x, double y)
-{
-    if (std::isnan(x))
-        return y;
-    if (std::isnan(y))
-        return x;
-    if (x == y)
-        return std::signbit(x) ? x : y;
-    return x < y ? x : y;
-}
-
-double
-fmaxDet(double x, double y)
-{
-    if (std::isnan(x))
-        return y;
-    if (std::isnan(y))
-        return x;
-    if (x == y)
-        return std::signbit(x) ? y : x;
-    return x > y ? x : y;
-}
-
-/**
- * Write only the destination-typed field of the register, leaving the other
- * union bytes untouched — the exact ptx_reg_t semantics that make the
- * legacy untyped-rem bug observable.
- */
-void
-writeTyped(RegVal &d, Type t, const RegVal &v)
-{
-    switch (t) {
-      case Type::U8: case Type::B8: d.u8 = v.u8; break;
-      case Type::S8: d.s8 = v.s8; break;
-      case Type::U16: case Type::B16: d.u16 = v.u16; break;
-      case Type::S16: d.s16 = v.s16; break;
-      case Type::F16: d.f16bits = v.f16bits; break;
-      case Type::U32: case Type::B32: d.u32 = v.u32; break;
-      case Type::S32: d.s32 = v.s32; break;
-      case Type::F32: d.f32 = v.f32; break;
-      case Type::U64: case Type::B64: d.u64 = v.u64; break;
-      case Type::S64: d.s64 = v.s64; break;
-      case Type::F64: d.f64 = v.f64; break;
-      case Type::Pred: d.pred = v.pred; break;
-      default: panic("writeTyped: bad type");
-    }
-}
-
-/** Saturating float -> integer conversion bound helper. */
-int64_t
-clampToSigned(double x, unsigned bits)
-{
-    const double lo = -std::ldexp(1.0, int(bits - 1));
-    const double hi = std::ldexp(1.0, int(bits - 1)) - 1.0;
-    if (std::isnan(x))
-        return 0;
-    if (x < lo)
-        return int64_t(lo);
-    if (x > hi)
-        return bits == 64 ? INT64_MAX : int64_t(hi);
-    return int64_t(x);
-}
-
-uint64_t
-clampToUnsigned(double x, unsigned bits)
-{
-    if (std::isnan(x) || x < 0)
-        return 0;
-    const double hi = std::ldexp(1.0, int(bits)) - 1.0;
-    if (x > hi)
-        return bits == 64 ? UINT64_MAX : uint64_t(hi);
-    return uint64_t(x);
-}
-
-} // namespace
-
-RegVal
-Interpreter::readOperand(const Instr &ins, const Operand &op, const CtaExec &cta,
-                         unsigned tid, const LaunchEnv &env) const
+readOperand(const Instr &ins, const Operand &op, const CtaExec &cta,
+            unsigned tid, const LaunchEnv &env)
 {
     RegVal v;
     switch (op.kind) {
@@ -217,437 +66,29 @@ Interpreter::readOperand(const Instr &ins, const Operand &op, const CtaExec &cta
         else
             v.f32 = float(op.fimm);
         return v;
-      case Operand::Kind::Special: {
-        const Dim3 tix = cta.threadIdx3(tid);
-        uint32_t x = 0;
-        switch (op.sreg) {
-          case ptx::SReg::TidX: x = tix.x; break;
-          case ptx::SReg::TidY: x = tix.y; break;
-          case ptx::SReg::TidZ: x = tix.z; break;
-          case ptx::SReg::NTidX: x = cta.blockDim().x; break;
-          case ptx::SReg::NTidY: x = cta.blockDim().y; break;
-          case ptx::SReg::NTidZ: x = cta.blockDim().z; break;
-          case ptx::SReg::CtaIdX: x = cta.ctaId().x; break;
-          case ptx::SReg::CtaIdY: x = cta.ctaId().y; break;
-          case ptx::SReg::CtaIdZ: x = cta.ctaId().z; break;
-          case ptx::SReg::NCtaIdX: x = cta.gridDim().x; break;
-          case ptx::SReg::NCtaIdY: x = cta.gridDim().y; break;
-          case ptx::SReg::NCtaIdZ: x = cta.gridDim().z; break;
-          case ptx::SReg::LaneId: x = tid % kWarpSize; break;
-          case ptx::SReg::WarpId: x = tid / kWarpSize; break;
-          case ptx::SReg::Clock:
-            x = uint32_t(cta.totalInstrCount());
-            break;
-          default: panic("bad special register");
-        }
-        v.u64 = x;
+      case Operand::Kind::Special:
+        v.u64 = readSpecial(op.sreg, cta, tid);
         return v;
-      }
-      case Operand::Kind::Sym: {
-        v.u64 = symbolAddr(op.sym, *env.kernel, env);
+      case Operand::Kind::Sym:
+        v.u64 = symbolAddr(op.sym, *env.kernel, env.symbols);
         return v;
-      }
       default:
         panic("readOperand: unsupported operand kind for ", ins.text);
     }
 }
 
-addr_t
-Interpreter::symbolAddr(const std::string &sym, const ptx::KernelDef &k,
-                        const LaunchEnv &env) const
-{
-    if (const auto *sv = k.findShared(sym))
-        return kSharedBase + sv->offset;
-    if (const auto *lv = k.findLocal(sym))
-        return kLocalBase + lv->offset;
-    if (const auto *p = k.findParam(sym))
-        return kParamBase + p->offset;
-    if (env.symbols) {
-        const auto it = env.symbols->find(sym);
-        if (it != env.symbols->end())
-            return it->second;
-    }
-    fatal("unresolved symbol '", sym, "' in kernel ", k.name);
-}
-
-Interpreter::Ea
-Interpreter::resolveAddr(const Instr &ins, const Operand &op, const CtaExec &cta,
-                         unsigned tid, const LaunchEnv &env) const
+/** Effective address of a memory operand with generic-space resolution. */
+Ea
+resolveAddr(const Instr &ins, const Operand &op, const CtaExec &cta,
+            unsigned tid, const LaunchEnv &env)
 {
     addr_t ea;
     if (op.reg >= 0)
         ea = cta.thread(tid).regs[size_t(op.reg)].u64 + addr_t(op.imm);
     else
-        ea = symbolAddr(op.sym, *env.kernel, env) + addr_t(op.imm);
-
-    Space sp = ins.space;
-    if (sp == Space::None) {
-        if (inSharedWindow(ea))
-            sp = Space::Shared;
-        else if (inLocalWindow(ea))
-            sp = Space::Local;
-        else if (inParamWindow(ea))
-            sp = Space::Param;
-        else
-            sp = Space::Global;
-    }
-    return Ea{sp, ea};
+        ea = symbolAddr(op.sym, *env.kernel, env.symbols) + addr_t(op.imm);
+    return Ea{resolveSpace(ins.space, ea), ea};
 }
-
-void
-Interpreter::loadTyped(const Ea &ea, Type t, unsigned vec, RegVal *out,
-                       CtaExec &cta, unsigned tid, const LaunchEnv &env) const
-{
-    const unsigned esz = ptx::typeSize(t);
-    uint8_t bytes[32];
-    const size_t total = size_t(esz) * vec;
-    MLGS_ASSERT(total <= sizeof(bytes), "vector load too wide");
-
-    switch (ea.space) {
-      case Space::Param: {
-        const addr_t off = ea.addr - kParamBase;
-        MLGS_REQUIRE(off + total <= env.params.size(),
-                     "param read out of bounds in ", env.kernel->name);
-        std::memcpy(bytes, env.params.data() + off, total);
-        break;
-      }
-      case Space::Shared: {
-        const addr_t off = ea.addr - kSharedBase;
-        MLGS_REQUIRE(off + total <= cta.shared().size(),
-                     "shared read out of bounds in ", env.kernel->name,
-                     " offset ", off);
-        std::memcpy(bytes, cta.shared().data() + off, total);
-        break;
-      }
-      case Space::Local: {
-        const addr_t off = ea.addr - kLocalBase;
-        auto &local = cta.thread(tid).local;
-        MLGS_REQUIRE(off + total <= local.size(), "local read out of bounds");
-        std::memcpy(bytes, local.data() + off, total);
-        break;
-      }
-      default:
-        mem_->read(ea.addr, bytes, total);
-        break;
-    }
-
-    for (unsigned i = 0; i < vec; i++) {
-        RegVal v;
-        const uint8_t *p = bytes + size_t(i) * esz;
-        switch (t) {
-          case Type::U8: case Type::B8: v.u64 = p[0]; break;
-          case Type::S8: v.s64 = int8_t(p[0]); break;
-          case Type::U16: case Type::B16: case Type::F16: {
-            uint16_t x;
-            std::memcpy(&x, p, 2);
-            if (t == Type::F16)
-                v.f16bits = x;
-            else
-                v.u64 = x;
-            break;
-          }
-          case Type::S16: {
-            int16_t x;
-            std::memcpy(&x, p, 2);
-            v.s64 = x;
-            break;
-          }
-          case Type::U32: case Type::B32: {
-            uint32_t x;
-            std::memcpy(&x, p, 4);
-            v.u64 = x;
-            break;
-          }
-          case Type::S32: {
-            int32_t x;
-            std::memcpy(&x, p, 4);
-            v.s64 = x;
-            break;
-          }
-          case Type::F32: std::memcpy(&v.f32, p, 4); break;
-          case Type::U64: case Type::B64: case Type::S64:
-            std::memcpy(&v.u64, p, 8);
-            break;
-          case Type::F64: std::memcpy(&v.f64, p, 8); break;
-          default: panic("loadTyped: bad type");
-        }
-        out[i] = v;
-    }
-}
-
-void
-Interpreter::storeTyped(const Ea &ea, Type t, unsigned vec, const RegVal *vals,
-                        CtaExec &cta, unsigned tid, const LaunchEnv &env) const
-{
-    (void)env;
-    const unsigned esz = ptx::typeSize(t);
-    uint8_t bytes[32];
-    const size_t total = size_t(esz) * vec;
-    MLGS_ASSERT(total <= sizeof(bytes), "vector store too wide");
-
-    for (unsigned i = 0; i < vec; i++) {
-        uint8_t *p = bytes + size_t(i) * esz;
-        const RegVal &v = vals[i];
-        switch (t) {
-          case Type::U8: case Type::B8: case Type::S8: p[0] = v.u8; break;
-          case Type::U16: case Type::B16: case Type::S16:
-            std::memcpy(p, &v.u16, 2);
-            break;
-          case Type::F16: std::memcpy(p, &v.f16bits, 2); break;
-          case Type::U32: case Type::B32: case Type::S32:
-            std::memcpy(p, &v.u32, 4);
-            break;
-          case Type::F32: std::memcpy(p, &v.f32, 4); break;
-          case Type::U64: case Type::B64: case Type::S64:
-            std::memcpy(p, &v.u64, 8);
-            break;
-          case Type::F64: std::memcpy(p, &v.f64, 8); break;
-          default: panic("storeTyped: bad type");
-        }
-    }
-
-    switch (ea.space) {
-      case Space::Param:
-        fatal("stores to param space are not allowed");
-      case Space::Shared: {
-        const addr_t off = ea.addr - kSharedBase;
-        MLGS_REQUIRE(off + total <= cta.shared().size(),
-                     "shared write out of bounds offset ", off);
-        std::memcpy(cta.shared().data() + off, bytes, total);
-        break;
-      }
-      case Space::Local: {
-        const addr_t off = ea.addr - kLocalBase;
-        auto &local = cta.thread(tid).local;
-        MLGS_REQUIRE(off + total <= local.size(), "local write out of bounds");
-        std::memcpy(local.data() + off, bytes, total);
-        break;
-      }
-      default:
-        mem_->write(ea.addr, bytes, total);
-        break;
-    }
-}
-
-RegVal
-Interpreter::execAlu(const Instr &ins, const RegVal &a, const RegVal &b,
-                     const RegVal &c) const
-{
-    const Type t = ins.type;
-
-    switch (ins.op) {
-      case Op::Add:
-        if (isFloat(t))
-            return makeF(t, asF(t, a) + asF(t, b));
-        return makeInt(t, asU64(t, a) + asU64(t, b));
-      case Op::Sub:
-        if (isFloat(t))
-            return makeF(t, asF(t, a) - asF(t, b));
-        return makeInt(t, asU64(t, a) - asU64(t, b));
-      case Op::Mul:
-      case Op::Mad: {
-        RegVal prod;
-        if (isFloat(t)) {
-            prod = makeF(t, asF(t, a) * asF(t, b));
-        } else {
-            switch (ins.mul_mode) {
-              case MulMode::Wide: {
-                // Destination is double-width.
-                if (isSigned(t)) {
-                    const int64_t p = asS64(t, a) * asS64(t, b);
-                    prod = makeInt(t == Type::S32 ? Type::S64 : Type::S32,
-                                   uint64_t(p));
-                } else {
-                    const uint64_t p = asU64(t, a) * asU64(t, b);
-                    prod = makeInt(t == Type::U32 ? Type::U64 : Type::U32, p);
-                }
-                break;
-              }
-              case MulMode::Hi: {
-                if (bitWidth(t) == 32) {
-                    if (isSigned(t)) {
-                        const int64_t p = asS64(t, a) * asS64(t, b);
-                        prod = makeInt(t, uint64_t(p >> 32));
-                    } else {
-                        const uint64_t p = asU64(t, a) * asU64(t, b);
-                        prod = makeInt(t, p >> 32);
-                    }
-                } else {
-                    const uint64_t p =
-                        uint64_t((__uint128_t(asU64(t, a)) * asU64(t, b)) >> 64);
-                    prod = makeInt(t, p);
-                }
-                break;
-              }
-              default:
-                prod = makeInt(t, asU64(t, a) * asU64(t, b));
-                break;
-            }
-        }
-        if (ins.op == Op::Mul)
-            return prod;
-        // mad: accumulate in the product's (possibly widened) type.
-        if (isFloat(t))
-            return makeF(t, asF(t, prod) + asF(t, c));
-        const Type acc_t = (ins.mul_mode == MulMode::Wide)
-                               ? (bitWidth(t) == 32
-                                      ? (isSigned(t) ? Type::S64 : Type::U64)
-                                      : (isSigned(t) ? Type::S32 : Type::U32))
-                               : t;
-        return makeInt(acc_t, asU64(acc_t, prod) + asU64(acc_t, c));
-      }
-      case Op::Fma: {
-        if (t == Type::F64) {
-            return makeF(t, bugs_.split_fma ? a.f64 * b.f64 + c.f64
-                                            : std::fma(a.f64, b.f64, c.f64));
-        }
-        const float fa = float(asF(t, a)), fb = float(asF(t, b)),
-                    fc = float(asF(t, c));
-        const float r = bugs_.split_fma ? fa * fb + fc : std::fmaf(fa, fb, fc);
-        return makeF(t, r);
-      }
-      case Op::Div:
-        if (isFloat(t))
-            return makeF(t, asF(t, a) / asF(t, b));
-        if (isSigned(t)) {
-            const int64_t sa = asS64(t, a), sb = asS64(t, b);
-            if (sb == 0)
-                return makeInt(t, ~0ull);
-            if (sa == INT64_MIN && sb == -1)
-                return makeInt(t, uint64_t(sa));
-            return makeInt(t, uint64_t(sa / sb));
-        } else {
-            const uint64_t ua = asU64(t, a), ub = asU64(t, b);
-            return makeInt(t, ub == 0 ? ~0ull : ua / ub);
-        }
-      case Op::Rem: {
-        if (bugs_.legacy_rem) {
-            // The original GPGPU-Sim rem_impl the paper fixed:
-            //   data.u64 = src1_data.u64 % src2_data.u64;
-            // ignoring both signedness and operand width.
-            RegVal d;
-            d.u64 = b.u64 == 0 ? a.u64 : a.u64 % b.u64;
-            return d;
-        }
-        if (isSigned(t)) {
-            const int64_t sa = asS64(t, a), sb = asS64(t, b);
-            if (sb == 0)
-                return makeInt(t, uint64_t(sa));
-            if (sa == INT64_MIN && sb == -1)
-                return makeInt(t, 0);
-            return makeInt(t, uint64_t(sa % sb));
-        } else {
-            const uint64_t ua = asU64(t, a), ub = asU64(t, b);
-            return makeInt(t, ub == 0 ? ua : ua % ub);
-        }
-      }
-      case Op::Abs:
-        if (isFloat(t))
-            return makeF(t, std::fabs(asF(t, a)));
-        return makeInt(t, uint64_t(std::llabs(asS64(t, a))));
-      case Op::Neg:
-        if (isFloat(t))
-            return makeF(t, -asF(t, a));
-        return makeInt(t, uint64_t(-asS64(t, a)));
-      case Op::Min:
-        if (isFloat(t))
-            return makeF(t, fminDet(asF(t, a), asF(t, b)));
-        if (isSigned(t))
-            return makeInt(t, uint64_t(std::min(asS64(t, a), asS64(t, b))));
-        return makeInt(t, std::min(asU64(t, a), asU64(t, b)));
-      case Op::Max:
-        if (isFloat(t))
-            return makeF(t, fmaxDet(asF(t, a), asF(t, b)));
-        if (isSigned(t))
-            return makeInt(t, uint64_t(std::max(asS64(t, a), asS64(t, b))));
-        return makeInt(t, std::max(asU64(t, a), asU64(t, b)));
-      case Op::And:
-        return makeInt(t, asU64(t, a) & asU64(t, b));
-      case Op::Or:
-        return makeInt(t, asU64(t, a) | asU64(t, b));
-      case Op::Xor:
-        return makeInt(t, asU64(t, a) ^ asU64(t, b));
-      case Op::Not:
-        return makeInt(t, ~asU64(t, a));
-      case Op::Shl: {
-        const unsigned w = bitWidth(t);
-        const uint32_t s = b.u32;
-        return makeInt(t, s >= w ? 0 : asU64(t, a) << s);
-      }
-      case Op::Shr: {
-        const unsigned w = bitWidth(t);
-        const uint32_t s = b.u32;
-        if (isSigned(t)) {
-            const int64_t sa = asS64(t, a);
-            return makeInt(t, uint64_t(sa >> std::min(s, w - 1)));
-        }
-        return makeInt(t, s >= w ? 0 : asU64(t, a) >> s);
-      }
-      case Op::Brev: {
-        const unsigned w = bitWidth(t);
-        const uint64_t x = asU64(t, a);
-        uint64_t r = 0;
-        for (unsigned i = 0; i < w; i++)
-            if ((x >> i) & 1)
-                r |= 1ull << (w - 1 - i);
-        return makeInt(t, r);
-      }
-      case Op::Bfe: {
-        const unsigned w = bitWidth(t);
-        const uint64_t x = asU64(t, a);
-        const uint32_t pos = b.u32 & 0xff;
-        const uint32_t len = c.u32 & 0xff;
-        if (len == 0)
-            return makeInt(t, 0);
-        uint64_t field;
-        if (pos >= w)
-            field = 0;
-        else
-            field = x >> pos;
-        const uint64_t mask = len >= 64 ? ~0ull : ((1ull << len) - 1);
-        field &= mask;
-        if (isSigned(t) && !bugs_.legacy_bfe) {
-            // Sign bit is the msb of the extracted field (or of the source
-            // when the field extends past it).
-            const uint32_t sb = std::min(pos + len - 1, w - 1);
-            if ((x >> sb) & 1)
-                field |= ~mask;
-        }
-        // legacy_bfe: the pre-fix behaviour — no sign extension at all.
-        return makeInt(t, field);
-      }
-      case Op::Popc:
-        return makeInt(Type::U32, uint64_t(__builtin_popcountll(asU64(
-                                      ins.stype == Type::None ? t : t, a))));
-      case Op::Clz: {
-        const unsigned w = bitWidth(t);
-        const uint64_t x = asU64(t, a);
-        unsigned n = 0;
-        for (int i = int(w) - 1; i >= 0 && !((x >> i) & 1); i--)
-            n++;
-        return makeInt(Type::U32, n);
-      }
-      case Op::Rcp:
-        return makeF(t, 1.0 / asF(t, a));
-      case Op::Sqrt:
-        return makeF(t, std::sqrt(asF(t, a)));
-      case Op::Rsqrt:
-        return makeF(t, 1.0 / std::sqrt(asF(t, a)));
-      case Op::Sin:
-        return makeF(t, std::sin(asF(t, a)));
-      case Op::Cos:
-        return makeF(t, std::cos(asF(t, a)));
-      case Op::Ex2:
-        return makeF(t, std::exp2(asF(t, a)));
-      case Op::Lg2:
-        return makeF(t, std::log2(asF(t, a)));
-      default:
-        panic("execAlu: unhandled op ", ptx::opName(ins.op));
-    }
-}
-
-namespace
-{
 
 /** Index of an in-flight instruction within its kernel (race reporting). */
 uint32_t
@@ -690,86 +131,12 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
       case Op::Cvt: {
         const Type dt = ins.type;
         const Type st = ins.stype == Type::None ? dt : ins.stype;
-        const RegVal a = src(1);
-        RegVal out;
-        if (isFloat(st) && isFloat(dt)) {
-            out = makeF(dt, asF(st, a));
-        } else if (isFloat(st)) {
-            // float -> int, saturating; default rounding truncates (rzi);
-            // .rni rounds to nearest even.
-            double x = asF(st, a);
-            if (ins.cvt_round == ptx::CvtRound::Nearest)
-                x = std::nearbyint(x);
-            else
-                x = std::trunc(x);
-            if (isSigned(dt))
-                out = makeInt(dt, uint64_t(clampToSigned(x, bitWidth(dt))));
-            else
-                out = makeInt(dt, clampToUnsigned(x, bitWidth(dt)));
-        } else if (isFloat(dt)) {
-            if (isSigned(st))
-                out = makeF(dt, double(asS64(st, a)));
-            else
-                out = makeF(dt, double(asU64(st, a)));
-        } else {
-            // int -> int: read as source type (sign-extends), write as dest.
-            if (isSigned(st))
-                out = makeInt(dt, uint64_t(asS64(st, a)));
-            else
-                out = makeInt(dt, asU64(st, a));
-        }
-        writeDst(dt, out);
+        writeDst(dt, execCvt(dt, st, ins.cvt_round, src(1)));
         return;
       }
       case Op::Setp: {
-        const Type t = ins.stype == Type::None ? ins.type : ins.type;
-        const RegVal a = src(1), b = src(2);
-        bool r = false;
-        if (isFloat(t)) {
-            const double fa = asF(t, a), fb = asF(t, b);
-            switch (ins.cmp) {
-              case CmpOp::Eq: r = fa == fb; break;
-              case CmpOp::Ne: r = fa != fb; break;
-              case CmpOp::Lt: r = fa < fb; break;
-              case CmpOp::Le: r = fa <= fb; break;
-              case CmpOp::Gt: r = fa > fb; break;
-              case CmpOp::Ge: r = fa >= fb; break;
-              default: fatal("unsigned compare on float type: ", ins.text);
-            }
-        } else if (ins.cmp == CmpOp::Lo || ins.cmp == CmpOp::Ls ||
-                   ins.cmp == CmpOp::Hi || ins.cmp == CmpOp::Hs) {
-            const uint64_t ua = asU64(t, a), ub = asU64(t, b);
-            switch (ins.cmp) {
-              case CmpOp::Lo: r = ua < ub; break;
-              case CmpOp::Ls: r = ua <= ub; break;
-              case CmpOp::Hi: r = ua > ub; break;
-              default: r = ua >= ub; break;
-            }
-        } else if (isSigned(t)) {
-            const int64_t sa = asS64(t, a), sb = asS64(t, b);
-            switch (ins.cmp) {
-              case CmpOp::Eq: r = sa == sb; break;
-              case CmpOp::Ne: r = sa != sb; break;
-              case CmpOp::Lt: r = sa < sb; break;
-              case CmpOp::Le: r = sa <= sb; break;
-              case CmpOp::Gt: r = sa > sb; break;
-              case CmpOp::Ge: r = sa >= sb; break;
-              default: break;
-            }
-        } else {
-            const uint64_t ua = asU64(t, a), ub = asU64(t, b);
-            switch (ins.cmp) {
-              case CmpOp::Eq: r = ua == ub; break;
-              case CmpOp::Ne: r = ua != ub; break;
-              case CmpOp::Lt: r = ua < ub; break;
-              case CmpOp::Le: r = ua <= ub; break;
-              case CmpOp::Gt: r = ua > ub; break;
-              case CmpOp::Ge: r = ua >= ub; break;
-              default: break;
-            }
-        }
         RegVal v;
-        v.pred = r;
+        v.pred = setpCompare(ins.type, ins.cmp, src(1), src(2), ins.text);
         writeDst(Type::Pred, v);
         return;
       }
@@ -784,20 +151,14 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
         const uint64_t ib = asU64(ins.type, src(2));
         const uint32_t pos = src(3).u32 & 0xff;
         const uint32_t len = src(4).u32 & 0xff;
-        const unsigned w = bitWidth(ins.type);
-        uint64_t out = ib;
-        if (len > 0 && pos < w) {
-            const uint64_t mask =
-                (len >= 64 ? ~0ull : ((1ull << len) - 1)) << pos;
-            out = (ib & ~mask) | ((ia << pos) & mask);
-        }
-        writeDst(ins.type, makeInt(ins.type, out));
+        writeDst(ins.type,
+                 makeInt(ins.type, bfiInsert(ins.type, ia, ib, pos, len)));
         return;
       }
       case Op::Ld: {
         const Ea ea = resolveAddr(ins, ins.ops[1], cta, tid, env);
         RegVal vals[4];
-        loadTyped(ea, ins.type, ins.vec_width, vals, cta, tid, env);
+        loadTyped(*mem_, ea, ins.type, ins.vec_width, vals, cta, tid, env);
         if (ins.vec_width == 1) {
             writeDst(ins.type, vals[0]);
         } else {
@@ -831,7 +192,7 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
             for (unsigned i = 0; i < ins.vec_width; i++)
                 vals[i] = th.regs[size_t(vec[i])];
         }
-        storeTyped(ea, ins.type, ins.vec_width, vals, cta, tid, env);
+        storeTyped(*mem_, ea, ins.type, ins.vec_width, vals, cta, tid);
         if (ea.space == Space::Global || ea.space == Space::Const ||
             ea.space == Space::Local) {
             res.accesses.push_back(MemAccess{
@@ -852,59 +213,13 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
         const size_t addr_idx = has_dst ? 1 : 0;
         const Ea ea = resolveAddr(ins, ins.ops[addr_idx], cta, tid, env);
         RegVal old;
-        loadTyped(ea, ins.type, 1, &old, cta, tid, env);
+        loadTyped(*mem_, ea, ins.type, 1, &old, cta, tid, env);
         const RegVal b = readOperand(ins, ins.ops[addr_idx + 1], cta, tid, env);
-        RegVal next;
-        switch (ins.atom_op) {
-          case AtomOp::Add:
-            if (isFloat(ins.type))
-                next = makeF(ins.type, asF(ins.type, old) + asF(ins.type, b));
-            else
-                next = makeInt(ins.type,
-                               asU64(ins.type, old) + asU64(ins.type, b));
-            break;
-          case AtomOp::Min:
-            if (isSigned(ins.type))
-                next = makeInt(ins.type, uint64_t(std::min(
-                                             asS64(ins.type, old),
-                                             asS64(ins.type, b))));
-            else
-                next = makeInt(ins.type, std::min(asU64(ins.type, old),
-                                                  asU64(ins.type, b)));
-            break;
-          case AtomOp::Max:
-            if (isSigned(ins.type))
-                next = makeInt(ins.type, uint64_t(std::max(
-                                             asS64(ins.type, old),
-                                             asS64(ins.type, b))));
-            else
-                next = makeInt(ins.type, std::max(asU64(ins.type, old),
-                                                  asU64(ins.type, b)));
-            break;
-          case AtomOp::Exch:
-            next = b;
-            break;
-          case AtomOp::Cas: {
-            const RegVal swap =
-                readOperand(ins, ins.ops[addr_idx + 2], cta, tid, env);
-            next = (asU64(ins.type, old) == asU64(ins.type, b)) ? swap : old;
-            break;
-          }
-          case AtomOp::And:
-            next = makeInt(ins.type, asU64(ins.type, old) & asU64(ins.type, b));
-            break;
-          case AtomOp::Or:
-            next = makeInt(ins.type, asU64(ins.type, old) | asU64(ins.type, b));
-            break;
-          case AtomOp::Inc: {
-            const uint64_t uo = asU64(ins.type, old);
-            next = makeInt(ins.type, uo >= asU64(ins.type, b) ? 0 : uo + 1);
-            break;
-          }
-          default:
-            panic("unhandled atomic op");
-        }
-        storeTyped(ea, ins.type, 1, &next, cta, tid, env);
+        RegVal swap;
+        if (ins.atom_op == AtomOp::Cas)
+            swap = readOperand(ins, ins.ops[addr_idx + 2], cta, tid, env);
+        const RegVal next = atomNext(ins.atom_op, ins.type, old, b, swap);
+        storeTyped(*mem_, ea, ins.type, 1, &next, cta, tid);
         if (has_dst)
             writeDst(ins.type, old);
         if (ea.space == Space::Shared) {
@@ -922,55 +237,27 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
         MLGS_REQUIRE(bind, "texture '", taddr.sym,
                      "' is not bound to an array (lost binding)");
         // Coordinates.
-        int64_t xi = 0, yi = 0;
         const Type ct = ins.stype;
         MLGS_ASSERT(!taddr.vec.empty(), "tex without coordinates");
-        auto coordToInt = [&](int reg_id) -> int64_t {
-            const RegVal &cv = th.regs[size_t(reg_id)];
-            if (isFloat(ct))
-                return int64_t(std::floor(asF(ct, cv)));
-            return asS64(ct, cv);
-        };
-        xi = coordToInt(taddr.vec[0]);
-        if (ins.tex_dim >= 2 && taddr.vec.size() >= 2)
-            yi = coordToInt(taddr.vec[1]);
-        auto wrap = [&](int64_t v, int64_t n) -> int64_t {
-            if (n <= 0)
-                return 0;
-            switch (bind->address_mode) {
-              case TexAddressMode::Wrap: {
-                int64_t m = v % n;
-                return m < 0 ? m + n : m;
-              }
-              case TexAddressMode::Border:
-                return (v < 0 || v >= n) ? -1 : v;
-              default:
-                return std::min(std::max<int64_t>(v, 0), n - 1);
-            }
-        };
-        const int64_t x = wrap(xi, int64_t(bind->width));
-        const int64_t y = ins.tex_dim >= 2 ? wrap(yi, int64_t(bind->height)) : 0;
-        float texel[4] = {0, 0, 0, 0};
-        if (x >= 0 && y >= 0) {
-            const addr_t base =
-                bind->base +
-                (addr_t(y) * bind->width + addr_t(x)) * bind->channels * 4;
-            for (unsigned ch = 0; ch < bind->channels && ch < 4; ch++)
-                texel[ch] = mem_->load<float>(base + ch * 4);
-            res.accesses.push_back(MemAccess{base, bind->channels * 4, false,
-                                             false, Space::Tex});
-        }
+        const int64_t xi = texCoordToInt(ct, th.regs[size_t(taddr.vec[0])]);
+        const int64_t yi = (ins.tex_dim >= 2 && taddr.vec.size() >= 2)
+                               ? texCoordToInt(ct, th.regs[size_t(taddr.vec[1])])
+                               : 0;
+        const TexFetch f = texFetch(*mem_, *bind, ins.tex_dim, xi, yi);
+        if (f.hit)
+            res.accesses.push_back(
+                MemAccess{f.base, f.bytes, false, false, Space::Tex});
         // Destination: vector (v4) or scalar register.
         if (ins.ops[0].kind == Operand::Kind::Vec) {
             const auto &vec = ins.ops[0].vec;
             for (size_t i = 0; i < vec.size(); i++) {
                 RegVal v;
-                v.f32 = texel[i];
+                v.f32 = f.texel[i];
                 writeTyped(th.regs[size_t(vec[i])], Type::F32, v);
             }
         } else {
             RegVal v;
-            v.f32 = texel[0];
+            v.f32 = f.texel[0];
             writeDst(Type::F32, v);
         }
         return;
@@ -982,7 +269,7 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
         const RegVal a = src(1);
         const RegVal b = n > 2 ? src(2) : RegVal{};
         const RegVal c = n > 3 ? src(3) : RegVal{};
-        RegVal out = execAlu(ins, a, b, c);
+        RegVal out = execAluOp(bugs_, ins.op, ins.type, ins.mul_mode, a, b, c);
         // mul.wide / mad.wide write a double-width destination.
         Type dt = ins.type;
         if ((ins.op == Op::Mul || ins.op == Op::Mad) &&
@@ -1008,7 +295,9 @@ Interpreter::stepWarp(CtaExec &cta, unsigned warp, const LaunchEnv &env)
 {
     if (replay_streams_)
         return replayStep(cta, warp, env);
-    WarpStepResult res = stepWarpExec(cta, warp, env);
+    WarpStepResult res = mode_ == ExecMode::Compiled
+                             ? compiled::stepWarp(*this, cta, warp, env)
+                             : stepWarpExec(cta, warp, env);
     if (record_streams_)
         record_streams_->append(env.launch_seq, cta, warp, res);
     return res;

@@ -3,16 +3,24 @@
  * Functional execution of PTX warp instructions. One Interpreter instance is
  * shared by the pure-functional engine and by the timing model (which calls
  * stepWarp at issue time, GPGPU-Sim style).
+ *
+ * Two backends sit behind stepWarp(): the reference interpreter here
+ * (per-instruction decode of the parsed IR) and the compiled micro-op
+ * executor (src/func/compiled/, threaded dispatch over the lowered uop
+ * stream from ptx/uop.h). Both run the shared scalar semantics in
+ * func/exec_semantics.h and are bitwise identical on register files and
+ * memory; ExecMode picks which one executes.
  */
 #ifndef MLGS_FUNC_INTERPRETER_H
 #define MLGS_FUNC_INTERPRETER_H
 
 #include <string>
-#include <unordered_map>
 
 #include "func/bug_model.h"
 #include "func/coverage.h"
 #include "func/cta_exec.h"
+#include "func/exec_mode.h"
+#include "func/launch_env.h"
 #include "func/texture.h"
 #include "func/warp_step.h"
 #include "func/warp_stream.h"
@@ -22,34 +30,18 @@
 namespace mlgs::func
 {
 
-/** Module-level symbol addresses (globals materialized at module load). */
-using SymbolTable = std::unordered_map<std::string, addr_t>;
-
-/** Everything a kernel launch needs besides the grid itself. */
-struct LaunchEnv
-{
-    const ptx::KernelDef *kernel = nullptr;
-    std::vector<uint8_t> params;            ///< packed parameter block
-    const SymbolTable *symbols = nullptr;   ///< may be null (no module globals)
-    const TextureProvider *textures = nullptr; ///< may be null (no textures)
-
-    /**
-     * Position of this launch in the run's launch order, stamped by
-     * GpuModel::beginKernel. Keys the warp-stream cache (trace-driven
-     * timing replay); launch order is deterministic, so the same workload
-     * always produces the same numbering.
-     */
-    uint64_t launch_seq = 0;
-};
-
 /** Executes warp instructions against a CtaExec and global memory. */
 class Interpreter
 {
   public:
-    explicit Interpreter(GpuMemory &mem, BugModel bugs = BugModel{})
-        : mem_(&mem), bugs_(bugs)
+    explicit Interpreter(GpuMemory &mem, BugModel bugs = BugModel{},
+                         ExecMode mode = ExecMode::Auto)
+        : mem_(&mem), bugs_(bugs), mode_(resolveExecMode(mode))
     {
     }
+
+    /** The resolved functional backend (never Auto). */
+    ExecMode execMode() const { return mode_; }
 
     /** Optional coverage collection (differential coverage debugging). */
     void setCoverage(CoverageMap *cov) { coverage_ = cov; }
@@ -105,35 +97,12 @@ class Interpreter
     WarpStepResult replayStep(CtaExec &cta, unsigned warp,
                               const LaunchEnv &env);
 
-    ptx::RegVal readOperand(const ptx::Instr &ins, const ptx::Operand &op,
-                            const CtaExec &cta, unsigned tid,
-                            const LaunchEnv &env) const;
-
-    addr_t symbolAddr(const std::string &sym, const ptx::KernelDef &k,
-                      const LaunchEnv &env) const;
-
-    struct Ea
-    {
-        ptx::Space space;
-        addr_t addr; ///< absolute (window-relative encoding preserved)
-    };
-    Ea resolveAddr(const ptx::Instr &ins, const ptx::Operand &op,
-                   const CtaExec &cta, unsigned tid, const LaunchEnv &env) const;
-
-    void loadTyped(const Ea &ea, ptx::Type t, unsigned vec, ptx::RegVal *out,
-                   CtaExec &cta, unsigned tid, const LaunchEnv &env) const;
-    void storeTyped(const Ea &ea, ptx::Type t, unsigned vec,
-                    const ptx::RegVal *vals, CtaExec &cta, unsigned tid,
-                    const LaunchEnv &env) const;
-
-    ptx::RegVal execAlu(const ptx::Instr &ins, const ptx::RegVal &a,
-                        const ptx::RegVal &b, const ptx::RegVal &c) const;
-
     void execLane(const ptx::Instr &ins, CtaExec &cta, unsigned tid,
                   unsigned lane, const LaunchEnv &env, WarpStepResult &res);
 
     GpuMemory *mem_;
     BugModel bugs_;
+    ExecMode mode_;
     bool check_races_ = false;
     CoverageMap *coverage_ = nullptr;
     WarpStreamCache *record_streams_ = nullptr;

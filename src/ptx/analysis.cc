@@ -14,6 +14,7 @@
 
 #include "ptx/cfg.h"
 #include "ptx/ir.h"
+#include "ptx/uop.h"
 
 namespace mlgs::ptx
 {
@@ -153,6 +154,10 @@ analyzeKernel(KernelDef &kernel)
         last.reconv_pc =
             (ip == cfg.exitNode()) ? kReconvExit : cfg.blocks()[ip].first;
     }
+
+    // Lower to the micro-op IR now that reconvergence PCs and variant ids
+    // are final — once per module load, not per launch (ptx/uop.h).
+    initUopCache(kernel);
 }
 
 std::string

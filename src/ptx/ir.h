@@ -12,6 +12,7 @@
 #define MLGS_PTX_IR_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,8 @@
 
 namespace mlgs::ptx
 {
+
+struct UopCache; // per-kernel lowered micro-op programs (ptx/uop.h)
 
 /** PTX operand/instruction data type. */
 enum class Type : uint8_t
@@ -297,6 +300,13 @@ struct KernelDef
     }
 
     bool analyzed = false; ///< reconvergence points computed
+
+    /**
+     * Lowered micro-op programs, created by analyzeKernel (ptx/uop.h). The
+     * cache is shared between copies of the KernelDef; re-analysis (the
+     * instrumentation pass) installs a fresh cache for the mutated copy.
+     */
+    std::shared_ptr<UopCache> uop_cache;
 
     /**
      * Kernel performs atomics outside shared memory (set by analyzeKernel).

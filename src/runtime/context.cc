@@ -13,7 +13,7 @@ namespace mlgs::cuda
 
 Context::Context(ContextOptions opts)
     : opts_(std::move(opts)),
-      interp_(mem_, opts_.bugs),
+      interp_(mem_, opts_.bugs, opts_.exec_mode),
       func_engine_(interp_),
       gpu_(std::make_unique<timing::GpuModel>(opts_.gpu, interp_))
 {

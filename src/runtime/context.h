@@ -70,6 +70,13 @@ struct ContextOptions
     timing::GpuConfig gpu;
 
     /**
+     * Functional execution backend: the reference interpreter or the
+     * compiled micro-op executor (bitwise identical; the compiled backend is
+     * faster). Auto resolves from MLGS_EXEC, defaulting to compiled.
+     */
+    func::ExecMode exec_mode = func::ExecMode::Auto;
+
+    /**
      * Pre-fix texture behaviour: a texture name maps to a single texref, so
      * re-registering the same name loses the previous binding (the failure
      * MNIST exposed, Section III-C). Off = fixed behaviour.

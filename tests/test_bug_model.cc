@@ -42,7 +42,7 @@ enum Slot
 
 /** Run the probe kernel under `bugs`; returns the 8 output slots raw. */
 std::vector<uint32_t>
-runProbe(func::BugModel bugs)
+runProbe(func::BugModel bugs, func::ExecMode mode = func::ExecMode::Auto)
 {
     const char *src = R"(
 .visible .entry bugprobe(.param .u64 out)
@@ -89,7 +89,7 @@ runProbe(func::BugModel bugs)
     ret;
 }
 )";
-    MiniGpu gpu(bugs);
+    MiniGpu gpu(bugs, mode);
     const ptx::Module m = ptx::parseModule(src, "bugprobe.ptx");
     const addr_t out = gpu.alloc.alloc(kNumSlots * 4);
     ParamPack p;
@@ -178,6 +178,47 @@ TEST(BugModel, SplitFmaChangesExactlyFmaF32)
     // Two roundings: identical to the explicit mul+add sequence.
     EXPECT_EQ(bugged[kFmaF32], bits(kFmaA * kFmaA + kFmaC));
     EXPECT_EQ(bugged[kFmaF32], bugged[kMulAdd]);
+}
+
+// Bug injection is baked in at lowering time for the compiled backend, so
+// every flag must behave identically there: same targeted slot, same buggy
+// value, no collateral damage — regardless of what MLGS_EXEC says.
+
+TEST(BugModel, LegacyRemUnderCompiledBackend)
+{
+    const auto base = runProbe({}, func::ExecMode::Compiled);
+    const auto bugged =
+        runProbe({.legacy_rem = true}, func::ExecMode::Compiled);
+    expectOnlySlotChanged(base, bugged, kRemS32);
+    EXPECT_EQ(bugged[kRemS32], 0u);
+    // Both backends produce the identical buggy bit pattern.
+    EXPECT_EQ(bugged, runProbe({.legacy_rem = true}, func::ExecMode::Interp));
+}
+
+TEST(BugModel, LegacyBfeUnderCompiledBackend)
+{
+    const auto base = runProbe({}, func::ExecMode::Compiled);
+    const auto bugged =
+        runProbe({.legacy_bfe = true}, func::ExecMode::Compiled);
+    expectOnlySlotChanged(base, bugged, kBfeS32);
+    EXPECT_EQ(bugged[kBfeS32], 15u);
+    EXPECT_EQ(bugged, runProbe({.legacy_bfe = true}, func::ExecMode::Interp));
+}
+
+TEST(BugModel, SplitFmaUnderCompiledBackend)
+{
+    const auto base = runProbe({}, func::ExecMode::Compiled);
+    const auto bugged =
+        runProbe({.split_fma = true}, func::ExecMode::Compiled);
+    expectOnlySlotChanged(base, bugged, kFmaF32);
+    EXPECT_EQ(bugged[kFmaF32], bits(kFmaA * kFmaA + kFmaC));
+    EXPECT_EQ(bugged, runProbe({.split_fma = true}, func::ExecMode::Interp));
+}
+
+TEST(BugModel, CleanProbeIdenticalAcrossBackends)
+{
+    EXPECT_EQ(runProbe({}, func::ExecMode::Interp),
+              runProbe({}, func::ExecMode::Compiled));
 }
 
 TEST(BugModel, FlagsComposeIndependently)
