@@ -11,16 +11,56 @@
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "cudnn/cudnn.h"
+#include "func/exec_mode.h"
 #include "power/power_model.h"
+#include "sample/options.h"
 #include "stats/aerial.h"
 #include "torchlet/lenet_cpu.h"
 
 namespace mlgs::bench
 {
+
+/**
+ * Build/environment stamp embedded in every BENCH_*.json ("build_meta" key):
+ * results are meaningless to compare across compilers, build types, or
+ * resolved execution/timing modes, so each artifact records the ones it was
+ * produced under.
+ */
+inline std::string
+buildMetaJson()
+{
+    const char *compiler =
+#if defined(__clang__)
+        "clang " __clang_version__;
+#elif defined(__GNUC__)
+        "gcc " __VERSION__;
+#else
+        "unknown";
+#endif
+    const char *build_type =
+#ifdef NDEBUG
+        "release";
+#else
+        "debug";
+#endif
+    std::ostringstream os;
+    os << "{\"compiler\": \"" << compiler << "\", \"build_type\": \""
+       << build_type
+       << "\", \"sim_threads\": " << ThreadPool::resolveThreadCount(0)
+       << ", \"exec_mode\": \""
+       << func::execModeName(func::resolveExecMode(func::ExecMode::Auto))
+       << "\", \"timing_mode\": \""
+       << sample::timingModeName(
+              sample::resolveTimingMode(sample::TimingMode::Auto))
+       << "\"}";
+    return os.str();
+}
 
 /** The conv_sample problem (paper Section V; sizes scaled per DESIGN.md). */
 struct ConvSampleShape

@@ -211,6 +211,7 @@ replaySweep(int repeat)
 
     std::ofstream os("BENCH_trace_replay.json", std::ios::binary);
     os << "{\n"
+       << "  \"build_meta\": " << buildMetaJson() << ",\n"
        << "  \"repeat\": " << repeat << ",\n"
        << "  \"replay_mode\": \"timing_only_warp_stream\",\n"
        << "  \"all_bitwise_match\": " << (all_match ? "true" : "false")

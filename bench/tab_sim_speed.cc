@@ -238,6 +238,7 @@ writeSimSpeedJson(const char *path)
         return;
     }
     std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"build_meta\": %s,\n", buildMetaJson().c_str());
     std::fprintf(f, "  \"workload\": \"conv_fwd implicit_gemm+winograd_nonfused"
                     " n2c8h14w14 k8r3s3 gtx1050\",\n");
     std::fprintf(f, "  \"host_threads_available\": %u,\n",
@@ -322,6 +323,7 @@ writeCompiledExecJson(const char *path)
         return;
     }
     std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"build_meta\": %s,\n", buildMetaJson().c_str());
     std::fprintf(f, "  \"workload\": \"conv_fwd implicit_gemm+winograd_nonfused"
                     " n2c8h14w14 k8r3s3 gtx1050 functional\",\n");
     std::fprintf(f, "  \"runs\": [\n");

@@ -51,6 +51,10 @@ convTraceOptions(const ConvTraceSpec &spec)
     opts.gpu = timing::GpuConfig::gtx1080ti();
     opts.gpu.sched_policy = spec.sched;
     opts.gpu.dram_frfcfs = spec.frfcfs;
+    // Recorded traces are golden-stats artifacts: pin the detailed cycle
+    // model so an MLGS_TIMING in the environment can't change them. Timing-
+    // mode comparisons opt in by overriding timing_mode explicitly.
+    opts.timing_mode = sample::TimingMode::Detailed;
     return opts;
 }
 
@@ -123,6 +127,7 @@ lenetTraceOptions(cuda::SimMode mode = cuda::SimMode::Performance)
     cuda::ContextOptions opts;
     opts.mode = mode;
     opts.gpu = timing::GpuConfig::gtx1050();
+    opts.timing_mode = sample::TimingMode::Detailed; // golden-stats workload
     return opts;
 }
 

@@ -26,6 +26,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 
 #include "bench/trace_workloads.h"
 
@@ -61,7 +62,8 @@ usage()
         "                         [--pass forward|bwd-data|bwd-filter]\n"
         "                         [--algo N] [--stats FILE]\n"
         "       mlgs-trace replay <in.mlgstrace> [--repeat N] [--timing-only]\n"
-        "                         [--stats FILE]\n"
+        "                         [--timing-mode detailed|sampled|predicted]\n"
+        "                         [--per-launch] [--stats FILE]\n"
         "       mlgs-trace info   <in.mlgstrace>\n");
     return 2;
 }
@@ -74,6 +76,8 @@ struct Args
     int algo = int(cudnn::ConvFwdAlgo::Gemm);
     int repeat = 1;
     bool timing_only = false;
+    bool per_launch = false;
+    std::string timing_mode;
     std::string stats;
 };
 
@@ -100,6 +104,10 @@ parseArgs(int argc, char **argv, Args &a)
             a.repeat = std::atoi(value());
         else if (flag == "--timing-only")
             a.timing_only = true;
+        else if (flag == "--timing-mode")
+            a.timing_mode = value();
+        else if (flag == "--per-launch")
+            a.per_launch = true;
         else if (flag == "--stats")
             a.stats = value();
         else {
@@ -108,6 +116,40 @@ parseArgs(int argc, char **argv, Args &a)
         }
     }
     return a.cmd == "record" || a.cmd == "replay" || a.cmd == "info";
+}
+
+const char *
+timingSourceName(engine::TimingSource s)
+{
+    switch (s) {
+      case engine::TimingSource::Detailed: return "detailed";
+      case engine::TimingSource::Extrapolated: return "extrap";
+      case engine::TimingSource::Predicted: return "predicted";
+      default: return "func";
+    }
+}
+
+void
+printPerLaunch(const cuda::Context &ctx)
+{
+    const auto &log = ctx.launchLog();
+    std::printf("  per-launch breakdown (%zu launches):\n", log.size());
+    std::printf("    %4s  %-28s %-9s %12s %12s %12s %6s\n", "#", "kernel",
+                "source", "start", "cycles", "warp_instrs", "ipc");
+    size_t i = 0;
+    for (const auto &r : log) {
+        const bool func = r.timing_source == engine::TimingSource::Functional;
+        const uint64_t cycles =
+            func ? uint64_t(r.end_cycle - r.start_cycle) : uint64_t(r.cycles);
+        const uint64_t wi = func ? r.func_stats.instructions
+                                 : r.perf.warp_instructions;
+        std::printf("    %4zu  %-28s %-9s %12llu %12llu %12llu %6.2f\n", i++,
+                    r.kernel_name.c_str(),
+                    timingSourceName(r.timing_source),
+                    (unsigned long long)r.start_cycle,
+                    (unsigned long long)cycles, (unsigned long long)wi,
+                    cycles ? double(wi) / double(cycles) : 0.0);
+    }
 }
 
 int
@@ -153,6 +195,8 @@ doRecord(const Args &a)
                 (unsigned long long)rec.opCount(),
                 (unsigned long long)rec.launchCount(),
                 (unsigned long long)t.cycles, msSince(t0), a.path.c_str());
+    if (a.per_launch)
+        printPerLaunch(ctx);
     if (!a.stats.empty())
         writeFileOrDie(a.stats, trace::statsJson(ctx));
     return 0;
@@ -180,6 +224,18 @@ doReplay(const Args &a)
 {
     const auto rep = trace::TraceReplayer::fromFile(a.path);
     const int repeat = std::max(1, a.repeat);
+    std::optional<sample::TimingMode> tm;
+    if (!a.timing_mode.empty()) {
+        tm = sample::parseTimingMode(a.timing_mode);
+        if (!tm) {
+            std::fprintf(stderr, "unknown timing mode: %s\n",
+                         a.timing_mode.c_str());
+            return 2;
+        }
+        MLGS_REQUIRE(!a.timing_only,
+                     "--timing-only and --timing-mode are exclusive: "
+                     "trace-driven replay bypasses launch routing");
+    }
     func::WarpStreamCache streams;
     ReplayRun first;
     std::string json;
@@ -194,6 +250,17 @@ doReplay(const Args &a)
             run.totals = ctx.gpuModel().totals();
             run.elapsed_cycles = ctx.elapsedCycles();
             json = trace::statsJson(ctx);
+        } else if (tm || a.per_launch) {
+            cuda::ContextOptions opts = rep.options();
+            if (tm)
+                opts.timing_mode = *tm;
+            cuda::Context ctx(opts);
+            run.result = rep.replay(ctx);
+            run.totals = ctx.gpuModel().totals();
+            run.elapsed_cycles = ctx.elapsedCycles();
+            json = trace::statsJson(ctx);
+            if (a.per_launch && i == 0)
+                printPerLaunch(ctx);
         } else {
             run = replayTrace(rep, &json,
                               a.timing_only ? &streams : nullptr);

@@ -36,6 +36,15 @@ class Event
     cycle_t complete_at_ = 0; ///< device time the recording op completed
 };
 
+/** How a launch's cycles/stats were produced. */
+enum class TimingSource : uint8_t
+{
+    Functional,   ///< functional mode: duration = instruction count
+    Detailed,     ///< cycle-simulated in the timing model
+    Extrapolated, ///< fast-forwarded; cycles scaled from a cluster rep
+    Predicted,    ///< fast-forwarded; cycles from the regression model
+};
+
 /** One entry in the per-launch log (feeds the oracle and the debug tool). */
 struct LaunchRecord
 {
@@ -53,6 +62,8 @@ struct LaunchRecord
     timing::KernelRunStats perf; ///< performance mode only
     cycle_t start_cycle = 0;     ///< device time the launch began executing
     cycle_t end_cycle = 0;       ///< device time the launch completed
+    TimingSource timing_source = TimingSource::Functional;
+    uint64_t cluster_id = 0;     ///< sampled timing modes only
 };
 
 /** In-order command queue. */

@@ -49,6 +49,7 @@ class TimingBackend : public ExecBackend
     {
         rec.perf = gpu_->collectKernel(token);
         rec.cycles = rec.perf.cycles;
+        rec.timing_source = TimingSource::Detailed;
     }
 
   private:

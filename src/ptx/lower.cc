@@ -519,4 +519,34 @@ compiledProgram(const KernelDef &kernel, const LowerBugs &bugs)
     return *cache.variants.back();
 }
 
+UopMix
+uopMix(const KernelDef &kernel)
+{
+    const UopProgram &prog = compiledProgram(kernel, LowerBugs{});
+    UopMix mix;
+    mix.uops = uint32_t(prog.uops.size());
+    for (const Uop &u : prog.uops) {
+        switch (u.stat_class) {
+          case 1: mix.sfu++; break;
+          case 2:
+            mix.mem++;
+            if (u.mem.space == Space::Shared)
+                mix.shared++;
+            break;
+          default: mix.alu++; break;
+        }
+        if (u.kind == UopKind::Bra) {
+            mix.branches++;
+            if (u.pred >= 0)
+                mix.divergent++;
+        }
+        if (u.kind == UopKind::Bar)
+            mix.barriers++;
+        if (u.kind == UopKind::Atom || u.op == Op::Atom || u.op == Op::Red)
+            mix.atomics++;
+        mix.flops += u.flops_per_lane;
+    }
+    return mix;
+}
+
 } // namespace mlgs::ptx

@@ -176,6 +176,29 @@ void initUopCache(KernelDef &kernel);
 const UopProgram &compiledProgram(const KernelDef &kernel,
                                   const LowerBugs &bugs);
 
+/**
+ * Static per-class instruction mix of a lowered kernel: one count per
+ * FuncStats stat class plus control-flow shape. Purely static (no execution
+ * weighting) — the sampling subsystem uses it as part of a launch signature,
+ * so two kernels that merely share a name but differ in body hash apart.
+ */
+struct UopMix
+{
+    uint32_t uops = 0;       ///< total micro-ops
+    uint32_t alu = 0;        ///< stat class 0
+    uint32_t sfu = 0;        ///< stat class 1
+    uint32_t mem = 0;        ///< stat class 2
+    uint32_t shared = 0;     ///< memory micro-ops in the shared window
+    uint32_t branches = 0;   ///< bra micro-ops
+    uint32_t divergent = 0;  ///< predicated bra (potential divergence points)
+    uint32_t barriers = 0;   ///< bar.sync micro-ops
+    uint32_t atomics = 0;    ///< atom/red micro-ops
+    uint32_t flops = 0;      ///< summed flops_per_lane
+};
+
+/** Compute the static mix of the clean lowered program (requires analyzeKernel). */
+UopMix uopMix(const KernelDef &kernel);
+
 } // namespace mlgs::ptx
 
 #endif // MLGS_PTX_UOP_H

@@ -7,6 +7,7 @@
 #include "engine/timing_backend.h"
 #include "ptx/verifier/verifier.h"
 #include "runtime/api_observer.h"
+#include "sample/sampled_backend.h"
 
 namespace mlgs::cuda
 {
@@ -26,9 +27,17 @@ Context::Context(ContextOptions opts)
         gpu_->setThreadPool(pool_.get());
     }
     if (opts_.mode == SimMode::Performance) {
-        auto tb = std::make_unique<engine::TimingBackend>(*gpu_);
-        timing_backend_ = tb.get();
-        backend_ = std::move(tb);
+        resolved_timing_ = sample::resolveTimingMode(opts_.timing_mode);
+        if (resolved_timing_ != sample::TimingMode::Detailed) {
+            auto sb = std::make_unique<sample::SampledBackend>(
+                *gpu_, func_engine_, resolved_timing_, opts_.sampling);
+            sampled_backend_ = sb.get();
+            backend_ = std::move(sb);
+        } else {
+            auto tb = std::make_unique<engine::TimingBackend>(*gpu_);
+            timing_backend_ = tb.get();
+            backend_ = std::move(tb);
+        }
     } else {
         backend_ = std::make_unique<engine::FunctionalBackend>(func_engine_);
     }
@@ -51,6 +60,8 @@ Context::attachSampler(stats::AerialSampler *s)
     sampler_ = s;
     if (timing_backend_)
         timing_backend_->setSampler(s);
+    if (sampled_backend_)
+        sampled_backend_->setSampler(s);
 }
 
 // ---- memory ----

@@ -32,6 +32,7 @@
 #include "power/power_model.h"
 #include "ptx/parser.h"
 #include "runtime/kernel_args.h"
+#include "sample/options.h"
 #include "stats/aerial.h"
 #include "timing/gpu.h"
 
@@ -39,6 +40,11 @@ namespace mlgs::engine
 {
 class TimingBackend;
 } // namespace mlgs::engine
+
+namespace mlgs::sample
+{
+class SampledBackend;
+} // namespace mlgs::sample
 
 namespace mlgs::cuda
 {
@@ -75,6 +81,20 @@ struct ContextOptions
      * faster). Auto resolves from MLGS_EXEC, defaulting to compiled.
      */
     func::ExecMode exec_mode = func::ExecMode::Auto;
+
+    /**
+     * How launches are timed in performance mode: every launch through the
+     * cycle model (Detailed — the default, bitwise-unchanged behaviour), or
+     * clustered by signature with only cluster representatives
+     * cycle-simulated and the rest fast-forwarded (Sampled), or additionally
+     * regression-predicted for clusters without a representative
+     * (Predicted). Auto resolves from MLGS_TIMING, defaulting to Detailed.
+     * Ignored in functional mode.
+     */
+    sample::TimingMode timing_mode = sample::TimingMode::Auto;
+
+    /** Knobs of the sampled/predicted timing modes. */
+    sample::SamplingOptions sampling;
 
     /**
      * Pre-fix texture behaviour: a texture name maps to a single texref, so
@@ -150,6 +170,16 @@ class Context : public func::TextureProvider
     // ---- mode ----
     SimMode mode() const { return opts_.mode; }
     void attachSampler(stats::AerialSampler *s);
+
+    /** Resolved timing mode (always Detailed in functional mode). */
+    sample::TimingMode timingMode() const { return resolved_timing_; }
+
+    /** The sampling backend, or null when timing mode is Detailed. */
+    sample::SampledBackend *sampledBackend() { return sampled_backend_; }
+    const sample::SampledBackend *sampledBackend() const
+    {
+        return sampled_backend_;
+    }
 
     // ---- memory ----
     addr_t malloc(size_t bytes, size_t align = 256);
@@ -315,7 +345,9 @@ class Context : public func::TextureProvider
     stats::AerialSampler *sampler_ = nullptr;
 
     std::unique_ptr<engine::ExecBackend> backend_;
-    engine::TimingBackend *timing_backend_ = nullptr; ///< set in perf mode
+    engine::TimingBackend *timing_backend_ = nullptr; ///< perf mode, detailed
+    sample::SampledBackend *sampled_backend_ = nullptr; ///< perf, sampled
+    sample::TimingMode resolved_timing_ = sample::TimingMode::Detailed;
     std::unique_ptr<engine::DeviceEngine> engine_;
 
     std::vector<std::unique_ptr<ptx::Module>> modules_;

@@ -1,0 +1,45 @@
+#include "sample/clusterer.h"
+
+#include <algorithm>
+
+namespace mlgs::sample
+{
+
+Cluster &
+Clusterer::clusterFor(const ptx::KernelDef &kernel, const Dim3 &grid,
+                      const Dim3 &block)
+{
+    Signature sig = computeSignature(kernel, grid, block);
+    const std::string key = sig.key();
+    if (const auto it = by_key_.find(key); it != by_key_.end())
+        return *it->second;
+
+    auto cl = std::make_unique<Cluster>();
+    cl->id = clusters_.size();
+    cl->sig = std::move(sig);
+    clusters_.push_back(std::move(cl));
+    by_key_.emplace(key, clusters_.back().get());
+    return *clusters_.back();
+}
+
+void
+Clusterer::recordDetailed(Cluster &cl, const timing::KernelRunStats &rs)
+{
+    cl.rep = rs;
+    cl.has_rep = true;
+    cl.detailed_done++;
+    cl.detailed_cycles += rs.cycles;
+    if (rs.warp_instructions == 0)
+        return; // degenerate sample; keep it as rep but not as a CPI point
+    const double cpi = double(rs.cycles) / double(rs.warp_instructions);
+    if (cl.cpi_n == 0) {
+        cl.cpi_min = cl.cpi_max = cpi;
+    } else {
+        cl.cpi_min = std::min(cl.cpi_min, cpi);
+        cl.cpi_max = std::max(cl.cpi_max, cpi);
+    }
+    cl.cpi_sum += cpi;
+    cl.cpi_n++;
+}
+
+} // namespace mlgs::sample

@@ -1,0 +1,193 @@
+#include "sample/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlgs::sample
+{
+
+namespace
+{
+
+constexpr size_t kN = PredictorFeatures::kCount;
+
+using Mat = std::array<std::array<double, kN>, kN>;
+using Vec = std::array<double, kN>;
+
+/** Solve A w = b by Gaussian elimination with partial pivoting. */
+bool
+solve(Mat a, Vec b, Vec &w)
+{
+    for (size_t col = 0; col < kN; col++) {
+        size_t piv = col;
+        for (size_t r = col + 1; r < kN; r++)
+            if (std::fabs(a[r][col]) > std::fabs(a[piv][col]))
+                piv = r;
+        if (std::fabs(a[piv][col]) < 1e-12)
+            return false;
+        std::swap(a[col], a[piv]);
+        std::swap(b[col], b[piv]);
+        for (size_t r = col + 1; r < kN; r++) {
+            const double m = a[r][col] / a[col][col];
+            if (m == 0.0)
+                continue;
+            for (size_t c = col; c < kN; c++)
+                a[r][c] -= m * a[col][c];
+            b[r] -= m * b[col];
+        }
+    }
+    for (size_t col = kN; col-- > 0;) {
+        double acc = b[col];
+        for (size_t c = col + 1; c < kN; c++)
+            acc -= a[col][c] * w[c];
+        w[col] = acc / a[col][col];
+    }
+    return true;
+}
+
+double
+dot(const Vec &w, const PredictorFeatures &x)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < kN; i++)
+        acc += w[i] * x.f[i];
+    return acc;
+}
+
+double
+safeLog(double v)
+{
+    return std::log(std::max(v, 1e-12));
+}
+
+} // namespace
+
+PredictorFeatures
+makeFeatures(const Signature &sig)
+{
+    const uint64_t warps_per_cta = (uint64_t(sig.block.count()) + 31) / 32;
+    const double uops = std::max<double>(double(sig.mix.uops), 1.0);
+    PredictorFeatures x;
+    x.f[0] = 1.0; // intercept
+    x.f[1] = safeLog(double(std::max<uint64_t>(sig.ctas, 1)));
+    x.f[2] = safeLog(double(std::max<uint64_t>(warps_per_cta, 1)));
+    x.f[3] = safeLog(uops); // static program length
+    x.f[4] = double(sig.mix.mem) / uops;
+    x.f[5] = double(sig.mix.sfu) / uops;
+    x.f[6] = double(sig.mix.shared) / uops;
+    x.f[7] = double(sig.mix.divergent + sig.mix.barriers) / uops;
+    return x;
+}
+
+void
+CyclePredictor::addSample(const PredictorFeatures &x, double cycles,
+                          double warp_instrs)
+{
+    if (cycles <= 0.0 || warp_instrs <= 0.0)
+        return;
+    xs_.push_back(x);
+    ys_.push_back(safeLog(cycles / warp_instrs));
+    dirty_ = true;
+}
+
+bool
+CyclePredictor::inEnvelope(const PredictorFeatures &x) const
+{
+    for (size_t i = 0; i < kN; i++) {
+        const double mn = env_min_[i], mx = env_max_[i];
+        const double range = mx - mn;
+        const double margin =
+            opts_.predictor_envelope_slack *
+            (range > 0.0 ? range : std::max(1.0, std::fabs(mn)));
+        if (x.f[i] < mn - margin || x.f[i] > mx + margin)
+            return false;
+    }
+    return true;
+}
+
+bool
+CyclePredictor::fitIfNeeded()
+{
+    if (!dirty_)
+        return fit_ok_;
+    dirty_ = false;
+    fit_ok_ = false;
+    status_.trained = false;
+    status_.n_train = xs_.size();
+    if (xs_.size() < std::max<size_t>(opts_.predictor_min_train, kN + 1))
+        return false;
+
+    // Normal equations accumulated once; leave-one-out below downdates them
+    // per held-out row instead of rebuilding from scratch.
+    Mat xtx{};
+    Vec xty{};
+    for (size_t s = 0; s < xs_.size(); s++) {
+        for (size_t i = 0; i < kN; i++) {
+            xty[i] += xs_[s].f[i] * ys_[s];
+            for (size_t j = 0; j < kN; j++)
+                xtx[i][j] += xs_[s].f[i] * xs_[s].f[j];
+        }
+    }
+    const double lambda = opts_.predictor_lambda;
+    Mat ridge = xtx;
+    for (size_t i = 0; i < kN; i++)
+        ridge[i][i] += lambda;
+    if (!solve(ridge, xty, w_))
+        return false;
+
+    // Leave-one-out cross-validation in the cycles domain.
+    double err_sum = 0.0;
+    size_t err_n = 0;
+    for (size_t s = 0; s < xs_.size(); s++) {
+        Mat a = xtx;
+        Vec b = xty;
+        for (size_t i = 0; i < kN; i++) {
+            b[i] -= xs_[s].f[i] * ys_[s];
+            for (size_t j = 0; j < kN; j++)
+                a[i][j] -= xs_[s].f[i] * xs_[s].f[j];
+            a[i][i] += lambda;
+        }
+        Vec w_loo{};
+        if (!solve(a, b, w_loo))
+            continue;
+        err_sum += std::fabs(std::exp(dot(w_loo, xs_[s]) - ys_[s]) - 1.0);
+        err_n++;
+    }
+    if (err_n == 0)
+        return false;
+    status_.cv_rel_err = err_sum / double(err_n);
+    if (status_.cv_rel_err > opts_.predictor_max_cv_rel_err)
+        return false;
+
+    for (size_t i = 0; i < kN; i++) {
+        env_min_[i] = env_max_[i] = xs_[0].f[i];
+        for (const auto &x : xs_) {
+            env_min_[i] = std::min(env_min_[i], x.f[i]);
+            env_max_[i] = std::max(env_max_[i], x.f[i]);
+        }
+    }
+    fit_ok_ = true;
+    status_.trained = true;
+    return true;
+}
+
+std::optional<double>
+CyclePredictor::predictCpi(const PredictorFeatures &x)
+{
+    const bool had_enough = xs_.size() >=
+                            std::max<size_t>(opts_.predictor_min_train, kN + 1);
+    if (!fitIfNeeded()) {
+        if (!had_enough)
+            status_.declined_untrained++;
+        else
+            status_.declined_cv++;
+        return std::nullopt;
+    }
+    if (!inEnvelope(x)) {
+        status_.declined_envelope++;
+        return std::nullopt;
+    }
+    return std::exp(dot(w_, x));
+}
+
+} // namespace mlgs::sample

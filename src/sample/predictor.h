@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Runtime-fitted cycles predictor (TimingMode::Predicted): a small ridge
+ * regression from launch features to log(cycles per warp instruction),
+ * trained on the detailed launches the run has already cycle-simulated.
+ * SimNet-style, but fitted online inside the simulator: the model is
+ * leave-one-out cross-validated against its own training set and refuses to
+ * predict outside the per-feature envelope it was trained in — rejected
+ * launches fall back to detailed simulation, which in turn grows the
+ * training set.
+ */
+#ifndef MLGS_SAMPLE_PREDICTOR_H
+#define MLGS_SAMPLE_PREDICTOR_H
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "sample/options.h"
+#include "sample/signature.h"
+
+namespace mlgs::sample
+{
+
+/** Feature vector of one launch (f[0] is the intercept). */
+struct PredictorFeatures
+{
+    static constexpr size_t kCount = 8;
+    std::array<double, kCount> f{};
+};
+
+/**
+ * Features of one launch from its signature alone — launch geometry plus the
+ * kernel's static micro-op mix. Everything here is computable *before* the
+ * launch executes, which is what lets the backend decide routing (predict vs
+ * fall back to detailed) without having already applied the kernel's memory
+ * effects. The regression target is log(cycles per warp instruction), so the
+ * per-warp-instruction features only need to rank relative memory/SFU/shared
+ * intensity, not reproduce dynamic counts.
+ */
+PredictorFeatures makeFeatures(const Signature &sig);
+
+class CyclePredictor
+{
+  public:
+    explicit CyclePredictor(const SamplingOptions &opts) : opts_(opts) {}
+
+    /** Add a detailed launch as a training sample. */
+    void addSample(const PredictorFeatures &x, double cycles,
+                   double warp_instrs);
+
+    /**
+     * Predicted cycles-per-warp-instruction for a launch, or nullopt when
+     * the model declines: not enough training data, cross-validation error
+     * above the configured bound, or features outside the training envelope.
+     * Declines are counted in status(). The caller multiplies by the
+     * launch's warp-instruction count once it is known (after the
+     * functional fast-forward) — the prediction itself needs only
+     * pre-execution features, which is what makes predict-vs-detailed
+     * routing decidable before any memory effects are applied.
+     */
+    std::optional<double> predictCpi(const PredictorFeatures &x);
+
+    struct Status
+    {
+        bool trained = false;
+        size_t n_train = 0;
+        double cv_rel_err = 0.0; ///< LOO mean relative cycle error
+        uint64_t declined_untrained = 0;
+        uint64_t declined_envelope = 0;
+        uint64_t declined_cv = 0;
+    };
+    const Status &status() const { return status_; }
+
+  private:
+    bool fitIfNeeded();
+    bool inEnvelope(const PredictorFeatures &x) const;
+
+    SamplingOptions opts_;
+    std::vector<PredictorFeatures> xs_;
+    std::vector<double> ys_; ///< log(cycles / warp_instrs)
+    std::array<double, PredictorFeatures::kCount> w_{};
+    std::array<double, PredictorFeatures::kCount> env_min_{};
+    std::array<double, PredictorFeatures::kCount> env_max_{};
+    bool dirty_ = true;
+    bool fit_ok_ = false;
+    Status status_;
+};
+
+} // namespace mlgs::sample
+
+#endif // MLGS_SAMPLE_PREDICTOR_H

@@ -1,0 +1,347 @@
+#include "sample/sampled_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mlgs::sample
+{
+
+namespace
+{
+
+uint64_t
+scaled(uint64_t v, double s)
+{
+    return uint64_t(std::llround(double(v) * s));
+}
+
+double
+hitRate(uint64_t hits, uint64_t misses)
+{
+    const uint64_t total = hits + misses;
+    return total ? double(hits) / double(total) : 0.0;
+}
+
+std::string
+fmt6(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    return buf;
+}
+
+} // namespace
+
+SampledBackend::SampledBackend(timing::GpuModel &gpu,
+                               func::FunctionalEngine &func, TimingMode mode,
+                               const SamplingOptions &opts)
+    : gpu_(&gpu), func_(&func), mode_(resolveTimingMode(mode)), opts_(opts),
+      predictor_(opts)
+{
+}
+
+bool
+SampledBackend::canAccept() const
+{
+    // Conservative: routing is decided inside begin(), so admission must
+    // assume the next launch may need a cycle-model residency slot.
+    return gpu_->residentKernels() <
+           std::max(1u, gpu_->config().max_resident_kernels);
+}
+
+uint64_t
+SampledBackend::begin(engine::LaunchRecord &rec, const func::LaunchEnv &env,
+                      cycle_t start)
+{
+    launches_++;
+    Cluster &cl = clusterer_.clusterFor(*rec.kernel, rec.grid, rec.block);
+    cl.members++;
+    rec.cluster_id = cl.id;
+
+    Signature launch_sig = cl.sig;
+    launch_sig.ctas = rec.grid.count();
+    const PredictorFeatures x = makeFeatures(launch_sig);
+
+    enum class Route
+    {
+        Detailed,
+        Extrapolate,
+        Predict,
+    };
+    Route route = Route::Detailed;
+    double cpi_pred = 0.0;
+    if (opts_.max_cluster_size == 1) {
+        route = Route::Detailed; // clustering disabled: bitwise Detailed
+    } else if (opts_.max_cluster_size != 0 &&
+               cl.members > opts_.max_cluster_size) {
+        route = Route::Detailed;
+        capacity_detailed_++;
+    } else if (cl.detailed_begun < opts_.detailed_per_cluster || !cl.has_rep) {
+        // The cluster still owes a representative (the rep may also be in
+        // flight on another stream — !has_rep covers that window). Predicted
+        // mode may skip the detailed run when the regression model vouches
+        // for this signature.
+        route = Route::Detailed;
+        if (mode_ == TimingMode::Predicted) {
+            if (const auto cpi = predictor_.predictCpi(x)) {
+                route = Route::Predict;
+                cpi_pred = *cpi;
+            }
+        }
+    } else if (opts_.redetail_period != 0 &&
+               cl.members % opts_.redetail_period == 0) {
+        route = Route::Detailed; // periodic representative refresh
+    } else {
+        route = Route::Extrapolate;
+    }
+
+    if (route == Route::Detailed) {
+        cl.detailed_begun++;
+        detailed_launches_++;
+        const uint64_t token =
+            gpu_->beginKernel(env, rec.grid, rec.block, start);
+        if (mode_ == TimingMode::Predicted)
+            detailed_x_.emplace(token, x);
+        return token;
+    }
+
+    // The engine passes the stream's ready time, which is stale when this
+    // begin() was deferred by canAccept() until a resident kernel retired.
+    // Detailed launches are immune — GpuModel schedules from its own clock —
+    // so the fast path must clamp the same way, or its completion lands in
+    // the past and the launch retroactively overlaps the kernel it queued
+    // behind.
+    start = std::max(start, gpu_->clock());
+
+    // Fast-forward: execute functionally now — memory effects and the
+    // instruction-class counts below are exact; only the cycle-level view
+    // (cycles, cache/DRAM/interconnect counters) is estimated.
+    rec.func_stats = func_->launch(env, rec.grid, rec.block);
+    const uint64_t wi = rec.func_stats.instructions;
+    const double wid = double(std::max<uint64_t>(wi, 1));
+
+    timing::TimingTotals est;
+    est.warp_instructions = wi;
+    est.thread_instructions = rec.func_stats.thread_instructions;
+    est.alu = rec.func_stats.alu;
+    est.sfu = rec.func_stats.sfu;
+    est.mem_insts = rec.func_stats.mem;
+    est.shared_accesses = rec.func_stats.shared_accesses;
+
+    cycle_t est_cycles = 1;
+    if (route == Route::Extrapolate) {
+        const timing::KernelRunStats &rep = cl.rep;
+        const double s = rep.warp_instructions
+                             ? wid / double(rep.warp_instructions)
+                             : 1.0;
+        est_cycles = std::max<cycle_t>(
+            1, cycle_t(std::llround(double(rep.cycles) * s)));
+        est.l1_hits = scaled(rep.totals.l1_hits, s);
+        est.l1_misses = scaled(rep.totals.l1_misses, s);
+        est.l2_hits = scaled(rep.totals.l2_hits, s);
+        est.l2_misses = scaled(rep.totals.l2_misses, s);
+        est.icnt_flits = scaled(rep.totals.icnt_flits, s);
+        est.dram_reads = scaled(rep.totals.dram_reads, s);
+        est.dram_writes = scaled(rep.totals.dram_writes, s);
+        est.dram_row_hits = scaled(rep.totals.dram_row_hits, s);
+        est.dram_row_misses = scaled(rep.totals.dram_row_misses, s);
+        est.core_active_cycles = scaled(rep.totals.core_active_cycles, s);
+        est.core_idle_cycles = scaled(rep.totals.core_idle_cycles, s);
+        rec.perf.l1_hit_rate = rep.l1_hit_rate;
+        rec.perf.l2_hit_rate = rep.l2_hit_rate;
+        rec.perf.dram_row_hit_rate = rep.dram_row_hit_rate;
+        rec.timing_source = engine::TimingSource::Extrapolated;
+        cl.fast++;
+    } else {
+        est_cycles = std::max<cycle_t>(
+            1, cycle_t(std::llround(cpi_pred * wid)));
+        // Memory-system counters from global per-warp-instruction rates
+        // over every detailed launch completed so far (any cluster).
+        const double dwi = double(
+            std::max<uint64_t>(detailed_accum_.warp_instructions, 1));
+        const auto per_wi = [&](uint64_t v) {
+            return uint64_t(std::llround(double(v) / dwi * wid));
+        };
+        est.l1_hits = per_wi(detailed_accum_.l1_hits);
+        est.l1_misses = per_wi(detailed_accum_.l1_misses);
+        est.l2_hits = per_wi(detailed_accum_.l2_hits);
+        est.l2_misses = per_wi(detailed_accum_.l2_misses);
+        est.icnt_flits = per_wi(detailed_accum_.icnt_flits);
+        est.dram_reads = per_wi(detailed_accum_.dram_reads);
+        est.dram_writes = per_wi(detailed_accum_.dram_writes);
+        est.dram_row_hits = per_wi(detailed_accum_.dram_row_hits);
+        est.dram_row_misses = per_wi(detailed_accum_.dram_row_misses);
+        est.core_active_cycles = per_wi(detailed_accum_.core_active_cycles);
+        est.core_idle_cycles = per_wi(detailed_accum_.core_idle_cycles);
+        rec.perf.l1_hit_rate = hitRate(est.l1_hits, est.l1_misses);
+        rec.perf.l2_hit_rate = hitRate(est.l2_hits, est.l2_misses);
+        rec.perf.dram_row_hit_rate =
+            hitRate(est.dram_row_hits, est.dram_row_misses);
+        rec.timing_source = engine::TimingSource::Predicted;
+        cl.predicted++;
+    }
+    est.cycles = est_cycles;
+
+    rec.perf.kernel_name = rec.kernel->name;
+    rec.perf.cycles = est_cycles;
+    rec.perf.warp_instructions = wi;
+    rec.perf.thread_instructions = rec.func_stats.thread_instructions;
+    rec.perf.ipc = double(wi) / double(est_cycles);
+    rec.perf.start_cycle = start;
+    rec.perf.totals = est;
+    rec.cycles = est_cycles;
+
+    const uint64_t token = kFastBit | next_fast_token_++;
+    fast_pq_.push(FastPending{start + est_cycles, token});
+    return token;
+}
+
+bool
+SampledBackend::busy() const
+{
+    return gpu_->residentKernels() > 0 || !fast_pq_.empty();
+}
+
+std::optional<engine::BackendCompletion>
+SampledBackend::advanceUntil(cycle_t limit)
+{
+    const bool have_fast = !fast_pq_.empty();
+    const cycle_t fast_at = have_fast ? fast_pq_.top().at : 0;
+    if (gpu_->residentKernels() > 0) {
+        // Never let the cycle model's clock race past the earliest
+        // fast-forwarded completion: completions must surface in device-time
+        // order so the engine's stream/copy interleaving stays consistent.
+        const cycle_t gpu_limit = have_fast ? std::min(limit, fast_at) : limit;
+        if (const auto c = gpu_->advanceUntil(gpu_limit, sampler_))
+            return engine::BackendCompletion{c->token, c->at};
+    }
+    if (have_fast && fast_at <= limit) {
+        const uint64_t token = fast_pq_.top().token;
+        fast_pq_.pop();
+        return engine::BackendCompletion{token, fast_at};
+    }
+    return std::nullopt;
+}
+
+void
+SampledBackend::finish(uint64_t token, engine::LaunchRecord &rec)
+{
+    Cluster &cl = *clusterer_.clusters()[rec.cluster_id];
+    if (token & kFastBit) {
+        // Estimates were synthesized at begin(); fold them into the device
+        // grand totals now that the launch retires.
+        gpu_->accumulateExtrapolated(rec.perf.totals);
+        cl.extrapolated_cycles += rec.perf.cycles;
+        return;
+    }
+    rec.perf = gpu_->collectKernel(token);
+    rec.cycles = rec.perf.cycles;
+    rec.timing_source = engine::TimingSource::Detailed;
+    clusterer_.recordDetailed(cl, rec.perf);
+    detailed_accum_ += rec.perf.totals;
+    if (const auto it = detailed_x_.find(token); it != detailed_x_.end()) {
+        predictor_.addSample(it->second, double(rec.perf.cycles),
+                             double(rec.perf.warp_instructions));
+        detailed_x_.erase(it);
+    }
+}
+
+SamplingReport
+SampledBackend::report() const
+{
+    SamplingReport r;
+    r.mode = mode_;
+    r.launches = launches_;
+    r.detailed_launches = detailed_launches_;
+    r.capacity_detailed = capacity_detailed_;
+    r.predictor = predictor_.status();
+    double weighted_err = 0.0;
+    double covered = 0.0;
+    for (const auto &clp : clusterer_.clusters()) {
+        const Cluster &cl = *clp;
+        r.clusters++;
+        r.extrapolated_launches += cl.fast;
+        r.predicted_launches += cl.predicted;
+        r.detailed_cycles += cl.detailed_cycles;
+        r.extrapolated_cycles += cl.extrapolated_cycles;
+        weighted_err += double(cl.extrapolated_cycles) * cl.cpiRelSpread();
+        if (cl.cpi_n >= 2)
+            covered += double(cl.extrapolated_cycles);
+
+        SamplingReport::ClusterRow row;
+        row.id = cl.id;
+        row.kernel_name = cl.sig.kernel_name;
+        row.block = cl.sig.block;
+        row.ctas_bucket = cl.sig.ctas_bucket;
+        row.members = cl.members;
+        row.detailed = cl.detailed_done;
+        row.fast = cl.fast;
+        row.predicted = cl.predicted;
+        row.cpi_mean = cl.cpiMean();
+        row.cpi_rel_spread = cl.cpiRelSpread();
+        row.detailed_cycles = cl.detailed_cycles;
+        row.extrapolated_cycles = cl.extrapolated_cycles;
+        r.rows.push_back(std::move(row));
+    }
+    if (r.extrapolated_cycles > 0) {
+        r.cycle_error_bound_rel =
+            weighted_err / double(r.extrapolated_cycles);
+        r.error_bar_coverage = covered / double(r.extrapolated_cycles);
+    }
+    return r;
+}
+
+std::string
+reportJson(const SamplingReport &r, int indent)
+{
+    const std::string p(size_t(std::max(indent, 0)), ' ');
+    std::ostringstream os;
+    os << "{\n";
+    os << p << "  \"mode\": \"" << timingModeName(r.mode) << "\",\n";
+    os << p << "  \"launches\": " << r.launches << ",\n";
+    os << p << "  \"detailed_launches\": " << r.detailed_launches << ",\n";
+    os << p << "  \"extrapolated_launches\": " << r.extrapolated_launches
+       << ",\n";
+    os << p << "  \"predicted_launches\": " << r.predicted_launches << ",\n";
+    os << p << "  \"capacity_detailed\": " << r.capacity_detailed << ",\n";
+    os << p << "  \"clusters\": " << r.clusters << ",\n";
+    os << p << "  \"detailed_cycles\": " << r.detailed_cycles << ",\n";
+    os << p << "  \"extrapolated_cycles\": " << r.extrapolated_cycles
+       << ",\n";
+    os << p << "  \"cycle_error_bound_rel\": "
+       << fmt6(r.cycle_error_bound_rel) << ",\n";
+    os << p << "  \"error_bar_coverage\": " << fmt6(r.error_bar_coverage)
+       << ",\n";
+    os << p << "  \"predictor\": {\"trained\": "
+       << (r.predictor.trained ? "true" : "false")
+       << ", \"n_train\": " << r.predictor.n_train
+       << ", \"cv_rel_err\": " << fmt6(r.predictor.cv_rel_err)
+       << ", \"declined_untrained\": " << r.predictor.declined_untrained
+       << ", \"declined_envelope\": " << r.predictor.declined_envelope
+       << ", \"declined_cv\": " << r.predictor.declined_cv << "},\n";
+    os << p << "  \"clusters_detail\": [";
+    for (size_t i = 0; i < r.rows.size(); i++) {
+        const auto &row = r.rows[i];
+        os << (i ? "," : "") << "\n"
+           << p << "    {\"id\": " << row.id << ", \"kernel\": \""
+           << row.kernel_name << "\", \"block\": [" << row.block.x << ","
+           << row.block.y << "," << row.block.z
+           << "], \"ctas_bucket\": " << row.ctas_bucket
+           << ", \"members\": " << row.members
+           << ", \"detailed\": " << row.detailed << ", \"fast\": " << row.fast
+           << ", \"predicted\": " << row.predicted
+           << ", \"cpi_mean\": " << fmt6(row.cpi_mean)
+           << ", \"cpi_rel_spread\": " << fmt6(row.cpi_rel_spread)
+           << ", \"detailed_cycles\": " << row.detailed_cycles
+           << ", \"extrapolated_cycles\": " << row.extrapolated_cycles
+           << "}";
+    }
+    if (!r.rows.empty())
+        os << "\n" << p << "  ";
+    os << "]\n" << p << "}";
+    return os.str();
+}
+
+} // namespace mlgs::sample

@@ -193,6 +193,10 @@ GpuModel::snapshot() const
         b.row_m += p->dram().rowMisses();
         b.l2_wb += p->l2Writebacks();
     }
+    b.icnt = totals_.icnt_flits;
+    b.busy = totals_.cycles;
+    b.active = totals_.core_active_cycles;
+    b.idle = totals_.core_idle_cycles;
     return b;
 }
 
@@ -260,6 +264,32 @@ GpuModel::finishActive(size_t idx)
     const uint64_t drm = now.row_m - ak.base.row_m;
     rs.dram_row_hit_rate = (drh + drm) ? double(drh) / double(drh + drm) : 0.0;
 
+    // Full window delta (per-launch breakdown + sampling extrapolation).
+    rs.start_cycle = ak.start_clock;
+    TimingTotals &w = rs.totals;
+    w.cycles = now.busy - ak.base.busy;
+    w.warp_instructions = rs.warp_instructions;
+    w.thread_instructions = rs.thread_instructions;
+    for (unsigned c = 0; c < cores_.size(); c++) {
+        const CoreCounters &cc = now.core[c];
+        const CoreCounters &c0 = ak.base.core[c];
+        w.alu += cc.alu - c0.alu;
+        w.sfu += cc.sfu - c0.sfu;
+        w.mem_insts += cc.mem - c0.mem;
+        w.shared_accesses += cc.shared_accesses - c0.shared_accesses;
+    }
+    w.l1_hits = dl1h;
+    w.l1_misses = dl1m;
+    w.l2_hits = dl2h;
+    w.l2_misses = dl2m;
+    w.icnt_flits = now.icnt - ak.base.icnt;
+    w.dram_reads = dl2m;
+    w.dram_writes = now.l2_wb - ak.base.l2_wb;
+    w.dram_row_hits = drh;
+    w.dram_row_misses = drm;
+    w.core_active_cycles = now.active - ak.base.active;
+    w.core_idle_cycles = now.idle - ak.base.idle;
+
     // Grand totals accumulate the delta since the previous accumulation
     // point, so overlapping kernels never double-count an event.
     for (unsigned c = 0; c < cores_.size(); c++) {
@@ -285,6 +315,7 @@ GpuModel::finishActive(size_t idx)
     totals_base_ = now;
 
     const KernelCompletion comp{ak.token, clock_};
+    per_launch_.push_back(rs);
     finished_.emplace(ak.token, std::move(rs));
     active_.erase(active_.begin() + long(idx));
     last_progress_clock_ = clock_;

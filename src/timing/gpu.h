@@ -63,6 +63,18 @@ struct KernelRunStats
     double l1_hit_rate = 0.0;
     double l2_hit_rate = 0.0;
     double dram_row_hit_rate = 0.0;
+
+    /** Device clock when the kernel started issuing. */
+    cycle_t start_cycle = 0;
+
+    /**
+     * Full counter breakdown over the kernel's execution window (the delta
+     * of every TimingTotals field between start and retirement). Exact
+     * per-kernel attribution when kernels don't overlap; under concurrent
+     * residency, events of overlapping kernels land in both windows (the
+     * grand totals_ remain free of double counting either way).
+     */
+    TimingTotals totals;
 };
 
 /** A kernel retired by advanceUntil(). */
@@ -147,6 +159,26 @@ class GpuModel
     std::vector<uint64_t> perBankRowHits() const;
     std::vector<uint64_t> perBankRowMisses() const;
 
+    /**
+     * Every kernel retired so far, in retirement order, each with its full
+     * TimingTotals window delta (KernelRunStats::totals). Feeds the sampling
+     * extrapolator and `mlgs-trace replay --per-launch`.
+     */
+    const std::vector<KernelRunStats> &perLaunchTotals() const
+    {
+        return per_launch_;
+    }
+
+    /**
+     * Fold an extrapolated (not cycle-simulated) kernel's estimated counters
+     * into the grand totals. Used by the sampled timing mode for
+     * fast-forwarded launches; never called in Detailed mode, so detailed
+     * totals stay bitwise-unchanged. The snapshot-delta accumulation in
+     * finishActive() is unaffected (it diffs raw component counters, which
+     * this does not touch).
+     */
+    void accumulateExtrapolated(const TimingTotals &t) { totals_ += t; }
+
   private:
     /** Cumulative-counter snapshot used to report per-window deltas. */
     struct StatBase
@@ -154,6 +186,9 @@ class GpuModel
         uint64_t l1_h = 0, l1_m = 0;
         uint64_t l2_h = 0, l2_m = 0;
         uint64_t row_h = 0, row_m = 0, l2_wb = 0;
+        // Counters that only exist as running totals_ fields; snapshotting
+        // them here lets finishActive report full per-kernel window deltas.
+        uint64_t icnt = 0, busy = 0, active = 0, idle = 0;
         std::vector<CoreCounters> core;
     };
 
@@ -186,6 +221,7 @@ class GpuModel
 
     std::vector<std::unique_ptr<ActiveKernel>> active_; ///< launch order
     std::map<uint64_t, KernelRunStats> finished_;       ///< awaiting collect
+    std::vector<KernelRunStats> per_launch_;            ///< retirement order
     StatBase totals_base_; ///< totals_ accumulated up to this snapshot
     uint64_t next_token_ = 0;
     uint64_t next_launch_seq_ = 0; ///< stamps LaunchEnv::launch_seq

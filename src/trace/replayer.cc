@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/log.h"
+#include "sample/sampled_backend.h"
 
 namespace mlgs::trace
 {
@@ -18,6 +19,10 @@ TraceReplayer::options() const
     o.gpu = trace_.options.gpu;
     o.legacy_texture_name_map = trace_.options.legacy_texture_name_map;
     o.memcpy_bytes_per_cycle = trace_.options.memcpy_bytes_per_cycle;
+    // Replay is the golden-stats path: pin the detailed cycle model so a
+    // stray MLGS_TIMING in the environment can't perturb replayed stats.
+    // Callers comparing timing modes override this explicitly.
+    o.timing_mode = sample::TimingMode::Detailed;
     return o;
 }
 
@@ -299,8 +304,12 @@ statsJson(cuda::Context &ctx)
     os << "  \"dram_bank_row_misses\": [";
     for (size_t i = 0; i < misses.size(); i++)
         os << (i ? ", " : "") << misses[i];
-    os << "]\n";
-    os << "}\n";
+    os << "]";
+    // The sampling section exists only under Sampled/Predicted timing, so
+    // detailed-mode output stays byte-identical to what it always was.
+    if (const auto *sb = ctx.sampledBackend())
+        os << ",\n  \"sampling\": " << sample::reportJson(sb->report(), 2);
+    os << "\n}\n";
     return os.str();
 }
 
