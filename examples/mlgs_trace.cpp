@@ -295,6 +295,8 @@ doInfo(const Args &a)
     const auto t = trace::TraceFile::load(a.path);
     std::printf("%s: .mlgstrace version %u\n", a.path.c_str(),
                 trace::kTraceVersion);
+    std::printf("  content hash: %016llx (verified)\n",
+                (unsigned long long)t.contentHash());
     std::printf("  mode: %s, gpu: %s (%u cores, %u partitions)\n",
                 cuda::SimMode(t.options.mode) == cuda::SimMode::Performance
                     ? "performance"

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * FNV-1a hashing shared by the trace blob store (payload deduplication), the
+ * trace content hash, and the serve result cache (content-addressed keys).
+ * 64-bit, byte-order-naive like the serializers that use it: hashes are
+ * machine-local identities, not portable digests.
+ */
+#ifndef MLGS_COMMON_FNV_H
+#define MLGS_COMMON_FNV_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace mlgs
+{
+
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** Incremental FNV-1a accumulator. */
+class Fnv1a
+{
+  public:
+    Fnv1a &
+    addBytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < n; i++) {
+            h_ ^= p[i];
+            h_ *= kFnvPrime;
+        }
+        return *this;
+    }
+
+    /** Hash a trivially-copyable value's object representation. */
+    template <typename T>
+    Fnv1a &
+    add(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        return addBytes(&v, sizeof(T));
+    }
+
+    /** Length-prefixed string hash (so "ab","c" != "a","bc"). */
+    Fnv1a &
+    addString(const std::string &s)
+    {
+        add<uint64_t>(s.size());
+        return addBytes(s.data(), s.size());
+    }
+
+    uint64_t hash() const { return h_; }
+
+  private:
+    uint64_t h_ = kFnvOffsetBasis;
+};
+
+/** One-shot FNV-1a over a byte range. */
+inline uint64_t
+fnv1a(const void *data, size_t n)
+{
+    return Fnv1a().addBytes(data, n).hash();
+}
+
+} // namespace mlgs
+
+#endif // MLGS_COMMON_FNV_H

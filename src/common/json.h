@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Byte-deterministic JSON number formatting. Stats JSON is a cache value in
+ * the serve subsystem (a cache hit must byte-match the cold run that produced
+ * it) and a CI diff artifact (live vs replayed runs are compared with cmp),
+ * so doubles must render identically across runs, compilers, and standard
+ * libraries. std::to_chars with no precision argument is specified to emit
+ * the shortest string that round-trips the exact value — a pure function of
+ * the bits, unlike ostream formatting (locale, precision state) or printf
+ * %.Nf (rounded, so distinct values can collide and trailing digits depend
+ * on the libc's rounding of inexact decimals).
+ */
+#ifndef MLGS_COMMON_JSON_H
+#define MLGS_COMMON_JSON_H
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace mlgs
+{
+
+/**
+ * Shortest round-trip decimal rendering of a double, valid as a JSON number.
+ * Non-finite values (JSON has no spelling for them) render as 0 with a
+ * distinguishing sign: "-0" for -inf/nan, "0" for +inf — callers that can
+ * produce them should gate on std::isfinite themselves.
+ */
+inline std::string
+jsonDouble(double v)
+{
+    if (!std::isfinite(v))
+        return std::signbit(v) ? "-0" : "0";
+    char buf[64];
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    std::string s(buf, res.ptr);
+#else
+    // %.17g also round-trips doubles, just with more digits than needed.
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    std::string s(buf);
+#endif
+    // to_chars may emit "1e+05" style exponents; that is valid JSON. But a
+    // bare integer mantissa like "42" is also valid, so nothing to fix up.
+    return s;
+}
+
+} // namespace mlgs
+
+#endif // MLGS_COMMON_JSON_H

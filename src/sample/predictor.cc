@@ -90,6 +90,84 @@ CyclePredictor::addSample(const PredictorFeatures &x, double cycles,
     dirty_ = true;
 }
 
+void
+CyclePredictor::seed(const TrainingSet &set)
+{
+    MLGS_REQUIRE(set.xs.size() == set.ys.size(),
+                 "predictor training set rows are inconsistent: ",
+                 set.xs.size(), " feature rows vs ", set.ys.size(),
+                 " targets");
+    xs_.insert(xs_.begin(), set.xs.begin(), set.xs.end());
+    ys_.insert(ys_.begin(), set.ys.begin(), set.ys.end());
+    dirty_ = true;
+}
+
+void
+CyclePredictor::exportSamples(TrainingSet &out, size_t from) const
+{
+    for (size_t i = std::min(from, xs_.size()); i < xs_.size(); i++)
+        out.append(xs_[i], ys_[i]);
+}
+
+// ---- TrainingSet serialization ----
+
+namespace
+{
+constexpr uint64_t kPredictorMagic = 0x4445525053474c4dull; // "MLGSPRED"
+constexpr uint32_t kPredictorVersion = 1;
+} // namespace
+
+void
+TrainingSet::save(BinaryWriter &w) const
+{
+    w.putHeader(kPredictorMagic, kPredictorVersion);
+    w.put<uint32_t>(uint32_t(PredictorFeatures::kCount));
+    w.put<uint64_t>(xs.size());
+    for (size_t i = 0; i < xs.size(); i++) {
+        for (const double f : xs[i].f)
+            w.put<double>(f);
+        w.put<double>(ys[i]);
+    }
+}
+
+void
+TrainingSet::load(BinaryReader &r)
+{
+    xs.clear();
+    ys.clear();
+    r.readHeader(kPredictorMagic, kPredictorVersion, kPredictorVersion,
+                 "predictor training set");
+    const auto kcount = r.get<uint32_t>();
+    MLGS_REQUIRE(kcount == PredictorFeatures::kCount,
+                 "predictor training set in ", r.name(), " has ", kcount,
+                 " features per row; this build uses ",
+                 PredictorFeatures::kCount);
+    const auto n = r.get<uint64_t>();
+    for (uint64_t i = 0; i < n; i++) {
+        PredictorFeatures x;
+        for (auto &f : x.f)
+            f = r.get<double>();
+        append(x, r.get<double>());
+    }
+}
+
+void
+TrainingSet::saveFile(const std::string &path) const
+{
+    BinaryWriter w;
+    save(w);
+    w.writeFile(path);
+}
+
+TrainingSet
+TrainingSet::loadFile(const std::string &path)
+{
+    BinaryReader r = BinaryReader::fromFile(path);
+    TrainingSet set;
+    set.load(r);
+    return set;
+}
+
 bool
 CyclePredictor::inEnvelope(const PredictorFeatures &x) const
 {

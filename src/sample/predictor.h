@@ -14,8 +14,10 @@
 
 #include <array>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "sample/options.h"
 #include "sample/signature.h"
 
@@ -40,6 +42,35 @@ struct PredictorFeatures
  */
 PredictorFeatures makeFeatures(const Signature &sig);
 
+/**
+ * A predictor's training set as a standalone, serializable artifact:
+ * (features, log-CPI target) rows. The serve daemon accumulates one across
+ * jobs (behind its own mutex) and seeds it into each predicted-mode job's
+ * CyclePredictor, so later submissions warm-start instead of falling back to
+ * detailed while undertrained; it can also be persisted to disk between
+ * daemon runs. Versioned via serialize.h like traces and checkpoints.
+ */
+struct TrainingSet
+{
+    std::vector<PredictorFeatures> xs;
+    std::vector<double> ys; ///< log(cycles / warp_instrs)
+
+    size_t size() const { return xs.size(); }
+    bool empty() const { return xs.empty(); }
+
+    void append(const PredictorFeatures &x, double y)
+    {
+        xs.push_back(x);
+        ys.push_back(y);
+    }
+
+    void save(BinaryWriter &w) const;
+    void load(BinaryReader &r); ///< replaces current contents
+
+    void saveFile(const std::string &path) const;
+    static TrainingSet loadFile(const std::string &path);
+};
+
 class CyclePredictor
 {
   public:
@@ -48,6 +79,19 @@ class CyclePredictor
     /** Add a detailed launch as a training sample. */
     void addSample(const PredictorFeatures &x, double cycles,
                    double warp_instrs);
+
+    /**
+     * Warm-start: prepend an externally accumulated training set (the rows a
+     * previous run or the serve daemon collected). Marks the fit dirty; the
+     * next predictCpi() refits over the combined set.
+     */
+    void seed(const TrainingSet &set);
+
+    /** Rows added after the first `from` (for harvesting new samples). */
+    void exportSamples(TrainingSet &out, size_t from = 0) const;
+
+    /** Training rows currently held (seeded + locally observed). */
+    size_t sampleCount() const { return xs_.size(); }
 
     /**
      * Predicted cycles-per-warp-instruction for a launch, or nullopt when

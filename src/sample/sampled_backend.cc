@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <sstream>
+
+#include "common/json.h"
 
 namespace mlgs::sample
 {
@@ -22,14 +23,6 @@ hitRate(uint64_t hits, uint64_t misses)
 {
     const uint64_t total = hits + misses;
     return total ? double(hits) / double(total) : 0.0;
-}
-
-std::string
-fmt6(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6f", v);
-    return buf;
 }
 
 } // namespace
@@ -311,13 +304,13 @@ reportJson(const SamplingReport &r, int indent)
     os << p << "  \"extrapolated_cycles\": " << r.extrapolated_cycles
        << ",\n";
     os << p << "  \"cycle_error_bound_rel\": "
-       << fmt6(r.cycle_error_bound_rel) << ",\n";
-    os << p << "  \"error_bar_coverage\": " << fmt6(r.error_bar_coverage)
+       << jsonDouble(r.cycle_error_bound_rel) << ",\n";
+    os << p << "  \"error_bar_coverage\": " << jsonDouble(r.error_bar_coverage)
        << ",\n";
     os << p << "  \"predictor\": {\"trained\": "
        << (r.predictor.trained ? "true" : "false")
        << ", \"n_train\": " << r.predictor.n_train
-       << ", \"cv_rel_err\": " << fmt6(r.predictor.cv_rel_err)
+       << ", \"cv_rel_err\": " << jsonDouble(r.predictor.cv_rel_err)
        << ", \"declined_untrained\": " << r.predictor.declined_untrained
        << ", \"declined_envelope\": " << r.predictor.declined_envelope
        << ", \"declined_cv\": " << r.predictor.declined_cv << "},\n";
@@ -332,8 +325,8 @@ reportJson(const SamplingReport &r, int indent)
            << ", \"members\": " << row.members
            << ", \"detailed\": " << row.detailed << ", \"fast\": " << row.fast
            << ", \"predicted\": " << row.predicted
-           << ", \"cpi_mean\": " << fmt6(row.cpi_mean)
-           << ", \"cpi_rel_spread\": " << fmt6(row.cpi_rel_spread)
+           << ", \"cpi_mean\": " << jsonDouble(row.cpi_mean)
+           << ", \"cpi_rel_spread\": " << jsonDouble(row.cpi_rel_spread)
            << ", \"detailed_cycles\": " << row.detailed_cycles
            << ", \"extrapolated_cycles\": " << row.extrapolated_cycles
            << "}";

@@ -82,7 +82,12 @@ struct SamplingReport
     std::vector<ClusterRow> rows; ///< creation order
 };
 
-/** Byte-stable JSON rendering (doubles printed with %.6f). */
+/**
+ * Byte-stable JSON rendering. Doubles are printed with jsonDouble()
+ * (shortest round-trip decimal), so the output is a pure function of the
+ * report's bits — identical across runs, compilers, and standard libraries,
+ * which is what lets a cached stats JSON byte-match a cold run.
+ */
 std::string reportJson(const SamplingReport &r, int indent = 2);
 
 class SampledBackend : public engine::ExecBackend
@@ -106,6 +111,14 @@ class SampledBackend : public engine::ExecBackend
     const SamplingOptions &samplingOptions() const { return opts_; }
     const Clusterer &clusterer() const { return clusterer_; }
     SamplingReport report() const;
+
+    /**
+     * The run's cycle predictor: exposed so a host (the serve daemon) can
+     * seed() an accumulated training set before the workload runs and
+     * exportSamples() the newly observed rows afterwards.
+     */
+    CyclePredictor &predictor() { return predictor_; }
+    const CyclePredictor &predictor() const { return predictor_; }
 
   private:
     /** High bit marks fast-forwarded tokens apart from GpuModel tokens. */

@@ -1,0 +1,194 @@
+#include "serve/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/fnv.h"
+#include "common/log.h"
+#include "common/serialize.h"
+
+namespace mlgs::serve
+{
+
+namespace
+{
+
+constexpr uint64_t kResultMagic = 0x544c535253474c4dull; // "MLGSRSLT"
+constexpr uint32_t kResultVersion = 1;
+
+/** Fixed accounting overhead per entry (key, list/map nodes, strings). */
+constexpr uint64_t kEntryOverhead = 160;
+
+} // namespace
+
+uint64_t
+CacheKey::digest() const
+{
+    Fnv1a h;
+    h.add<uint64_t>(trace_hash);
+    h.add<uint64_t>(config_hash);
+    h.add<uint8_t>(timing_mode);
+    h.add<uint64_t>(build_stamp);
+    return h.hash();
+}
+
+std::string
+CacheKey::hex() const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(digest()));
+    return std::string(buf);
+}
+
+ResultCache::ResultCache(uint64_t max_bytes, std::string persist_dir)
+    : max_bytes_(max_bytes), persist_dir_(std::move(persist_dir))
+{
+    if (!persist_dir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(persist_dir_, ec);
+        if (ec)
+            fatal("serve: cannot create cache persist directory ",
+                  persist_dir_, ": ", ec.message());
+        loadPersisted();
+    }
+}
+
+uint64_t
+ResultCache::entryBytes(const std::string &json)
+{
+    return json.size() + kEntryOverhead;
+}
+
+std::optional<std::string>
+ResultCache::get(const CacheKey &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key.digest());
+    // The map is keyed by the digest; guard against a (vanishingly unlikely)
+    // digest collision by comparing the full key before trusting the entry.
+    if (it == map_.end() || !(it->second->key == key)) {
+        stats_.misses++;
+        return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    stats_.hits++;
+    return it->second->json;
+}
+
+void
+ResultCache::put(const CacheKey &key, const std::string &stats_json)
+{
+    if (max_bytes_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t digest = key.digest();
+    const auto it = map_.find(digest);
+    if (it != map_.end()) {
+        stats_.bytes -= entryBytes(it->second->json);
+        it->second->json = stats_json;
+        stats_.bytes += entryBytes(it->second->json);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{key, stats_json});
+    map_[digest] = lru_.begin();
+    stats_.bytes += entryBytes(stats_json);
+    stats_.entries = lru_.size();
+    stats_.insertions++;
+    if (!persist_dir_.empty())
+        persistLocked(lru_.front());
+    evictOverBudgetLocked();
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+ResultCache::evictOverBudgetLocked()
+{
+    while (stats_.bytes > max_bytes_ && !lru_.empty()) {
+        const Entry &victim = lru_.back();
+        stats_.bytes -= entryBytes(victim.json);
+        map_.erase(victim.key.digest());
+        if (!persist_dir_.empty()) {
+            std::error_code ec;
+            std::filesystem::remove(std::filesystem::path(persist_dir_) /
+                                        (victim.key.hex() + ".mlgsres"),
+                                    ec);
+        }
+        lru_.pop_back();
+        stats_.evictions++;
+    }
+    stats_.entries = lru_.size();
+}
+
+// GCC 12's -Wstringop-overflow misfires on the vector-growth pattern that
+// BinaryWriter::put() inlines to here (writing "past" an allocation it has
+// mis-sized at 8 bytes); the writes are bounds-correct.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
+void
+ResultCache::persistLocked(const Entry &e) const
+{
+    BinaryWriter w;
+    w.putHeader(kResultMagic, kResultVersion);
+    w.put<uint64_t>(e.key.trace_hash);
+    w.put<uint64_t>(e.key.config_hash);
+    w.put<uint8_t>(e.key.timing_mode);
+    w.put<uint64_t>(e.key.build_stamp);
+    w.putString(e.json);
+    const auto path = std::filesystem::path(persist_dir_) /
+                      (e.key.hex() + ".mlgsres");
+    w.writeFile(path.string());
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+void
+ResultCache::loadPersisted()
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(persist_dir_, ec);
+    if (ec)
+        return;
+    for (const auto &de : it) {
+        if (!de.is_regular_file() || de.path().extension() != ".mlgsres")
+            continue;
+        // A corrupt, truncated, or foreign-build entry is simply skipped —
+        // a stale cache file must never be able to take the daemon down.
+        try {
+            BinaryReader r = BinaryReader::fromFile(de.path().string());
+            r.readHeader(kResultMagic, kResultVersion, kResultVersion,
+                         "cached result");
+            Entry e;
+            e.key.trace_hash = r.get<uint64_t>();
+            e.key.config_hash = r.get<uint64_t>();
+            e.key.timing_mode = r.get<uint8_t>();
+            e.key.build_stamp = r.get<uint64_t>();
+            e.json = r.getString();
+            if (e.key.hex() != de.path().stem().string())
+                continue; // renamed or mismatched file
+            const uint64_t digest = e.key.digest();
+            if (map_.count(digest))
+                continue;
+            if (entryBytes(e.json) + stats_.bytes > max_bytes_)
+                continue; // keep the budget honest during warm load
+            stats_.bytes += entryBytes(e.json);
+            lru_.push_back(std::move(e));
+            map_[digest] = std::prev(lru_.end());
+        } catch (const FatalError &) {
+            continue;
+        }
+    }
+    stats_.entries = lru_.size();
+}
+
+} // namespace mlgs::serve

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/fnv.h"
+
 namespace mlgs::trace
 {
 
@@ -9,18 +11,6 @@ namespace
 {
 
 constexpr uint64_t kEndMarker = 0x444e455343524c4dull; // "MLRCSEND"
-
-uint64_t
-fnv1a(const void *data, size_t n)
-{
-    const auto *p = static_cast<const uint8_t *>(data);
-    uint64_t h = 0xcbf29ce484222325ull;
-    for (size_t i = 0; i < n; i++) {
-        h ^= p[i];
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
 
 } // namespace
 
@@ -205,10 +195,69 @@ TraceOptions::load(BinaryReader &r)
 
 // ---- TraceFile ----
 
+uint64_t
+TraceFile::contentHash() const
+{
+    // Per-blob and per-string content hashes, so references can be replaced
+    // by content: the result is invariant under table reordering.
+    std::vector<uint64_t> blob_hash(blobs.size());
+    for (uint32_t i = 0; i < blobs.size(); i++) {
+        const auto &b = blobs.blob(i);
+        blob_hash[i] = Fnv1a()
+                           .add<uint64_t>(b.size())
+                           .addBytes(b.data(), b.size())
+                           .hash();
+    }
+
+    Fnv1a h;
+    h.add<uint64_t>(modules.size());
+    for (const auto &m : modules) {
+        h.addString(strings.str(m.name_sid));
+        h.add<uint8_t>(m.source_blob != kNoBlob);
+        if (m.source_blob != kNoBlob)
+            h.add<uint64_t>(blob_hash[m.source_blob]);
+        h.add<uint64_t>(m.global_allocs.size());
+        for (const auto &[bytes, align] : m.global_allocs) {
+            h.add<uint64_t>(bytes);
+            h.add<uint64_t>(align);
+        }
+    }
+
+    h.add<uint64_t>(ops.size());
+    for (const auto &op : ops) {
+        h.add<uint8_t>(uint8_t(op.code));
+        h.add<uint64_t>(op.a);
+        h.add<uint64_t>(op.b);
+        h.add<uint64_t>(op.c);
+        h.add<uint64_t>(op.d);
+        h.add<uint32_t>(op.id);
+        h.add<uint32_t>(op.stream);
+        h.add<uint32_t>(op.grid.x).add<uint32_t>(op.grid.y);
+        h.add<uint32_t>(op.grid.z);
+        h.add<uint32_t>(op.block.x).add<uint32_t>(op.block.y);
+        h.add<uint32_t>(op.block.z);
+        h.add<uint8_t>(op.u8);
+        // Only the opcodes that use sid/blob contribute them — and they
+        // contribute content, not table index, so insertion order of the
+        // intern tables cannot perturb the hash.
+        const bool uses_sid = op.code == OpCode::MemcpyToSymbol ||
+                              op.code == OpCode::Launch ||
+                              op.code == OpCode::RegisterTexture;
+        h.add<uint8_t>(uses_sid);
+        if (uses_sid)
+            h.addString(strings.str(op.sid));
+        h.add<uint8_t>(op.blob != kNoBlob);
+        if (op.blob != kNoBlob)
+            h.add<uint64_t>(blob_hash[op.blob]);
+    }
+    return h.hash();
+}
+
 void
 TraceFile::write(BinaryWriter &w) const
 {
     w.putHeader(kTraceMagic, kTraceVersion);
+    w.put<uint64_t>(contentHash());
     options.save(w);
     strings.save(w);
     blobs.save(w);
@@ -251,6 +300,7 @@ TraceFile::read(BinaryReader &r)
 {
     TraceFile t;
     r.readHeader(kTraceMagic, kTraceVersion, kTraceVersion, "trace");
+    const auto stored_hash = r.get<uint64_t>();
     t.options.load(r);
     t.strings.load(r);
     t.blobs.load(r);
@@ -306,6 +356,11 @@ TraceFile::read(BinaryReader &r)
 
     MLGS_REQUIRE(r.get<uint64_t>() == kEndMarker, "corrupt or truncated ",
                  r.name(), ": end marker missing");
+    const uint64_t computed = t.contentHash();
+    MLGS_REQUIRE(computed == stored_hash, "corrupt ", r.name(),
+                 ": content hash mismatch (stored ", stored_hash,
+                 ", recomputed ", computed,
+                 ") — the workload bytes were altered after recording");
     return t;
 }
 

@@ -5,9 +5,14 @@
  * boundary — sufficient to re-drive either execution backend with no
  * frontend (cudnn/blas/torchlet) code in the loop.
  *
- * Layout (version 1, all little-endian-naive like checkpoints):
+ * Layout (version 2, all little-endian-naive like checkpoints):
  *
  *   header   : u64 magic "MLGSTRCE", u32 version
+ *   hash     : u64 canonical FNV-1a content hash of the workload (modules +
+ *              op list with blob/string references replaced by their
+ *              *contents*, so the hash is independent of table insertion
+ *              order; options are excluded — they hash separately as the
+ *              cache key's config half). Verified on load.
  *   options  : SimMode + functional/timing knobs + full GpuConfig, so a
  *              replayed Context reproduces the recorded run bitwise
  *   strings  : interned string table (kernel / module / texture / symbol
@@ -52,7 +57,7 @@ namespace mlgs::trace
 {
 
 constexpr uint64_t kTraceMagic = 0x4543525453474c4dull; // "MLGSTRCE"
-constexpr uint32_t kTraceVersion = 1;
+constexpr uint32_t kTraceVersion = 2;
 
 /** Sentinel blob id: no payload attached. */
 constexpr uint32_t kNoBlob = 0xffffffffu;
@@ -255,9 +260,24 @@ struct TraceFile
     void save(const std::string &path) const;
     static TraceFile load(const std::string &path);
 
-    /** Deserialize from bytes (`name` labels errors). */
+    /**
+     * Deserialize from bytes (`name` labels errors). The stored content
+     * hash is recomputed and verified — a trace whose workload bytes were
+     * altered (or whose stored hash was) fails with a clear FatalError.
+     */
     static TraceFile read(BinaryReader &r);
     void write(BinaryWriter &w) const;
+
+    /**
+     * Canonical FNV-1a hash of the workload content: the module table and
+     * the op list, with every blob reference replaced by the blob's content
+     * hash and every string reference by the string's bytes. Two traces of
+     * the same workload hash identically even if their intern tables were
+     * populated in different orders; options (GpuConfig et al.) are
+     * deliberately excluded so the hash can serve as the workload half of a
+     * (workload, config) cache key.
+     */
+    uint64_t contentHash() const;
 };
 
 } // namespace mlgs::trace

@@ -8,7 +8,9 @@
 
 #include <cmath>
 
+#include "common/fnv.h"
 #include "common/fp16.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "mem/allocator.h"
@@ -153,6 +155,60 @@ TEST(Serialize, TruncatedStreamIsFatal)
     BinaryReader r(w.bytes());
     r.get<uint32_t>();
     EXPECT_THROW(r.get<uint64_t>(), FatalError);
+}
+
+// ---- byte-stable JSON doubles ----
+
+TEST(JsonDouble, RoundTripsExactly)
+{
+    // jsonDouble renders the shortest decimal that parses back to the same
+    // bits — the property the byte-stable stats JSON rests on.
+    const double values[] = {0.0,    1.0,       0.1,   1.0 / 3.0,
+                             2.5e-7, 1234.5678, 1e300, 6.25e-10,
+                             -0.625, 98.760000000000005};
+    for (const double v : values) {
+        const std::string s = jsonDouble(v);
+        EXPECT_EQ(std::stod(s), v) << s;
+    }
+}
+
+TEST(JsonDouble, StableAndCompact)
+{
+    EXPECT_EQ(jsonDouble(0.0), "0");
+    EXPECT_EQ(jsonDouble(1.0), jsonDouble(1.0));
+    // Shortest form, not 17 significant digits of noise.
+    EXPECT_EQ(jsonDouble(0.1), "0.1");
+    EXPECT_EQ(jsonDouble(2.5), "2.5");
+}
+
+TEST(JsonDouble, NonFiniteBecomesZero)
+{
+    // JSON has no NaN/Inf literal; the stats surfaces never produce them,
+    // but the renderer must still emit valid JSON if one slips through.
+    EXPECT_EQ(jsonDouble(std::nan("")), "0");
+    EXPECT_EQ(jsonDouble(HUGE_VAL), "0");
+}
+
+// ---- FNV-1a ----
+
+TEST(Fnv, IncrementalMatchesOneShot)
+{
+    const std::string data = "the quick brown fox";
+    Fnv1a h;
+    h.addBytes(data.data(), 7);
+    h.addBytes(data.data() + 7, data.size() - 7);
+    EXPECT_EQ(h.hash(), fnv1a(data.data(), data.size()));
+}
+
+TEST(Fnv, LengthPrefixedStringsDontCollide)
+{
+    // addString is length-prefixed so ("ab","c") and ("a","bc") hash apart.
+    Fnv1a a, b;
+    a.addString("ab");
+    a.addString("c");
+    b.addString("a");
+    b.addString("bc");
+    EXPECT_NE(a.hash(), b.hash());
 }
 
 TEST(Serialize, FileRoundTrip)

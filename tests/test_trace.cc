@@ -10,6 +10,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "bench/trace_workloads.h"
@@ -343,6 +344,58 @@ TEST(TraceFormat, EmptyFileFailsCleanly)
 {
     const auto err = readError({});
     EXPECT_NE(err.find("not a trace file"), std::string::npos) << err;
+}
+
+// ---- canonical content hash (format v2) ----
+
+TEST(TraceContentHash, IndependentOfOptions)
+{
+    // The hash covers the workload, not the machine configuration: the same
+    // trace swept across GPU configs must keep one workload hash (it is the
+    // workload half of the serve cache key).
+    auto t = tinyTrace();
+    const uint64_t h = t.contentHash();
+    t.options.memcpy_bytes_per_cycle *= 2.0;
+    t.options.gpu.num_cores += 1;
+    EXPECT_EQ(t.contentHash(), h);
+}
+
+TEST(TraceContentHash, SensitiveToWorkloadBytes)
+{
+    const auto a = tinyTrace();
+    // Same op structure, different H2D payload byte: the hash must differ.
+    cuda::Context ctx;
+    trace::TraceRecorder rec(ctx);
+    const addr_t p = ctx.malloc(64);
+    const float v = 2.5f;
+    ctx.memcpyH2D(p, &v, sizeof v);
+    ctx.deviceSynchronize();
+    rec.detach();
+    const auto b = rec.finalize();
+    EXPECT_NE(a.contentHash(), b.contentHash());
+}
+
+TEST(TraceContentHash, RoundTripPreservesAndVerifies)
+{
+    const auto t = tinyTrace();
+    BinaryReader r(serialize(t), "test-bytes");
+    const auto loaded = trace::TraceFile::read(r); // verifies stored hash
+    EXPECT_EQ(loaded.contentHash(), t.contentHash());
+}
+
+TEST(TraceContentHash, TamperedBlobFailsVerification)
+{
+    // Flip one byte inside the recorded H2D payload blob (the float 1.5f):
+    // the container still parses, but the recomputed content hash no longer
+    // matches the stored one.
+    auto bytes = serialize(tinyTrace());
+    const uint8_t pattern[4] = {0x00, 0x00, 0xc0, 0x3f}; // 1.5f
+    const auto it = std::search(bytes.begin(), bytes.end(), pattern,
+                                pattern + sizeof pattern);
+    ASSERT_NE(it, bytes.end());
+    *(it + 2) ^= 0x01;
+    const auto err = readError(bytes);
+    EXPECT_NE(err.find("content hash"), std::string::npos) << err;
 }
 
 // ---- replay guards ----
