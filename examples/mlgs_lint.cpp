@@ -6,10 +6,15 @@
  *   mlgs-lint --builtin            lint every PTX module shipped with the
  *                                  simulator (cublas-lite, cudnn-lite)
  *   mlgs-lint file.ptx [...]       lint PTX files from disk
+ *   mlgs-lint --perf               add static performance diagnostics
+ *   mlgs-lint --json               machine-readable output (one JSON object
+ *                                  per diagnostic on stdout)
  *   mlgs-lint --list-checks        describe the analyses
  *
- * Exit status: 0 when every module is clean (notes allowed), 1 when any
- * diagnostic of severity warning or above is produced, 2 on parse/IO error.
+ * Exit status: 0 when every module is clean (notes and perf diagnostics
+ * allowed), 1 when any correctness diagnostic of severity warning or above
+ * is produced, 2 on parse/IO error. Performance diagnostics are advisory
+ * and never affect the exit status.
  */
 #include <cstdio>
 #include <cstring>
@@ -21,6 +26,7 @@
 #include "blas/blas.h"
 #include "cudnn/kernels.h"
 #include "ptx/parser.h"
+#include "ptx/verifier/perflint.h"
 #include "ptx/verifier/verifier.h"
 
 using namespace mlgs;
@@ -32,6 +38,14 @@ struct Unit
 {
     std::string name;
     std::string source;
+};
+
+struct Options
+{
+    bool builtin = false;
+    bool perf = false;
+    bool json = false;
+    ptx::verifier::PerfModel model;
 };
 
 std::vector<Unit>
@@ -49,19 +63,74 @@ builtinUnits()
     };
 }
 
-/** Lint one unit; returns the worst severity seen (Note when clean). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", unsigned(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+printDiag(const Unit &u, const ptx::verifier::Diagnostic &d, bool json)
+{
+    if (!json) {
+        std::puts(ptx::verifier::formatDiagnostic(u.name, d).c_str());
+        return;
+    }
+    std::printf("{\"source\":\"%s\",\"line\":%d,\"col\":%d,"
+                "\"severity\":\"%s\",\"check\":\"%s\",\"kernel\":\"%s\","
+                "\"pc\":%u,\"message\":\"%s\"}\n",
+                jsonEscape(u.name).c_str(), d.line, d.col,
+                ptx::verifier::severityName(d.severity),
+                ptx::verifier::checkName(d.check),
+                jsonEscape(d.kernel).c_str(), d.pc,
+                jsonEscape(d.message).c_str());
+}
+
+/**
+ * Lint one unit; returns the worst correctness severity seen (Note when
+ * clean). Perf diagnostics are printed but never raise the returned
+ * severity.
+ */
 ptx::verifier::Severity
-lintUnit(const Unit &u, unsigned &ndiags)
+lintUnit(const Unit &u, const Options &opts, unsigned &ndiags)
 {
     const ptx::Module mod = ptx::parseModule(u.source, u.name);
     const auto diags = ptx::verifier::verifyModule(mod);
     for (const auto &d : diags)
-        std::puts(ptx::verifier::formatDiagnostic(u.name, d).c_str());
+        printDiag(u, d, opts.json);
+    size_t nperf = 0;
+    if (opts.perf) {
+        for (const auto &k : mod.kernels) {
+            const auto perf = ptx::verifier::perfDiagnostics(k, opts.model);
+            for (const auto &d : perf)
+                printDiag(u, d, opts.json);
+            nperf += perf.size();
+        }
+    }
     unsigned kernels = unsigned(mod.kernels.size());
-    std::printf("%s: %u kernel%s, %zu diagnostic%s\n", u.name.c_str(),
-                kernels, kernels == 1 ? "" : "s", diags.size(),
-                diags.size() == 1 ? "" : "s");
-    ndiags += unsigned(diags.size());
+    std::fprintf(opts.json ? stderr : stdout,
+                 "%s: %u kernel%s, %zu diagnostic%s\n", u.name.c_str(),
+                 kernels, kernels == 1 ? "" : "s", diags.size() + nperf,
+                 diags.size() + nperf == 1 ? "" : "s");
+    ndiags += unsigned(diags.size() + nperf);
     return ptx::verifier::maxSeverity(diags);
 }
 
@@ -76,6 +145,64 @@ listChecks()
               "unreconverged divergent region");
     std::puts("shared-race        same-phase shared-memory accesses that "
               "distinct threads can overlap");
+    std::puts("perf-coalescing    global access site predicted strided or "
+              "memory-divergent (--perf)");
+    std::puts("perf-bank-conflict shared access site with a conflicted "
+              "bank stride (--perf)");
+    std::puts("perf-occupancy     static occupancy summary per kernel "
+              "(--perf)");
+    std::puts("perf-divergence    large divergent-region instruction "
+              "fraction (--perf)");
+}
+
+void
+usage(std::FILE *to)
+{
+    std::fputs(
+        "usage: mlgs-lint [options] [file.ptx ...]\n"
+        "  --builtin          lint every PTX module shipped with the "
+        "simulator\n"
+        "  --perf             add static performance diagnostics "
+        "(perf-coalescing,\n"
+        "                     perf-bank-conflict, perf-occupancy, "
+        "perf-divergence);\n"
+        "                     advisory — they never affect the exit status\n"
+        "  --json             one JSON object per diagnostic on stdout, "
+        "schema\n"
+        "                     {source,line,col,severity,check,kernel,pc,"
+        "message};\n"
+        "                     per-module summaries move to stderr\n"
+        "  --block=X[,Y[,Z]]  block shape assumed by --perf for kernels "
+        "without\n"
+        "                     .reqntid launch bounds (default 256,1,1)\n"
+        "  --list-checks      describe the analyses\n"
+        "exit status:\n"
+        "  0  every module clean (notes and perf diagnostics allowed)\n"
+        "  1  at least one warning-or-worse correctness diagnostic\n"
+        "  2  parse or I/O error\n",
+        to);
+}
+
+bool
+parseBlock(const std::string &spec, unsigned out[3])
+{
+    out[0] = out[1] = out[2] = 1;
+    int d = 0;
+    size_t pos = 0;
+    while (pos < spec.size() && d < 3) {
+        size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string tok = spec.substr(pos, end - pos);
+        char *rest = nullptr;
+        const unsigned long v = std::strtoul(tok.c_str(), &rest, 10);
+        if (!rest || *rest != '\0' || v == 0 || v > 1024)
+            return false;
+        out[d++] = unsigned(v);
+        pos = end + 1;
+    }
+    // pos lands one past the string only when every token was consumed.
+    return d > 0 && pos > spec.size();
 }
 
 } // namespace
@@ -83,29 +210,39 @@ listChecks()
 int
 main(int argc, char **argv)
 {
-    bool builtin = false;
+    Options opts;
     std::vector<std::string> files;
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
         if (arg == "--builtin") {
-            builtin = true;
+            opts.builtin = true;
+        } else if (arg == "--perf") {
+            opts.perf = true;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg.rfind("--block=", 0) == 0) {
+            if (!parseBlock(arg.substr(8), opts.model.default_block)) {
+                std::fprintf(stderr, "mlgs-lint: bad --block spec '%s'\n",
+                             arg.c_str());
+                return 2;
+            }
         } else if (arg == "--list-checks") {
             listChecks();
             return 0;
         } else if (arg == "--help" || arg == "-h") {
-            std::puts("usage: mlgs-lint [--builtin] [file.ptx ...]");
+            usage(stdout);
             return 0;
         } else {
             files.push_back(arg);
         }
     }
-    if (!builtin && files.empty()) {
-        std::fputs("usage: mlgs-lint [--builtin] [file.ptx ...]\n", stderr);
+    if (!opts.builtin && files.empty()) {
+        usage(stderr);
         return 2;
     }
 
     std::vector<Unit> units;
-    if (builtin)
+    if (opts.builtin)
         units = builtinUnits();
     for (const auto &f : files) {
         std::ifstream in(f);
@@ -122,7 +259,7 @@ main(int argc, char **argv)
     unsigned ndiags = 0;
     for (const Unit &u : units) {
         try {
-            const auto sev = lintUnit(u, ndiags);
+            const auto sev = lintUnit(u, opts, ndiags);
             if (sev > worst)
                 worst = sev;
         } catch (const ptx::ParseError &e) {
@@ -130,7 +267,9 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    std::printf("mlgs-lint: %zu module%s, %u diagnostic%s\n", units.size(),
-                units.size() == 1 ? "" : "s", ndiags, ndiags == 1 ? "" : "s");
+    std::fprintf(opts.json ? stderr : stdout,
+                 "mlgs-lint: %zu module%s, %u diagnostic%s\n", units.size(),
+                 units.size() == 1 ? "" : "s", ndiags,
+                 ndiags == 1 ? "" : "s");
     return worst >= ptx::verifier::Severity::Warning ? 1 : 0;
 }

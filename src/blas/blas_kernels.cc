@@ -21,7 +21,7 @@ const char *kBlasPtx = R"PTX(
     .param .u32 as_m, .param .u32 as_k,
     .param .u32 bs_k, .param .u32 bs_n,
     .param .f32 alpha, .param .f32 beta
-)
+) .reqntid 32, 8, 1
 {
     .reg .u64 %rd<12>;
     .reg .u32 %r<20>;
@@ -91,7 +91,7 @@ DONE:
     .param .u64 Aptr, .param .u64 Bptr, .param .u64 Cptr,
     .param .u32 M, .param .u32 N, .param .u32 K,
     .param .f32 alpha, .param .f32 beta
-)
+) .reqntid 16, 16, 1
 {
     .reg .u64 %rd<14>;
     .reg .u32 %r<26>;
@@ -283,7 +283,7 @@ DONE:
 .visible .entry sgemv(
     .param .u64 Aptr, .param .u64 Xptr, .param .u64 Yptr,
     .param .u32 M, .param .u32 N, .param .f32 alpha
-)
+) .reqntid 128, 1, 1
 {
     .reg .u64 %rd<8>;
     .reg .u32 %r<12>;
@@ -331,7 +331,7 @@ DONE:
 .visible .entry gemv2T_kernel(
     .param .u64 Aptr, .param .u64 Xptr, .param .u64 Yptr,
     .param .u32 M, .param .u32 N, .param .f32 alpha
-)
+) .reqntid 128, 1, 1
 {
     .reg .u64 %rd<8>;
     .reg .u32 %r<12>;

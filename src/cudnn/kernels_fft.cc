@@ -548,7 +548,7 @@ const char *kCgemmPtx = R"PTX(
     .param .u32 b_q, .param .u32 b_l,
     .param .u32 o_p, .param .u32 o_q,
     .param .u32 conjB, .param .f32 beta
-)
+) .reqntid 128, 1, 1
 {
     .reg .u64 %rd<12>;
     .reg .u32 %r<20>;

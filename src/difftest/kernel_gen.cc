@@ -166,6 +166,7 @@ struct Builder
 
     std::string in0p, in1p, outp; ///< per-thread slice base addresses
     std::string lin, gid;         ///< linear tid in block / in grid
+    std::string a_in0_;           ///< raw in0 base (stride probes)
 
     void
     prologue()
@@ -175,6 +176,7 @@ struct Builder
 
         const std::string a_in0 = newAddr(), a_in1 = newAddr(),
                           a_out = newAddr();
+        a_in0_ = a_in0;
         emit("ld.param.u64 " + a_in0 + ", [in0];", a_in0, {}, true);
         emit("ld.param.u64 " + a_in1 + ", [in1];", a_in1, {}, true);
         emit("ld.param.u64 " + a_out + ", [out];", a_out, {}, true);
@@ -662,6 +664,46 @@ struct Builder
         }
     }
 
+    // ---- seeded known-stride probes (perf-lint cross-check) ---------------
+
+    /**
+     * One global load and one shared store at a fixed per-lane word stride,
+     * indexed by a fresh %tid.x register (the mad-computed linear id is not
+     * tid-affine to the analyzer, probes must stay inside its address
+     * language). The block is pinned to a single full warp by build().
+     */
+    void
+    strideProbe(unsigned stride)
+    {
+        k.probe_stride = stride;
+        const std::string rp = newReg(CU32);
+        emit("mov.u32 " + rp + ", %tid.x;", rp, {}, true);
+
+        const std::string goff = newAddr();
+        emit("mul.wide.u32 " + goff + ", " + rp + ", " +
+                 std::to_string(4 * stride) + ";",
+             goff, {rp}, true);
+        const std::string gaddr = newAddr();
+        emit("add.u64 " + gaddr + ", " + a_in0_ + ", " + goff + ";", gaddr,
+             {a_in0_, goff}, true);
+        const std::string rv = newReg(CU32);
+        k.probe_global_addr = gaddr;
+        emit("ld.global.u32 " + rv + ", [" + gaddr + "];", rv, {gaddr}, true);
+        emit("st.global.u32 [" + outp + "+60], " + rv + ";", "", {outp, rv},
+             true);
+
+        k.decl_lines.push_back(".shared .align 4 .b8 ptile[" +
+                               std::to_string(4 * 32 * stride) + "];");
+        const std::string sbase = newAddr();
+        emit("mov.u64 " + sbase + ", ptile;", sbase, {}, true);
+        const std::string saddr = newAddr();
+        emit("add.u64 " + saddr + ", " + sbase + ", " + goff + ";", saddr,
+             {sbase, goff}, true);
+        k.probe_shared_addr = saddr;
+        emit("st.shared.u32 [" + saddr + "], " + rp + ";", "", {saddr, rp},
+             true);
+    }
+
     // ---- divergent diamond with post-dominator reconvergence -------------
 
     void
@@ -885,11 +927,26 @@ struct Builder
     // ---- assembly ----------------------------------------------------------
 
     GenKernel
-    build(Defect defect)
+    build(Defect defect, StrideSeed stride)
     {
         k.defect = defect;
+        k.stride_seed = stride;
         pickShape();
+        if (stride != StrideSeed::None) {
+            // One full warp, one CTA: the probe's per-lane offsets cover
+            // exactly the warp the classifier reasons about, and in_words
+            // is grown so the widest stride stays inside the in0 buffer.
+            k.spec.block = Dim3{32, 1, 1};
+            k.spec.grid = Dim3{1, 1, 1};
+            k.spec.in_words = 32;
+        }
         prologue();
+        if (stride != StrideSeed::None) {
+            const unsigned words = stride == StrideSeed::Coalesced ? 1
+                                   : stride == StrideSeed::Stride2 ? 2
+                                                                   : 32;
+            strideProbe(words);
+        }
 
         switch (defect) {
           case Defect::SharedRace:
@@ -984,10 +1041,10 @@ GenKernel::liveCount() const
 }
 
 GenKernel
-KernelGen::generate(Defect defect)
+KernelGen::generate(Defect defect, StrideSeed stride)
 {
     Builder b(seed_);
-    return b.build(defect);
+    return b.build(defect, stride);
 }
 
 } // namespace mlgs::difftest

@@ -35,6 +35,21 @@ enum class Defect : uint8_t
     WideRemRead, ///< rem.u64 reading a 32-bit register (the paper's bug class)
 };
 
+/**
+ * Seeded known-stride access pattern: the generated kernel carries one
+ * global load and one shared store whose per-lane stride (in 4-byte words)
+ * is fixed, so tests can assert that perf-lint statically classifies the
+ * site exactly as seeded and that the dynamic site profiler measures the
+ * same class — fuzzing the analyzer itself.
+ */
+enum class StrideSeed : uint8_t
+{
+    None,      ///< no probe emitted
+    Coalesced, ///< stride 1: one transaction, conflict-free
+    Stride2,   ///< stride 2: two transactions, 2-way bank conflict
+    Stride32,  ///< stride 32: fully diverged, 32-way bank conflict
+};
+
 /** Everything needed to launch a generated kernel besides its PTX text. */
 struct LaunchSpec
 {
@@ -71,6 +86,18 @@ struct GenKernel
     Defect defect = Defect::None;
     uint64_t seed = 0; ///< generator seed (reproducibility bookkeeping)
 
+    /**
+     * Stride-probe bookkeeping (StrideSeed != None only). The probes are
+     * located in the parsed kernel by their unique address registers: the
+     * seeded global load is the ld.global whose address register is
+     * `probe_global_addr`, the seeded shared store the st.shared addressed
+     * by `probe_shared_addr`.
+     */
+    StrideSeed stride_seed = StrideSeed::None;
+    unsigned probe_stride = 0;      ///< words between consecutive lanes
+    std::string probe_global_addr;  ///< address register of the global load
+    std::string probe_shared_addr;  ///< address register of the shared store
+
     std::vector<std::string> decl_lines; ///< .reg/.shared declarations
     std::vector<GenStmt> body;
     /** Per-statement minimizer state: 0 = keep, 1 = fallback, 2 = dropped. */
@@ -92,7 +119,8 @@ class KernelGen
   public:
     explicit KernelGen(uint64_t seed) : seed_(seed) {}
 
-    GenKernel generate(Defect defect = Defect::None);
+    GenKernel generate(Defect defect = Defect::None,
+                       StrideSeed stride = StrideSeed::None);
 
   private:
     uint64_t seed_;

@@ -158,8 +158,11 @@ FunctionalEngine::launch(const LaunchEnv &env, const Dim3 &grid,
                          const Dim3 &block)
 {
     const uint64_t num_ctas = grid.count();
+    // The site profiler accumulates per-pc counters in one map; CTAs must
+    // run serially while it is attached.
     const bool parallel = pool_ && pool_->threadCount() > 1 && num_ctas > 1 &&
-                          !ptx::usesGlobalAtomics(*env.kernel);
+                          !ptx::usesGlobalAtomics(*env.kernel) &&
+                          !interp_->siteProfiler();
     if (parallel)
         return launchParallel(env, grid, block, num_ctas);
 

@@ -5,6 +5,7 @@
 
 #include "func/compiled/exec.h"
 #include "func/exec_semantics.h"
+#include "func/site_profiler.h"
 
 namespace mlgs::func
 {
@@ -174,6 +175,10 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
                 ea.space});
         } else if (ea.space == Space::Shared) {
             res.shared_accesses++;
+            if (profiler_)
+                profiler_->noteSharedLane(
+                    ea.addr - kSharedBase,
+                    ins.vec_width * ptx::typeSize(ins.type));
             if (RaceShadow *rs = cta.raceShadow())
                 rs->onAccess(size_t(ea.addr - kSharedBase),
                              size_t(ins.vec_width) * ptx::typeSize(ins.type),
@@ -200,6 +205,10 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
                 ea.space});
         } else if (ea.space == Space::Shared) {
             res.shared_accesses++;
+            if (profiler_)
+                profiler_->noteSharedLane(
+                    ea.addr - kSharedBase,
+                    ins.vec_width * ptx::typeSize(ins.type));
             if (RaceShadow *rs = cta.raceShadow())
                 rs->onAccess(size_t(ea.addr - kSharedBase),
                              size_t(ins.vec_width) * ptx::typeSize(ins.type),
@@ -224,6 +233,9 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
             writeDst(ins.type, old);
         if (ea.space == Space::Shared) {
             res.shared_accesses++;
+            if (profiler_)
+                profiler_->noteSharedLane(ea.addr - kSharedBase,
+                                          ptx::typeSize(ins.type));
         } else {
             res.accesses.push_back(MemAccess{ea.addr, ptx::typeSize(ins.type),
                                              true, true, ea.space});
@@ -290,14 +302,27 @@ Interpreter::execLane(const Instr &ins, CtaExec &cta, unsigned tid, unsigned lan
     }
 }
 
+void
+Interpreter::setSiteProfiler(SiteProfiler *prof)
+{
+    MLGS_REQUIRE(!prof || mode_ == ExecMode::Interp,
+                 "SiteProfiler requires the interp exec backend (per-lane "
+                 "shared addresses are not surfaced by the compiled path)");
+    profiler_ = prof;
+}
+
 WarpStepResult
 Interpreter::stepWarp(CtaExec &cta, unsigned warp, const LaunchEnv &env)
 {
     if (replay_streams_)
         return replayStep(cta, warp, env);
+    if (profiler_)
+        profiler_->beginStep();
     WarpStepResult res = mode_ == ExecMode::Compiled
                              ? compiled::stepWarp(*this, cta, warp, env)
                              : stepWarpExec(cta, warp, env);
+    if (profiler_)
+        profiler_->finishStep(env.kernel->name, cta.blockDim(), res);
     if (record_streams_)
         record_streams_->append(env.launch_seq, cta, warp, res);
     return res;

@@ -30,6 +30,8 @@
 namespace mlgs::func
 {
 
+class SiteProfiler;
+
 /** Executes warp instructions against a CtaExec and global memory. */
 class Interpreter
 {
@@ -86,6 +88,16 @@ class Interpreter
     bool raceCheck() const { return check_races_; }
 
     /**
+     * Attach a per-pc memory-site profiler (perf-lint agreement loop).
+     * Requires the interp backend (the profiler needs per-lane shared
+     * addresses only the reference interpreter surfaces) and forces both
+     * engines onto their serial paths. Pass nullptr to detach. Purely
+     * observational: simulation results are bitwise identical either way.
+     */
+    void setSiteProfiler(SiteProfiler *prof);
+    SiteProfiler *siteProfiler() const { return profiler_; }
+
+    /**
      * Execute the next instruction of a warp. The warp must not be done and
      * must not be waiting at a barrier.
      */
@@ -107,6 +119,7 @@ class Interpreter
     CoverageMap *coverage_ = nullptr;
     WarpStreamCache *record_streams_ = nullptr;
     const WarpStreamCache *replay_streams_ = nullptr;
+    SiteProfiler *profiler_ = nullptr;
 };
 
 } // namespace mlgs::func

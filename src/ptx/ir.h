@@ -299,6 +299,25 @@ struct KernelDef
         return nullptr;
     }
 
+    /**
+     * Launch-bounds hints from the kernel directive list: `.reqntid x,y,z`
+     * pins the exact CTA shape, `.maxntid x,y,z` bounds it. Zero means "not
+     * declared". perf-lint and the barrier-divergence check use these for
+     * real block shapes instead of worst-case assumptions; a dimension
+     * declared 1 makes the matching %tid component a compile-time constant.
+     */
+    unsigned reqntid[3] = {0, 0, 0};
+    unsigned maxntid[3] = {0, 0, 0};
+
+    bool hasReqntid() const { return reqntid[0] > 0; }
+
+    /** Is %tid along dimension d provably 0 (block extent pinned to 1)? */
+    bool
+    tidDimTrivial(int d) const
+    {
+        return reqntid[d] == 1 || maxntid[d] == 1;
+    }
+
     bool analyzed = false; ///< reconvergence points computed
 
     /**

@@ -447,6 +447,17 @@ class Parser
         }
         k.param_bytes = offset;
         expectPunct(")");
+        // Performance directives between the parameter list and the body:
+        // .reqntid pins the CTA shape, .maxntid bounds it (PTX ISA 5.3).
+        while (peek().kind == Tok::Ident &&
+               (peek().text == ".reqntid" || peek().text == ".maxntid")) {
+            const bool req = expectIdent() == ".reqntid";
+            unsigned *dims = req ? k.reqntid : k.maxntid;
+            dims[0] = dims[1] = dims[2] = 1;
+            dims[0] = unsigned(next().ival);
+            for (int d = 1; d < 3 && acceptPunct(","); d++)
+                dims[d] = unsigned(next().ival);
+        }
         expectPunct("{");
         parseBody(k);
         expectPunct("}");

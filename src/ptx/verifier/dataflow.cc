@@ -20,12 +20,15 @@ namespace
 {
 
 bool
-sregDivergent(SReg s)
+sregDivergent(SReg s, const Uniformity &u)
 {
     switch (s) {
       case SReg::TidX:
       case SReg::TidY:
       case SReg::TidZ:
+        // A tid component whose block extent is pinned to 1 by launch
+        // bounds is the constant 0, hence uniform.
+        return !u.tid_uniform[int(s) - int(SReg::TidX)];
       case SReg::LaneId:
       case SReg::WarpId:
       case SReg::Clock:
@@ -56,7 +59,7 @@ operandDivergent(const Operand &op, const Uniformity &u)
         return false;
       }
       case Operand::Kind::Special:
-        return sregDivergent(op.sreg);
+        return sregDivergent(op.sreg, u);
       default:
         // Imm / FImm / Sym / Label are the same for every thread.
         return false;
@@ -120,6 +123,8 @@ computeUniformity(const KernelDef &k)
 {
     Uniformity u;
     u.divergent.assign(k.reg_types.size(), false);
+    for (int d = 0; d < 3; d++)
+        u.tid_uniform[d] = k.tidDimTrivial(d);
 
     bool changed = true;
     while (changed) {

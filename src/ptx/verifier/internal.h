@@ -9,6 +9,7 @@
 #define MLGS_PTX_VERIFIER_INTERNAL_H
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "ptx/cfg.h"
@@ -27,6 +28,13 @@ namespace mlgs::ptx::verifier::detail
 struct Uniformity
 {
     std::vector<bool> divergent;
+
+    /**
+     * %tid.{x,y,z} components pinned to 0 by launch-bounds hints
+     * (.reqntid/.maxntid extent 1). Such a component is CTA-uniform, which
+     * sharpens every downstream consumer (guards, affine addresses).
+     */
+    bool tid_uniform[3] = {false, false, false};
 
     bool
     isDivergent(int reg) const
@@ -83,6 +91,29 @@ struct Affine
 /** Fixpoint affine values per register id (flow-insensitive joins). */
 std::vector<Affine> computeAffine(const KernelDef &kernel,
                                   const Uniformity &uni);
+
+/**
+ * Flow-sensitive affine states at memory sites: for every ld/st/atom/red pc,
+ * the per-register affine values holding on entry to that instruction
+ * (forward dataflow over the CFG; joins at block entries, strong updates
+ * inside blocks). Registers are freely reused across loop regions — an
+ * address register that holds a divergent global index in one block and a
+ * tid-linear tile index in another keeps both meanings separate here, where
+ * the flow-insensitive fixpoint would collapse them to divergent-unknown.
+ * Used by perf-lint; the race detector keeps the coarser (sound, join-all)
+ * view.
+ */
+std::unordered_map<uint32_t, std::vector<Affine>>
+computeAffineAtSites(const KernelDef &kernel, const Cfg &cfg,
+                     const Uniformity &uni);
+
+/**
+ * Affine form of a memory instruction's effective address (base register or
+ * symbol plus immediate offset). Returns an invalid Affine when the
+ * instruction has no memory operand.
+ */
+Affine memAddressAffine(const KernelDef &kernel, const Instr &ins,
+                        const std::vector<Affine> &regs);
 
 /** Build a diagnostic anchored at kernel.instrs[pc]. */
 Diagnostic makeDiag(Severity sev, Check check, const KernelDef &kernel,

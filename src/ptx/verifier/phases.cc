@@ -178,14 +178,25 @@ operandAffine(const Operand &op, const KernelDef &k,
           case SReg::TidX:
           case SReg::TidY:
           case SReg::TidZ: {
+            const int d = int(op.sreg) - int(SReg::TidX);
+            if (k.tidDimTrivial(d))
+                return constVal(0); // launch bounds pin this extent to 1
             Affine a;
             a.valid = true;
-            a.ct[int(op.sreg) - int(SReg::TidX)] = 1;
+            a.ct[d] = 1;
             return a;
           }
           case SReg::NTidX:
           case SReg::NTidY:
-          case SReg::NTidZ:
+          case SReg::NTidZ: {
+            // .reqntid pins the block extent, making %ntid a constant. This
+            // is what keeps tid.y*ntid.x+tid.x linear ids inside the affine
+            // language (tile index arithmetic in launch-bounded kernels).
+            const int d = int(op.sreg) - int(SReg::NTidX);
+            if (k.reqntid[d] > 0)
+                return constVal(int64_t(k.reqntid[d]));
+            return unknownVal(false);
+          }
           case SReg::CtaIdX:
           case SReg::CtaIdY:
           case SReg::CtaIdZ:
@@ -357,26 +368,7 @@ collectSharedAccesses(const KernelDef &k, const Cfg &cfg,
         const Instr &ins = k.instrs[pc];
         if (ins.op != Op::Ld && ins.op != Op::St)
             continue;
-        const Operand *mem = nullptr;
-        for (const Operand &op : ins.ops)
-            if (op.kind == Operand::Kind::Mem)
-                mem = &op;
-        if (!mem)
-            continue;
-
-        Affine addr;
-        if (!mem->sym.empty()) {
-            Operand symop;
-            symop.kind = Operand::Kind::Sym;
-            symop.sym = mem->sym;
-            addr = addVals(operandAffine(symop, k, regs),
-                           constVal(mem->imm));
-        } else if (mem->reg >= 0) {
-            Operand regop;
-            regop.kind = Operand::Kind::Reg;
-            regop.reg = mem->reg;
-            addr = addVals(operandAffine(regop, k, regs), constVal(mem->imm));
-        }
+        const Affine addr = memAddressAffine(k, ins, regs);
         // Shared when the space says so, or when the (generic) address is
         // provably derived from a shared variable's base.
         if (ins.space != Space::Shared && !(addr.valid && addr.var >= 0))
@@ -443,6 +435,31 @@ describeAccess(const KernelDef &k, const SharedAccess &a)
 
 } // namespace
 
+Affine
+memAddressAffine(const KernelDef &k, const Instr &ins,
+                 const std::vector<Affine> &regs)
+{
+    const Operand *mem = nullptr;
+    for (const Operand &op : ins.ops)
+        if (op.kind == Operand::Kind::Mem)
+            mem = &op;
+    if (!mem)
+        return Affine{};
+    if (!mem->sym.empty()) {
+        Operand symop;
+        symop.kind = Operand::Kind::Sym;
+        symop.sym = mem->sym;
+        return addVals(operandAffine(symop, k, regs), constVal(mem->imm));
+    }
+    if (mem->reg >= 0) {
+        Operand regop;
+        regop.kind = Operand::Kind::Reg;
+        regop.reg = mem->reg;
+        return addVals(operandAffine(regop, k, regs), constVal(mem->imm));
+    }
+    return Affine{};
+}
+
 std::vector<Affine>
 computeAffine(const KernelDef &k, const Uniformity &uni)
 {
@@ -461,6 +478,97 @@ computeAffine(const KernelDef &k, const Uniformity &uni)
         }
     }
     return regs;
+}
+
+namespace
+{
+
+/**
+ * Abstract-execute one instruction against a register state. A predicated
+ * write may not retire on every lane, so its result joins the incoming
+ * value instead of replacing it; a divergent predicate additionally mixes
+ * old and new values per lane, which no single affine form represents.
+ */
+void
+stepAffine(const Instr &ins, const KernelDef &k, const Uniformity &uni,
+           std::vector<Affine> &state)
+{
+    if (ins.dst_regs.size() == 1) {
+        const int dst = ins.dst_regs[0];
+        if (dst < 0 || size_t(dst) >= state.size())
+            return;
+        const Affine v = evalAffine(ins, k, state, uni);
+        if (ins.pred < 0) {
+            state[size_t(dst)] = v;
+        } else {
+            if (uni.isDivergent(ins.pred))
+                joinInto(state[size_t(dst)], unknownVal(true));
+            joinInto(state[size_t(dst)], v);
+        }
+        return;
+    }
+    for (const int dst : ins.dst_regs)
+        if (dst >= 0 && size_t(dst) < state.size())
+            state[size_t(dst)] = unknownVal(uni.isDivergent(dst));
+}
+
+bool
+isMemSite(const Instr &ins)
+{
+    return ins.op == Op::Ld || ins.op == Op::St || ins.op == Op::Atom ||
+           ins.op == Op::Red;
+}
+
+} // namespace
+
+std::unordered_map<uint32_t, std::vector<Affine>>
+computeAffineAtSites(const KernelDef &k, const Cfg &cfg, const Uniformity &uni)
+{
+    const size_t nr = k.reg_types.size();
+    const uint32_t nb = cfg.numBlocks();
+    // entry[b]: joined affine state on entry to block b (invalid = no
+    // reaching definition yet — also the state of unreachable blocks).
+    std::vector<std::vector<Affine>> entry(nb, std::vector<Affine>(nr));
+
+    std::vector<bool> queued(nb, false);
+    std::vector<uint32_t> work;
+    if (nb > 0) {
+        work.push_back(0);
+        queued[0] = true;
+    }
+    while (!work.empty()) {
+        const uint32_t b = work.back();
+        work.pop_back();
+        queued[b] = false;
+        std::vector<Affine> state = entry[b];
+        for (uint32_t pc = cfg.blocks()[b].first; pc <= cfg.blocks()[b].last;
+             pc++)
+            stepAffine(k.instrs[pc], k, uni, state);
+        for (const uint32_t s : cfg.blocks()[b].succs) {
+            if (s >= nb)
+                continue; // virtual exit
+            bool changed = false;
+            for (size_t i = 0; i < nr; i++)
+                changed |= joinInto(entry[s][i], state[i]);
+            if (changed && !queued[s]) {
+                work.push_back(s);
+                queued[s] = true;
+            }
+        }
+    }
+
+    // Replay each block once more, snapshotting the state at memory sites.
+    std::unordered_map<uint32_t, std::vector<Affine>> sites;
+    for (uint32_t b = 0; b < nb; b++) {
+        std::vector<Affine> state = entry[b];
+        for (uint32_t pc = cfg.blocks()[b].first; pc <= cfg.blocks()[b].last;
+             pc++) {
+            if (isMemSite(k.instrs[pc]))
+                sites.emplace(pc, state);
+            stepAffine(k.instrs[pc], k, uni, state);
+        }
+    }
+    return sites;
 }
 
 void

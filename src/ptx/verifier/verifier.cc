@@ -46,6 +46,14 @@ checkName(Check c)
         return "divergent-barrier";
       case Check::SharedRace:
         return "shared-race";
+      case Check::PerfCoalescing:
+        return "perf-coalescing";
+      case Check::PerfBankConflict:
+        return "perf-bank-conflict";
+      case Check::PerfOccupancy:
+        return "perf-occupancy";
+      case Check::PerfDivergence:
+        return "perf-divergence";
     }
     return "?";
 }

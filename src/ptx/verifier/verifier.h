@@ -44,6 +44,10 @@ enum class Check : uint8_t
     UninitRead,       ///< register may be read before any assignment
     DivergentBarrier, ///< bar.sync reachable under unreconverged divergence
     SharedRace,       ///< may-race on shared memory within one barrier phase
+    PerfCoalescing,   ///< global access site with strided/diverged addresses
+    PerfBankConflict, ///< shared access site with a bank-conflicted stride
+    PerfOccupancy,    ///< kernel occupancy summary / limiter warning
+    PerfDivergence,   ///< large divergent-region instruction fraction
 };
 
 /** Stable kebab-case slug ("type-mismatch", ...), used in diagnostics. */

@@ -72,6 +72,9 @@ GpuModel::parallelStepAllowed(const stats::AerialSampler *sampler) const
     // only meaningful against a serially recorded stream; keep both serial.
     if (interp_->warpStreamActive())
         return false;
+    // The site profiler accumulates per-pc counters in one map.
+    if (interp_->siteProfiler())
+        return false;
     // Global atomics order cross-CTA memory updates; a started kernel
     // using them pins the whole device to the serial path.
     for (const auto &ak : active_)

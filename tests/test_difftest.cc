@@ -16,7 +16,9 @@
 #include <sstream>
 
 #include "difftest/difftest.h"
+#include "func/site_profiler.h"
 #include "ptx/parser.h"
+#include "ptx/verifier/perflint.h"
 #include "sim_test_util.h"
 
 using namespace mlgs;
@@ -252,5 +254,153 @@ TEST(DifftestReference, DisagreesWithEveryInjectedBugOnProbeKernel)
         EXPECT_TRUE(r.injected_diverged) << "flag " << b;
     }
 }
+
+// ---------------------------------------------------------------------------
+// Stride-seeded perf-lint probes: the generator plants one global load and
+// one shared store with a known per-lane stride, and both the static
+// analyzer and the dynamic site profiler must recover exactly that class —
+// fuzzing the analyzer against ground truth it cannot see.
+// ---------------------------------------------------------------------------
+
+struct StrideCase
+{
+    StrideSeed seed;
+    ptx::verifier::AccessClass cls;
+    double txn;       ///< expected transactions per full-warp access
+    unsigned degree;  ///< expected shared bank-conflict degree
+};
+
+class DifftestStrideProbe : public ::testing::TestWithParam<StrideCase>
+{
+};
+
+TEST_P(DifftestStrideProbe, StaticAndMeasuredClassMatchSeed)
+{
+    const StrideCase &c = GetParam();
+    for (uint64_t seed = 11; seed < 14; seed++) {
+        KernelGen gen(seed);
+        const GenKernel gk = gen.generate(Defect::None, c.seed);
+        ASSERT_EQ(gk.stride_seed, c.seed);
+        ASSERT_FALSE(gk.probe_global_addr.empty());
+        ASSERT_FALSE(gk.probe_shared_addr.empty());
+
+        ptx::Module mod = ptx::parseModule(gk.ptx(), "stride.ptx");
+        const ptx::KernelDef *k = mod.findKernel(gk.spec.kernel);
+        ASSERT_NE(k, nullptr);
+
+        // Locate the probes by their (unique) address registers.
+        auto regId = [&](const std::string &name) {
+            for (size_t r = 0; r < k->reg_names.size(); r++)
+                if (k->reg_names[r] == name)
+                    return int(r);
+            return -1;
+        };
+        const int greg = regId(gk.probe_global_addr);
+        const int sreg = regId(gk.probe_shared_addr);
+        ASSERT_GE(greg, 0) << "seed " << seed;
+        ASSERT_GE(sreg, 0) << "seed " << seed;
+
+        auto memReg = [](const ptx::Instr &ins) {
+            for (const ptx::Operand &op : ins.ops)
+                if (op.kind == ptx::Operand::Kind::Mem)
+                    return op.reg;
+            return -1;
+        };
+        uint32_t gpc = UINT32_MAX, spc = UINT32_MAX;
+        for (uint32_t pc = 0; pc < k->instrs.size(); pc++) {
+            const ptx::Instr &ins = k->instrs[pc];
+            if (ins.op == ptx::Op::Ld && ins.space == ptx::Space::Global &&
+                memReg(ins) == greg)
+                gpc = pc;
+            if (ins.op == ptx::Op::St && ins.space == ptx::Space::Shared &&
+                memReg(ins) == sreg)
+                spc = pc;
+        }
+        ASSERT_NE(gpc, UINT32_MAX) << "seed " << seed;
+        ASSERT_NE(spc, UINT32_MAX) << "seed " << seed;
+
+        // Static side.
+        const unsigned block[3] = {gk.spec.block.x, gk.spec.block.y,
+                                   gk.spec.block.z};
+        const ptx::verifier::PerfModel model;
+        const auto rep = ptx::verifier::perfReport(*k, block, model);
+
+        const ptx::verifier::GlobalSiteReport *gsite = nullptr;
+        for (const auto &g : rep.globals)
+            if (g.pc == gpc)
+                gsite = &g;
+        ASSERT_NE(gsite, nullptr) << "seed " << seed;
+        EXPECT_EQ(gsite->cls, c.cls)
+            << "seed " << seed << ": predicted "
+            << ptx::verifier::accessClassName(gsite->cls);
+        EXPECT_NEAR(gsite->txn_per_warp, c.txn, 1e-9) << "seed " << seed;
+
+        const ptx::verifier::SharedSiteReport *ssite = nullptr;
+        for (const auto &s : rep.shared)
+            if (s.pc == spc)
+                ssite = &s;
+        ASSERT_NE(ssite, nullptr) << "seed " << seed;
+        EXPECT_EQ(ssite->conflict_degree, c.degree) << "seed " << seed;
+
+        // Dynamic side: run under the interpreter with the site profiler
+        // attached and require the measured counters to agree exactly.
+        mlgs::test::MiniGpu gpu({}, func::ExecMode::Interp);
+        func::SiteProfiler prof;
+        gpu.interp.setSiteProfiler(&prof);
+
+        const uint64_t threads = gk.spec.totalThreads();
+        std::vector<uint8_t> in(size_t(4) * gk.spec.in_words * threads, 0);
+        const addr_t in0 = gpu.upload(in.data(), in.size());
+        const addr_t in1 = gpu.upload(in.data(), in.size());
+        std::vector<uint8_t> outz(size_t(8) * gk.spec.out_slots * threads, 0);
+        const addr_t out = gpu.upload(outz.data(), outz.size());
+
+        mlgs::test::ParamPack params;
+        params.add<uint64_t>(in0).add<uint64_t>(in1).add<uint64_t>(out);
+        params.add<uint32_t>(uint32_t(threads));
+        gpu.run(mod, gk.spec.kernel, gk.spec.grid, gk.spec.block, params);
+
+        const auto key = func::SiteProfiler::key(gk.spec.kernel,
+                                                 gk.spec.block);
+        const auto it = prof.kernels().find(key);
+        ASSERT_NE(it, prof.kernels().end()) << "seed " << seed;
+
+        const auto git = it->second.globals.find(gpc);
+        ASSERT_NE(git, it->second.globals.end()) << "seed " << seed;
+        ASSERT_GT(git->second.full_accesses, 0u) << "seed " << seed;
+        const double meas_txn = double(git->second.full_transactions) /
+                                double(git->second.full_accesses);
+        EXPECT_NEAR(meas_txn, c.txn, 1e-9) << "seed " << seed;
+        EXPECT_EQ(ptx::verifier::classifyTransactions(
+                      meas_txn, gsite->ideal_txn, model.warp_size),
+                  c.cls)
+            << "seed " << seed;
+
+        const auto sit = it->second.shared.find(spc);
+        ASSERT_NE(sit, it->second.shared.end()) << "seed " << seed;
+        ASSERT_GT(sit->second.full_accesses, 0u) << "seed " << seed;
+        EXPECT_EQ(sit->second.full_degree_sum, uint64_t(c.degree) *
+                                                   sit->second.full_accesses)
+            << "seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrides, DifftestStrideProbe,
+    ::testing::Values(
+        StrideCase{StrideSeed::Coalesced,
+                   ptx::verifier::AccessClass::Coalesced, 1.0, 1},
+        StrideCase{StrideSeed::Stride2, ptx::verifier::AccessClass::Strided,
+                   2.0, 2},
+        StrideCase{StrideSeed::Stride32,
+                   ptx::verifier::AccessClass::Diverged, 32.0, 32}),
+    [](const ::testing::TestParamInfo<StrideCase> &info) {
+        switch (info.param.seed) {
+          case StrideSeed::Coalesced: return "Coalesced";
+          case StrideSeed::Stride2: return "Stride2";
+          case StrideSeed::Stride32: return "Stride32";
+          default: return "None";
+        }
+    });
 
 } // namespace
