@@ -33,7 +33,7 @@ namespace mlgs::bench
  * produced under.
  */
 inline std::string
-buildMetaJson()
+buildMetaJson(int device_count = 1)
 {
     const char *compiler =
 #if defined(__clang__)
@@ -58,7 +58,7 @@ buildMetaJson()
        << "\", \"timing_mode\": \""
        << sample::timingModeName(
               sample::resolveTimingMode(sample::TimingMode::Auto))
-       << "\"}";
+       << "\", \"device_count\": " << device_count << "}";
     return os.str();
 }
 

@@ -25,6 +25,7 @@
 
 #include "blas/blas.h"
 #include "cudnn/kernels.h"
+#include "nccl/nccl_lite.h"
 #include "ptx/parser.h"
 #include "ptx/verifier/perflint.h"
 #include "ptx/verifier/verifier.h"
@@ -60,6 +61,7 @@ builtinUnits()
         {"libcudnn_fft32.ptx", cudnn::buildFftPtx32()},
         {"libcudnn_fft16.ptx", cudnn::buildFftPtx16()},
         {"libcudnn_cgemm.ptx", cudnn::buildCgemmPtx()},
+        {"libnccl_lite.ptx", nccl::kNcclPtx},
     };
 }
 

@@ -694,6 +694,26 @@ CudnnHandle::convolutionBackwardFilter(const TensorDesc &xd, addr_t x,
     fatal("unhandled backward-filter algorithm");
 }
 
+void
+CudnnHandle::convolutionBackwardFilterRanged(const TensorDesc &xd, addr_t x,
+                                             const TensorDesc &dyd, addr_t dy,
+                                             const ConvDesc &conv,
+                                             const FilterDesc &dwd, addr_t dw,
+                                             int batch_lo, int batch_hi)
+{
+    MLGS_REQUIRE(0 <= batch_lo && batch_lo < batch_hi && batch_hi <= xd.n,
+                 "bad filter-gradient batch range [", batch_lo, ", ",
+                 batch_hi, ") for batch ", xd.n);
+    cuda::KernelArgs a;
+    a.ptr(x).ptr(dy).ptr(dw).u32(unsigned(xd.n)).u32(unsigned(xd.c))
+        .u32(unsigned(xd.h)).u32(unsigned(xd.w)).u32(unsigned(dwd.k))
+        .u32(unsigned(dwd.r)).u32(unsigned(dwd.s)).u32(unsigned(dyd.h))
+        .u32(unsigned(dyd.w)).u32(unsigned(conv.pad))
+        .u32(unsigned(conv.stride)).u32(unsigned(batch_lo))
+        .u32(unsigned(batch_hi));
+    launch1d(mod_conv_, "conv_bwd_filter_algo1", a, dwd.count());
+}
+
 ConvFwdAlgo
 CudnnHandle::getConvolutionForwardAlgorithm(const TensorDesc &xd,
                                             const FilterDesc &wd,

@@ -123,6 +123,20 @@ class CudnnHandle
                                    ConvBwdFilterAlgo algo,
                                    const FilterDesc &dwd, addr_t dw);
 
+    /**
+     * Filter gradient restricted to samples [batch_lo, batch_hi) of the
+     * batch, via the ALGO_1 kernel (the only algorithm whose accumulation
+     * order is per-sample separable). With (0, xd.n) this is bitwise equal
+     * to convolutionBackwardFilter(..., Algo1, ...); a data-parallel shard
+     * running Algo1 on just its samples produces the identical range result,
+     * which is what lets sharded training match single-GPU gradients.
+     */
+    void convolutionBackwardFilterRanged(const TensorDesc &xd, addr_t x,
+                                         const TensorDesc &dyd, addr_t dy,
+                                         const ConvDesc &conv,
+                                         const FilterDesc &dwd, addr_t dw,
+                                         int batch_lo, int batch_hi);
+
     /** Heuristic algorithm choice (cudnnGetConvolutionForwardAlgorithm). */
     ConvFwdAlgo getConvolutionForwardAlgorithm(const TensorDesc &xd,
                                                const FilterDesc &wd,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "link/fabric.h"
+
 namespace mlgs::engine
 {
 
@@ -64,9 +66,15 @@ DeviceEngine::startCopy(Stream &s, size_t bytes)
         bytes == 0
             ? 0
             : cycle_t(std::ceil(double(bytes) / opts_.memcpy_bytes_per_cycle));
+    startCopyAt(s, s.ready_at_ + dur);
+}
+
+void
+DeviceEngine::startCopyAt(Stream &s, cycle_t done_at)
+{
     s.inflight_.kind = Stream::InFlight::Kind::Copy;
-    s.inflight_.done_at = s.ready_at_ + dur;
-    copy_pq_.push(CopyEvent{s.inflight_.done_at, next_seq_++, &s});
+    s.inflight_.done_at = done_at;
+    copy_pq_.push(CopyEvent{done_at, next_seq_++, &s});
 }
 
 bool
@@ -109,6 +117,52 @@ DeviceEngine::startFront(Stream &s)
         startCopy(s, op.bytes);
         s.ops_.pop_front();
         return true;
+      case Kind::PeerSend: {
+        cycle_t complete;
+        if (op.xfer) {
+            MLGS_REQUIRE(fabric_, "peer copy issued without a link fabric");
+            op.xfer->payload.resize(op.bytes);
+            mem_->read(op.src, op.xfer->payload.data(), op.bytes);
+            complete = fabric_->reserveTransfer(device_id_, op.peer_device,
+                                                op.bytes, s.ready_at_);
+            op.xfer->ready_at = complete;
+            op.xfer->ready = true;
+        } else {
+            // Replay: reproduce the recorded completion time. ready_at_
+            // matches the live run at this point, so the max is exact.
+            complete = op.fixed_complete;
+        }
+        const cycle_t done = std::max(s.ready_at_, complete);
+        if (peer_exec_)
+            peer_exec_(op.api_seq, done, nullptr);
+        startCopyAt(s, done);
+        s.ops_.pop_front();
+        return true;
+      }
+      case Kind::PeerRecv: {
+        cycle_t complete;
+        const std::vector<uint8_t> *payload = nullptr;
+        if (op.xfer) {
+            if (!op.xfer->ready)
+                return false; // blocked until the sender publishes
+            MLGS_ASSERT(op.xfer->payload.size() == op.bytes,
+                        "peer transfer size mismatch");
+            mem_->write(op.dst, op.xfer->payload.data(), op.bytes);
+            complete = op.xfer->ready_at;
+            payload = &op.xfer->payload;
+        } else {
+            // Replay: the payload was recorded at execution time.
+            mem_->write(op.dst, op.host_data.data(), op.bytes);
+            complete = op.fixed_complete;
+            payload = &op.host_data;
+        }
+        const cycle_t done = std::max(s.ready_at_, complete);
+        if (peer_exec_)
+            peer_exec_(op.api_seq, done, payload);
+        startCopyAt(s, done);
+        s.ops_.pop_front();
+        return true;
+      }
       case Kind::Launch: {
         if (!backend_->canAccept())
             return false; // wait for a resident kernel to retire
@@ -197,14 +251,26 @@ DeviceEngine::retireNext()
     return false;
 }
 
-void
-DeviceEngine::drain()
+bool
+DeviceEngine::advance()
 {
+    bool progressed = false;
     for (;;) {
         pump();
         if (!retireNext())
             break;
+        progressed = true;
     }
+    return progressed;
+}
+
+void
+DeviceEngine::drain()
+{
+    if (drain_hook_)
+        drain_hook_();
+    else
+        advance();
 }
 
 bool

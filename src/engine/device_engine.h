@@ -24,6 +24,11 @@
 #include "engine/exec_backend.h"
 #include "mem/gpu_memory.h"
 
+namespace mlgs::link
+{
+class Fabric;
+} // namespace mlgs::link
+
 namespace mlgs::engine
 {
 
@@ -47,10 +52,39 @@ class DeviceEngine
     /** Called when a launch retires; `executed` is false for hooked ones. */
     using LaunchRetire = std::function<void(LaunchRecord &&, bool executed)>;
 
+    /**
+     * Called the moment a PeerSend/PeerRecv op executes, with the op's host
+     * API sequence number, its resolved completion cycle, and (for receives)
+     * the transferred payload. Lets the trace recorder back-patch timing and
+     * data that are unknowable at API time. The payload pointer is only
+     * valid for the duration of the call.
+     */
+    using PeerOpExec = std::function<void(uint64_t api_seq, cycle_t complete,
+                                          const std::vector<uint8_t> *payload)>;
+
     DeviceEngine(ExecBackend &backend, GpuMemory &mem, Options opts);
 
     void setLaunchPrep(LaunchPrep prep) { prep_ = std::move(prep); }
     void setLaunchRetire(LaunchRetire retire) { retire_ = std::move(retire); }
+    void setPeerOpExec(PeerOpExec exec) { peer_exec_ = std::move(exec); }
+
+    /** Attach the interconnect and this engine's device id (multi-GPU). */
+    void setFabric(link::Fabric *fabric, int device_id)
+    {
+        fabric_ = fabric;
+        device_id_ = device_id;
+    }
+
+    /**
+     * Multi-device drain delegate. When set, drain() forwards to it instead
+     * of spinning this engine alone — a blocked PeerRecv can only make
+     * progress once the sending device's engine has run, so quiescence is a
+     * whole-process property that the Context coordinates via advance().
+     */
+    void setDrainHook(std::function<void()> hook)
+    {
+        drain_hook_ = std::move(hook);
+    }
 
     // ---- streams & events ----
     Stream *createStream();
@@ -69,7 +103,16 @@ class DeviceEngine
     // ---- progress ----
     /** Start every startable op without forcing retirement. */
     void pump();
-    /** Event loop to quiescence: everything started and retired. */
+    /**
+     * Event loop to local quiescence: everything this engine can start and
+     * retire without outside help. Returns whether any op retired — false
+     * means either fully drained or blocked on a peer/event dependency.
+     */
+    bool advance();
+    /**
+     * Drain to quiescence. Single-device: spins this engine. Multi-device:
+     * delegates to the drain hook so peer dependencies can resolve.
+     */
     void drain();
 
     /** No queued or in-flight work on this stream. */
@@ -97,6 +140,7 @@ class DeviceEngine
 
     bool startFront(Stream &s);
     void startCopy(Stream &s, size_t bytes);
+    void startCopyAt(Stream &s, cycle_t done_at);
     bool retireNext();
 
     ExecBackend *backend_;
@@ -104,6 +148,10 @@ class DeviceEngine
     Options opts_;
     LaunchPrep prep_;
     LaunchRetire retire_;
+    PeerOpExec peer_exec_;
+    std::function<void()> drain_hook_;
+    link::Fabric *fabric_ = nullptr;
+    int device_id_ = 0;
 
     std::vector<std::unique_ptr<Stream>> streams_;
     std::vector<std::unique_ptr<Event>> events_;

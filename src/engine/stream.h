@@ -10,6 +10,7 @@
 #define MLGS_ENGINE_STREAM_H
 
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,20 @@ namespace mlgs::engine
 {
 
 class DeviceEngine;
+
+/**
+ * Rendezvous cell for one peer-to-peer copy. The sending device's engine
+ * fills `payload` and stamps `ready_at` when the send op starts; the
+ * receiving device's engine stays blocked on its PeerRecv op until `ready`
+ * flips, then writes the payload into its own memory. Both engines only
+ * ever touch their own GpuMemory — this cell is the sole shared state.
+ */
+struct PeerXfer
+{
+    std::vector<uint8_t> payload;
+    bool ready = false;
+    cycle_t ready_at = 0; ///< cycle the last byte arrives at the receiver
+};
 
 /** Event marker recorded into a stream. */
 class Event
@@ -81,6 +96,8 @@ class Stream
             Memset,
             RecordEvent,
             WaitEvent,
+            PeerSend, ///< read local memory, publish through a PeerXfer
+            PeerRecv, ///< wait for the PeerXfer, write into local memory
         };
         Kind kind;
         // Launch:
@@ -96,6 +113,13 @@ class Stream
         uint8_t fill = 0;
         // Events:
         Event *event = nullptr;
+        // Peer copies (PeerSend reads `src`, PeerRecv writes `dst`):
+        std::shared_ptr<PeerXfer> xfer; ///< live rendezvous (null on replay)
+        int peer_device = -1;
+        /** Replay only: the recorded completion cycle to reproduce. */
+        cycle_t fixed_complete = 0;
+        /** Host API sequence number, for trace back-patching. */
+        uint64_t api_seq = 0;
     };
 
     unsigned id() const { return id_; }

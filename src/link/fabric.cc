@@ -1,0 +1,71 @@
+#include "link/fabric.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace mlgs::link
+{
+
+Fabric::Fabric(int device_count, LinkConfig cfg)
+    : device_count_(device_count), cfg_(cfg)
+{
+    MLGS_REQUIRE(device_count_ >= 1, "Fabric: device_count must be >= 1");
+    MLGS_REQUIRE(cfg_.bytes_per_cycle > 0,
+                 "Fabric: bytes_per_cycle must be positive");
+    links_.resize(size_t(device_count_) * size_t(device_count_));
+}
+
+size_t
+Fabric::index(int src, int dst) const
+{
+    MLGS_REQUIRE(src >= 0 && src < device_count_, "Fabric: bad src device ",
+                 src);
+    MLGS_REQUIRE(dst >= 0 && dst < device_count_, "Fabric: bad dst device ",
+                 dst);
+    MLGS_REQUIRE(src != dst, "Fabric: src and dst device are both ", src);
+    return size_t(src) * size_t(device_count_) + size_t(dst);
+}
+
+cycle_t
+Fabric::reserveTransfer(int src, int dst, size_t bytes, cycle_t earliest)
+{
+    Link &l = links_[index(src, dst)];
+    // Deterministic round-up: a partial cycle still occupies the link.
+    const cycle_t dur =
+        bytes == 0
+            ? 0
+            : cycle_t(std::ceil(double(bytes) / cfg_.bytes_per_cycle));
+    const cycle_t start = std::max(earliest, l.busy_until);
+    l.busy_until = start + dur;
+    l.stats.transfers++;
+    l.stats.bytes += bytes;
+    l.stats.busy_cycles += dur;
+    return start + dur + cfg_.latency;
+}
+
+const LinkStats &
+Fabric::stats(int src, int dst) const
+{
+    return links_[index(src, dst)].stats;
+}
+
+uint64_t
+Fabric::totalBytes() const
+{
+    uint64_t total = 0;
+    for (const Link &l : links_)
+        total += l.stats.bytes;
+    return total;
+}
+
+uint64_t
+Fabric::totalTransfers() const
+{
+    uint64_t total = 0;
+    for (const Link &l : links_)
+        total += l.stats.transfers;
+    return total;
+}
+
+} // namespace mlgs::link

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * nccl-lite PTX: the elementwise reduction kernel collectives are built on.
+ */
+#include "nccl/nccl_lite.h"
+
+namespace mlgs::nccl
+{
+
+const char *kNcclPtx = R"PTX(
+.version 6.4
+.target sm_61
+.address_size 64
+
+// dst[i] = dst[i] + src[i]; one thread per element. Plain add.f32 (no fma)
+// so the float nesting is exactly "accumulate one operand onto the other" —
+// the property chain all-reduce and the sharded-training reference rely on.
+.visible .entry nccl_add_f32(
+    .param .u64 Dst, .param .u64 Src, .param .u32 Count
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<8>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+
+    ld.param.u64 %rd1, [Dst];
+    ld.param.u64 %rd2, [Src];
+    ld.param.u32 %r1, [Count];
+
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+
+    mul.wide.u32 %rd3, %r5, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    add.u64 %rd5, %rd2, %rd3;
+    ld.global.f32 %f1, [%rd4];
+    ld.global.f32 %f2, [%rd5];
+    add.f32 %f3, %f1, %f2;
+    st.global.f32 [%rd4], %f3;
+DONE:
+    ret;
+}
+)PTX";
+
+} // namespace mlgs::nccl

@@ -1,0 +1,210 @@
+#include "nccl/nccl_lite.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.h"
+
+namespace mlgs::nccl
+{
+
+namespace
+{
+
+unsigned
+ceilDiv(size_t a, unsigned b)
+{
+    return unsigned((a + b - 1) / b);
+}
+
+/** Chunk c of a count-float buffer split near-evenly across n ranks. */
+size_t
+chunkLo(size_t count, int n, int c)
+{
+    return size_t(c) * count / size_t(n);
+}
+
+} // namespace
+
+Communicator::Communicator(cuda::Context &ctx)
+    : ctx_(&ctx), ranks_(ctx.deviceCount())
+{
+    for (int r = 0; r < ranks_; r++) {
+        ctx_->setDevice(r);
+        const int mod = ctx_->loadModule(kNcclPtx, "libnccl_lite.ptx");
+        add_kernels_.push_back(ctx_->getFunction(mod, "nccl_add_f32"));
+        streams_.push_back(ctx_->createStream());
+        // Ring neighbours, both directions (Chain reduces down, casts up).
+        std::set<int> neighbours{(r + 1) % ranks_, (r + ranks_ - 1) % ranks_};
+        for (const int peer : neighbours)
+            if (peer != r)
+                ctx_->enablePeerAccess(peer);
+    }
+}
+
+void
+Communicator::launchAdd(int rank, addr_t dst, addr_t src, size_t count)
+{
+    if (count == 0)
+        return;
+    cuda::KernelArgs a;
+    a.ptr(dst).ptr(src).u32(unsigned(count));
+    ctx_->cuLaunchKernel(add_kernels_[size_t(rank)],
+                         Dim3(ceilDiv(count, 128)), Dim3(128), a,
+                         streams_[size_t(rank)]);
+}
+
+void
+Communicator::allReduceSum(const std::vector<addr_t> &bufs, size_t count,
+                           AllReduceAlgo algo)
+{
+    MLGS_REQUIRE(int(bufs.size()) == ranks_, "allReduceSum: got ",
+                 bufs.size(), " buffers for ", ranks_, " ranks");
+    if (ranks_ == 1 || count == 0)
+        return;
+    // The collective is stream-ordered against each rank's default stream,
+    // like ncclAllReduce against its launch stream: communication may not
+    // begin before the producer stream reaches this point, and later
+    // default-stream work may not be timed before the reduced result lands.
+    for (int r = 0; r < ranks_; r++) {
+        ctx_->setDevice(r);
+        cuda::Event *ready = ctx_->createEvent();
+        ctx_->recordEvent(ready, nullptr);
+        ctx_->streamWaitEvent(streams_[size_t(r)], ready);
+    }
+    switch (algo) {
+      case AllReduceAlgo::Ring:
+        ringAllReduce(bufs, count);
+        break;
+      case AllReduceAlgo::Chain:
+        chainAllReduce(bufs, count);
+        break;
+    }
+    for (int r = 0; r < ranks_; r++) {
+        ctx_->setDevice(r);
+        cuda::Event *done = ctx_->createEvent();
+        ctx_->recordEvent(done, streams_[size_t(r)]);
+        ctx_->streamWaitEvent(nullptr, done);
+        ctx_->streamSynchronize(streams_[size_t(r)]);
+    }
+}
+
+void
+Communicator::ringAllReduce(const std::vector<addr_t> &bufs, size_t count)
+{
+    const int n = ranks_;
+    // Largest chunk bounds the per-rank receive scratch.
+    size_t max_chunk = 0;
+    for (int c = 0; c < n; c++)
+        max_chunk = std::max(max_chunk,
+                             chunkLo(count, n, c + 1) - chunkLo(count, n, c));
+    std::vector<addr_t> scratch;
+    scratch.resize(size_t(n));
+    for (int r = 0; r < n; r++) {
+        ctx_->setDevice(r);
+        scratch[size_t(r)] = ctx_->malloc(std::max<size_t>(max_chunk, 1) * 4);
+    }
+
+    // Reduce-scatter: after step s, chunk (r - s) sent by rank r carries the
+    // partial sum of s+1 ranks; after n-1 steps rank r owns the fully
+    // reduced chunk (r + 1) mod n.
+    for (int s = 0; s < n - 1; s++) {
+        for (int r = 0; r < n; r++) {
+            const int dst = (r + 1) % n;
+            const int c = ((r - s) % n + n) % n;
+            const size_t lo = chunkLo(count, n, c);
+            const size_t bytes = (chunkLo(count, n, c + 1) - lo) * 4;
+            ctx_->memcpyPeer(scratch[size_t(dst)], dst, bufs[size_t(r)] + lo * 4,
+                             r, bytes, streams_[size_t(dst)],
+                             streams_[size_t(r)]);
+        }
+        for (int r = 0; r < n; r++) {
+            const int c = ((r - 1 - s) % n + n) % n; // chunk just received
+            const size_t lo = chunkLo(count, n, c);
+            ctx_->setDevice(r);
+            launchAdd(r, bufs[size_t(r)] + lo * 4, scratch[size_t(r)],
+                      chunkLo(count, n, c + 1) - lo);
+        }
+    }
+
+    // All-gather: forward each fully reduced chunk around the ring, writing
+    // straight into the destination buffer (no reduction kernel).
+    for (int s = 0; s < n - 1; s++)
+        for (int r = 0; r < n; r++) {
+            const int dst = (r + 1) % n;
+            const int c = ((r + 1 - s) % n + n) % n;
+            const size_t lo = chunkLo(count, n, c);
+            const size_t bytes = (chunkLo(count, n, c + 1) - lo) * 4;
+            ctx_->memcpyPeer(bufs[size_t(dst)] + lo * 4, dst,
+                             bufs[size_t(r)] + lo * 4, r, bytes,
+                             streams_[size_t(dst)], streams_[size_t(r)]);
+        }
+
+    for (int r = 0; r < n; r++) {
+        ctx_->setDevice(r);
+        ctx_->streamSynchronize(streams_[size_t(r)]);
+        ctx_->free(scratch[size_t(r)]);
+    }
+}
+
+void
+Communicator::chainAllReduce(const std::vector<addr_t> &bufs, size_t count)
+{
+    const int n = ranks_;
+    const size_t bytes = count * 4;
+    // Reduce down the chain: rank r folds the running sum from rank r-1
+    // into its own buffer, so rank n-1 ends with fl(...fl(g0+g1)...+g_{n-1}).
+    for (int r = 1; r < n; r++) {
+        ctx_->setDevice(r);
+        const addr_t scratch = ctx_->malloc(bytes);
+        ctx_->memcpyPeer(scratch, r, bufs[size_t(r - 1)], r - 1, bytes,
+                         streams_[size_t(r)], streams_[size_t(r - 1)]);
+        launchAdd(r, bufs[size_t(r)], scratch, count);
+        ctx_->streamSynchronize(streams_[size_t(r)]);
+        ctx_->free(scratch);
+    }
+    // Broadcast the result back up the chain.
+    for (int r = n - 2; r >= 0; r--)
+        ctx_->memcpyPeer(bufs[size_t(r)], r, bufs[size_t(r + 1)], r + 1,
+                         bytes, streams_[size_t(r)], streams_[size_t(r + 1)]);
+}
+
+std::vector<float>
+ringAllReduceReference(std::vector<std::vector<float>> bufs)
+{
+    const int n = int(bufs.size());
+    MLGS_REQUIRE(n >= 1, "ringAllReduceReference: no ranks");
+    const size_t count = bufs[0].size();
+    if (n == 1)
+        return bufs[0];
+    for (int s = 0; s < n - 1; s++)
+        for (int r = 0; r < n; r++) {
+            const int dst = (r + 1) % n;
+            const int c = ((r - s) % n + n) % n;
+            for (size_t i = chunkLo(count, n, c);
+                 i < chunkLo(count, n, c + 1); i++)
+                bufs[size_t(dst)][i] = bufs[size_t(dst)][i] + bufs[size_t(r)][i];
+        }
+    for (int s = 0; s < n - 1; s++)
+        for (int r = 0; r < n; r++) {
+            const int dst = (r + 1) % n;
+            const int c = ((r + 1 - s) % n + n) % n;
+            for (size_t i = chunkLo(count, n, c);
+                 i < chunkLo(count, n, c + 1); i++)
+                bufs[size_t(dst)][i] = bufs[size_t(r)][i];
+        }
+    return bufs[0];
+}
+
+std::vector<float>
+chainAllReduceReference(const std::vector<std::vector<float>> &bufs)
+{
+    MLGS_REQUIRE(!bufs.empty(), "chainAllReduceReference: no ranks");
+    std::vector<float> acc = bufs[0];
+    for (size_t r = 1; r < bufs.size(); r++)
+        for (size_t i = 0; i < acc.size(); i++)
+            acc[i] = acc[i] + bufs[r][i];
+    return acc;
+}
+
+} // namespace mlgs::nccl

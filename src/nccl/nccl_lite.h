@@ -1,0 +1,90 @@
+/**
+ * @file
+ * nccl-lite: collective communication over simulated multi-GPU contexts.
+ * A Communicator spans every device of a Context and implements all-reduce
+ * as real simulated work — chunked cudaMemcpyPeer transfers over the link
+ * fabric plus `nccl_add_f32` reduction kernels launched through the normal
+ * PTX path — so collectives show up in per-device timing, DRAM stats and
+ * traces exactly like workload kernels do.
+ *
+ * Two schedules are provided:
+ *  - Ring: the classic bandwidth-optimal reduce-scatter + all-gather. Each
+ *    chunk is reduced in ring-visit order, so the result is bitwise equal to
+ *    ringAllReduceReference() (which mirrors that order on the host), but
+ *    NOT to a flat left-to-right sum.
+ *  - Chain: rank-ordered reduction acc_r = fl(acc_{r-1} + grad_r) down the
+ *    device chain, then a broadcast back. Same float nesting as summing the
+ *    per-rank buffers in rank order with the same add kernel — this is what
+ *    lets data-parallel training match single-GPU gradients bitwise.
+ */
+#ifndef MLGS_NCCL_NCCL_LITE_H
+#define MLGS_NCCL_NCCL_LITE_H
+
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace mlgs::nccl
+{
+
+/** PTX module with the reduction kernels (nccl_add_f32). */
+extern const char *kNcclPtx;
+
+enum class AllReduceAlgo
+{
+    Ring,  ///< reduce-scatter + all-gather, bandwidth-optimal
+    Chain, ///< rank-ordered chain reduce + broadcast, bitwise-reproducible
+};
+
+class Communicator
+{
+  public:
+    /**
+     * Spans every device of `ctx`: loads the reduction module, creates one
+     * communication stream per rank, and enables peer access between ring
+     * neighbours in both directions. Leaves the context's current device at
+     * the last rank.
+     */
+    explicit Communicator(cuda::Context &ctx);
+
+    int ranks() const { return ranks_; }
+    cuda::Stream *stream(int rank) const
+    {
+        return streams_[size_t(rank)];
+    }
+
+    /**
+     * In-place sum all-reduce over f32 buffers: `bufs[r]` is the device
+     * address of `count` floats on rank r. On return every rank holds the
+     * reduced result and all communication streams are synchronized.
+     * Leaves the current device at the last rank that did work.
+     */
+    void allReduceSum(const std::vector<addr_t> &bufs, size_t count,
+                      AllReduceAlgo algo = AllReduceAlgo::Ring);
+
+  private:
+    void launchAdd(int rank, addr_t dst, addr_t src, size_t count);
+    void ringAllReduce(const std::vector<addr_t> &bufs, size_t count);
+    void chainAllReduce(const std::vector<addr_t> &bufs, size_t count);
+
+    cuda::Context *ctx_;
+    int ranks_;
+    std::vector<cuda::Stream *> streams_;
+    std::vector<const ptx::KernelDef *> add_kernels_; ///< per-rank module copy
+};
+
+/**
+ * Host mirror of the Ring schedule: per-rank input vectors in, the (shared)
+ * reduced vector out, applying float adds in exactly the order the simulated
+ * ring applies them. Bitwise-comparable against any rank's device result.
+ */
+std::vector<float>
+ringAllReduceReference(std::vector<std::vector<float>> bufs);
+
+/** Host mirror of the Chain schedule: rank-ordered fl(acc + buf_r). */
+std::vector<float>
+chainAllReduceReference(const std::vector<std::vector<float>> &bufs);
+
+} // namespace mlgs::nccl
+
+#endif // MLGS_NCCL_NCCL_LITE_H

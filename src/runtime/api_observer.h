@@ -160,6 +160,58 @@ class ApiObserver
 
     virtual void onDeviceSynchronize() {}
 
+    // ---- device table & peer copies ----
+    virtual void
+    onSetDevice(int device)
+    {
+        (void)device;
+    }
+
+    virtual void
+    onEnablePeerAccess(int device, int peer)
+    {
+        (void)device;
+        (void)peer;
+    }
+
+    /**
+     * Fired at enqueue time for a cudaMemcpyPeer: one send op on
+     * `src_stream` of `src_device`, one receive op on `dst_stream` of
+     * `dst_device`. The per-op sequence numbers key the later
+     * onPeerOpExecuted() back-patches.
+     */
+    virtual void
+    onMemcpyPeer(addr_t dst, int dst_device, unsigned dst_stream, addr_t src,
+                 int src_device, unsigned src_stream, size_t bytes,
+                 uint64_t send_seq, uint64_t recv_seq)
+    {
+        (void)dst;
+        (void)dst_device;
+        (void)dst_stream;
+        (void)src;
+        (void)src_device;
+        (void)src_stream;
+        (void)bytes;
+        (void)send_seq;
+        (void)recv_seq;
+    }
+
+    /**
+     * Fired when a peer op actually executes on its device engine — possibly
+     * long after enqueue, during some later drain. `complete_cycle` is the
+     * op's resolved completion time on its device's timeline; `payload` is
+     * the transferred bytes for receive ops (null for sends) and is only
+     * valid for the duration of the call.
+     */
+    virtual void
+    onPeerOpExecuted(uint64_t seq, cycle_t complete_cycle,
+                     const std::vector<uint8_t> *payload)
+    {
+        (void)seq;
+        (void)complete_cycle;
+        (void)payload;
+    }
+
     // ---- textures ----
     virtual void
     onRegisterTexture(const std::string &name, int texref)

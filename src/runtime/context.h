@@ -7,10 +7,17 @@
  * events and cudaStreamWaitEvent, and the texture-binding machinery with the
  * paper's name->{texref set} fix.
  *
+ * One Context hosts `device_count` fully independent simulated GPUs behind a
+ * cudaSetDevice-style device table: each device owns its memory, allocator,
+ * interpreter, timing model, module registry, texture state and DeviceEngine.
+ * Peer-to-peer copies (cudaMemcpyPeer-style) travel over a link::Fabric
+ * interconnect model and are the only cross-device coupling.
+ *
  * Execution itself lives one layer down: Context translates API calls into
- * engine::Stream ops and hands them to an engine::DeviceEngine driving a
- * mode-appropriate engine::ExecBackend (functional interpretation or the
- * cycle-level timing model with concurrent kernel residency).
+ * engine::Stream ops and hands them to the owning device's
+ * engine::DeviceEngine driving a mode-appropriate engine::ExecBackend
+ * (functional interpretation or the cycle-level timing model with concurrent
+ * kernel residency).
  */
 #ifndef MLGS_RUNTIME_CONTEXT_H
 #define MLGS_RUNTIME_CONTEXT_H
@@ -19,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +35,7 @@
 #include "engine/device_engine.h"
 #include "engine/exec_backend.h"
 #include "func/engine.h"
+#include "link/fabric.h"
 #include "mem/allocator.h"
 #include "mem/gpu_memory.h"
 #include "power/power_model.h"
@@ -129,9 +138,15 @@ struct ContextOptions
      * in functional mode, sharded per-cycle core stepping in performance
      * mode. 0 = auto (MLGS_SIM_THREADS env var, else hardware concurrency);
      * 1 = exact legacy serial path. Results are bitwise identical at any
-     * setting.
+     * setting. Multi-GPU contexts share one pool across all devices.
      */
     unsigned sim_threads = 0;
+
+    /** Number of simulated GPUs hosted by this context (>= 1). */
+    int device_count = 1;
+
+    /** Shape of every directed inter-GPU link (multi-GPU only). */
+    link::LinkConfig link;
 };
 
 /** A 2D cudaArray backing texture fetches (f32 texels). */
@@ -174,12 +189,44 @@ class Context : public func::TextureProvider
     /** Resolved timing mode (always Detailed in functional mode). */
     sample::TimingMode timingMode() const { return resolved_timing_; }
 
-    /** The sampling backend, or null when timing mode is Detailed. */
-    sample::SampledBackend *sampledBackend() { return sampled_backend_; }
+    /** The sampling backend of the current device (null when Detailed). */
+    sample::SampledBackend *sampledBackend() { return dev().sampled_backend; }
     const sample::SampledBackend *sampledBackend() const
     {
-        return sampled_backend_;
+        return dev().sampled_backend;
     }
+
+    // ---- device table ----
+    int deviceCount() const { return int(devices_.size()); }
+    /** cudaSetDevice: all device-scoped calls target the current device. */
+    void setDevice(int device);
+    int currentDevice() const { return current_; }
+    /**
+     * cudaDeviceEnablePeerAccess: allow P2P transfers sourced on the current
+     * device and landing on `peer`. Directional — enable both ways for
+     * bidirectional traffic.
+     */
+    void enablePeerAccess(int peer);
+    /**
+     * Tear a device down: drains it, then marks it unusable. Its memory and
+     * statistics stay readable through the indexed accessors; any further
+     * API call routed to it fails fatally.
+     */
+    void destroyDevice(int device);
+    /** The inter-GPU interconnect model (present for any device_count). */
+    link::Fabric &fabric() { return *fabric_; }
+
+    /**
+     * cudaMemcpyPeer: copy `bytes` from `src` on `src_device` to `dst` on
+     * `dst_device` over the link fabric. The copy is modeled as a send op on
+     * `src_stream` (default stream of the source device when null) and a
+     * receive op on `dst_stream` (likewise for the destination device); the
+     * receive completes when the last byte crosses the link. Requires peer
+     * access enabled from the source device to the destination device.
+     */
+    void memcpyPeer(addr_t dst, int dst_device, addr_t src, int src_device,
+                    size_t bytes, Stream *dst_stream = nullptr,
+                    Stream *src_stream = nullptr);
 
     // ---- memory ----
     addr_t malloc(size_t bytes, size_t align = 256);
@@ -216,7 +263,7 @@ class Context : public func::TextureProvider
     // ---- streams & events ----
     Stream *createStream();
     void destroyStream(Stream *s);
-    Stream *defaultStream() { return engine_->defaultStream(); }
+    Stream *defaultStream() { return dev().engine->defaultStream(); }
     Event *createEvent();
     void recordEvent(Event *e, Stream *stream = nullptr);
     /** cudaStreamWaitEvent: stream blocks until the event is recorded. */
@@ -267,8 +314,8 @@ class Context : public func::TextureProvider
     /** Module handle owning this kernel definition, or -1. */
     int moduleIndexOf(const ptx::KernelDef *kernel) const;
 
-    /** Number of loaded modules (valid handles are 0..count-1). */
-    int moduleCount() const { return int(modules_.size()); }
+    /** Number of loaded modules on the current device. */
+    int moduleCount() const { return int(dev().modules.size()); }
 
     /**
      * The (bytes, align) request loadModule() issues for one module-scope
@@ -281,6 +328,18 @@ class Context : public func::TextureProvider
         return {std::max<size_t>(g.size, 1), std::max<size_t>(g.align, 4)};
     }
 
+    // ---- trace-replay shims (single-device replay of peer ops) ----
+    /**
+     * Re-enqueue a recorded PeerSend/PeerRecv without a live peer: the op
+     * carries its recorded completion cycle (and, for receives, the recorded
+     * payload) so a lone device reproduces its half of the exchange — timing
+     * and bytes — exactly.
+     */
+    void replayPeerSend(addr_t src, size_t bytes, int peer,
+                        cycle_t complete_at, Stream *stream = nullptr);
+    void replayPeerRecv(addr_t dst, std::vector<uint8_t> payload, int peer,
+                        cycle_t complete_at, Stream *stream = nullptr);
+
     // ---- capture / observation (debug tool, Fig 2) ----
     void setCaptureLaunches(bool on) { opts_.capture_launches = on; }
     const std::vector<CapturedLaunch> &capturedLaunches() const
@@ -291,19 +350,27 @@ class Context : public func::TextureProvider
 
     // ---- introspection ----
     const ContextOptions &options() const { return opts_; }
-    GpuMemory &memory() { return mem_; }
-    DeviceAllocator &allocator() { return alloc_; }
-    func::Interpreter &interpreter() { return interp_; }
-    func::FunctionalEngine &functionalEngine() { return func_engine_; }
-    timing::GpuModel &gpuModel() { return *gpu_; }
+    GpuMemory &memory() { return dev().mem; }
+    GpuMemory &memory(int device) { return at(device).mem; }
+    DeviceAllocator &allocator() { return dev().alloc; }
+    DeviceAllocator &allocator(int device) { return at(device).alloc; }
+    func::Interpreter &interpreter() { return dev().interp; }
+    func::FunctionalEngine &functionalEngine() { return dev().func_engine; }
+    timing::GpuModel &gpuModel() { return *dev().gpu; }
+    timing::GpuModel &gpuModel(int device) { return *at(device).gpu; }
     const timing::GpuConfig &gpuConfig() const { return opts_.gpu; }
-    engine::DeviceEngine &deviceEngine() { return *engine_; }
+    engine::DeviceEngine &deviceEngine() { return *dev().engine; }
+    engine::DeviceEngine &deviceEngine(int device)
+    {
+        return *at(device).engine;
+    }
     const std::vector<LaunchRecord> &launchLog() const { return launch_log_; }
     void clearLaunchLog() { launch_log_.clear(); }
-    const func::SymbolTable &symbols() const { return symbols_; }
+    const func::SymbolTable &symbols() const { return dev().symbols; }
 
-    /** Total GPU busy span (max over stream timelines), in core cycles. */
+    /** Current device's busy span (max over stream timelines), in cycles. */
     cycle_t elapsedCycles() const;
+    cycle_t elapsedCycles(int device) const;
 
     /** Functional-instruction grand total (sim-speed comparisons). */
     uint64_t totalWarpInstructions() const { return total_warp_instructions_; }
@@ -325,37 +392,73 @@ class Context : public func::TextureProvider
         bool bound = false;
     };
 
-    bool prepareLaunch(LaunchRecord &rec, func::LaunchEnv &env);
+    /** Everything one simulated GPU owns. */
+    struct Device : func::TextureProvider
+    {
+        explicit Device(const ContextOptions &opts);
+        ~Device() override;
+
+        const func::TexBinding *
+        lookupTexture(const std::string &name) const override;
+
+        GpuMemory mem;
+        DeviceAllocator alloc;
+        func::Interpreter interp;
+        func::FunctionalEngine func_engine;
+        std::unique_ptr<timing::GpuModel> gpu;
+
+        std::unique_ptr<engine::ExecBackend> backend;
+        engine::TimingBackend *timing_backend = nullptr;
+        sample::SampledBackend *sampled_backend = nullptr;
+        std::unique_ptr<engine::DeviceEngine> engine;
+
+        std::vector<std::unique_ptr<ptx::Module>> modules;
+        func::SymbolTable symbols;
+
+        std::vector<TexRef> texrefs;
+        std::map<std::string, TexNameEntry> tex_names;
+        std::vector<std::unique_ptr<TexArray>> arrays;
+
+        std::set<int> peers; ///< devices this one may send to
+        bool destroyed = false;
+    };
+
+    /** Current device; fatal if it has been destroyed. */
+    Device &dev();
+    const Device &dev() const;
+    /** Indexed device (stats inspection allowed even after destroy). */
+    Device &at(int device);
+    const Device &at(int device) const;
+    /** Device owning this stream (current device for null); fatal if gone. */
+    Device &owningDevice(Stream *stream);
+
+    bool prepareLaunch(Device &d, LaunchRecord &rec, func::LaunchEnv &env);
     void retireLaunch(LaunchRecord &&rec, bool executed);
-    void captureLaunch(const LaunchRecord &rec);
+    void captureLaunch(Device &d, const LaunchRecord &rec);
 
     /** Drain + deadlock-check without notifying the API observer. */
     void syncStream(Stream *stream);
+
+    /**
+     * Round-robin every device's engine until no engine can make progress:
+     * a PeerRecv blocked on device B unblocks only after device A's engine
+     * starts the matching PeerSend, so quiescence is a fixed point over all
+     * engines. Runs on the host thread in device-index order, which keeps
+     * link reservations (and therefore all timing) bitwise-deterministic at
+     * any sim_threads.
+     */
+    void drainAll();
 
     /** Creation-order index of an owned TexArray (observer identity). */
     unsigned arrayIndexOf(const TexArray *arr) const;
 
     ContextOptions opts_;
     std::unique_ptr<ThreadPool> pool_; ///< outlives the engines that use it
-    GpuMemory mem_;
-    DeviceAllocator alloc_;
-    func::Interpreter interp_;
-    func::FunctionalEngine func_engine_;
-    std::unique_ptr<timing::GpuModel> gpu_;
-    stats::AerialSampler *sampler_ = nullptr;
-
-    std::unique_ptr<engine::ExecBackend> backend_;
-    engine::TimingBackend *timing_backend_ = nullptr; ///< perf mode, detailed
-    sample::SampledBackend *sampled_backend_ = nullptr; ///< perf, sampled
+    std::unique_ptr<link::Fabric> fabric_; ///< outlives the device engines
     sample::TimingMode resolved_timing_ = sample::TimingMode::Detailed;
-    std::unique_ptr<engine::DeviceEngine> engine_;
-
-    std::vector<std::unique_ptr<ptx::Module>> modules_;
-    func::SymbolTable symbols_;
-
-    std::vector<TexRef> texrefs_;
-    std::map<std::string, TexNameEntry> tex_names_;
-    std::vector<std::unique_ptr<TexArray>> arrays_;
+    std::vector<std::unique_ptr<Device>> devices_;
+    int current_ = 0;
+    stats::AerialSampler *sampler_ = nullptr;
 
     std::vector<LaunchRecord> launch_log_;
     std::vector<CapturedLaunch> captured_;
@@ -364,6 +467,7 @@ class Context : public func::TextureProvider
 
     ApiObserver *api_observer_ = nullptr;
     std::map<const Event *, unsigned> event_ids_; ///< creation order
+    uint64_t next_api_seq_ = 0; ///< stamps peer ops for trace back-patching
 };
 
 } // namespace mlgs::cuda

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Data-parallel LeNet training across the simulated GPUs of one Context —
+ * the multi-GPU workload of this repo's scaling study. Each device holds a
+ * full replica (identical seed, so identical initial weights) and trains on
+ * a contiguous shard of the global batch; gradients are combined with a
+ * nccl-lite chain all-reduce whose rank-ordered float nesting makes the
+ * summed gradient — and therefore every weight after the SGD step — bitwise
+ * equal to LeNet::trainStepSharded on a single GPU.
+ */
+#ifndef MLGS_TORCHLET_DATA_PARALLEL_H
+#define MLGS_TORCHLET_DATA_PARALLEL_H
+
+#include <memory>
+
+#include "nccl/nccl_lite.h"
+#include "torchlet/lenet.h"
+
+namespace mlgs::torchlet
+{
+
+class DataParallelLeNet
+{
+  public:
+    /**
+     * One replica per device of `ctx`, each with batch `global_batch /
+     * deviceCount` (must divide evenly). Requires bwd_filter Algo1 — the
+     * only filter-gradient algorithm whose accumulation is per-sample
+     * separable, which the bitwise single-GPU equivalence depends on.
+     */
+    DataParallelLeNet(cuda::Context &ctx, int global_batch,
+                      const LeNetAlgos &algos, uint64_t seed = 1);
+
+    int devices() const { return n_; }
+    int globalBatch() const { return global_batch_; }
+    LeNet &replica(int rank) { return *nets_[size_t(rank)]; }
+
+    /**
+     * One synchronous data-parallel SGD step over the global batch
+     * (`global_batch` images / labels); returns the mean loss. Loss partials
+     * are folded in rank order so the result is bitwise equal to
+     * trainStepSharded's.
+     */
+    float trainStep(const float *images, const uint32_t *labels, float lr);
+
+    /** Weight snapshot of one replica (they are identical after a step). */
+    LeNetWeights getWeights(int rank);
+    void setWeights(const LeNetWeights &w); ///< all replicas
+
+  private:
+    cuda::Context *ctx_;
+    int n_;
+    int global_batch_;
+    int shard_;
+    std::vector<std::unique_ptr<cudnn::CudnnHandle>> handles_;
+    std::vector<std::unique_ptr<LeNet>> nets_;
+    std::unique_ptr<nccl::Communicator> comm_;
+};
+
+} // namespace mlgs::torchlet
+
+#endif // MLGS_TORCHLET_DATA_PARALLEL_H

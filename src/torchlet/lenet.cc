@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "nccl/nccl_lite.h"
+
 namespace mlgs::torchlet
 {
 
@@ -75,6 +77,15 @@ LeNet::predict(const float *images)
 float
 LeNet::trainStep(const float *images, const uint32_t *labels, float lr)
 {
+    forwardBackward(images, labels, 1.0f / float(batch_));
+    applyStep(lr);
+    return lossSum() / float(batch_);
+}
+
+void
+LeNet::forwardBackward(const float *images, const uint32_t *labels,
+                       float loss_scale)
+{
     // Labels are only consumed after the forward pass: upload them on a
     // dedicated stream so the copy overlaps forward compute in device time.
     auto &ctx = h_->context();
@@ -90,7 +101,7 @@ LeNet::trainStep(const float *images, const uint32_t *labels, float lr)
     ctx.streamWaitEvent(nullptr, labels_ready);
     h_->nllLoss(batch_, 10, probs_.data(), labels_dev_, loss_dev_);
     h_->softmaxNllBackward(batch_, 10, probs_.data(), labels_dev_, f2_.grad(),
-                           1.0f / float(batch_));
+                           loss_scale);
 
     fc2_.backward(r1_, f2_, true);
     relu_.backward(f1_, r1_);
@@ -100,19 +111,153 @@ LeNet::trainStep(const float *images, const uint32_t *labels, float lr)
     lrn1_.backward(p1_, l1_);
     pool1_.backward(c1_, p1_);
     conv1_.backward(x_, c1_, false);
+}
 
+void
+LeNet::applyStep(float lr)
+{
     conv1_.step(lr);
     conv2_.step(lr);
     fc1_.step(lr);
     fc2_.step(lr);
-    ctx.deviceSynchronize();
+}
 
+float
+LeNet::lossSum()
+{
+    auto &ctx = h_->context();
+    ctx.deviceSynchronize();
     std::vector<float> losses(size_t(batch_), 0.0f);
     ctx.memcpyD2H(losses.data(), loss_dev_, size_t(batch_) * 4);
     float sum = 0;
     for (const float l : losses)
         sum += l;
-    return sum / float(batch_);
+    return sum;
+}
+
+std::vector<ParamView>
+LeNet::params() const
+{
+    auto view = [](const Param &p) {
+        return ParamView{p.data, p.grad, p.count};
+    };
+    return {view(conv1_.weight), view(conv1_.bias),
+            view(conv2_.weight), view(conv2_.bias),
+            view(fc1_.weight),   view(fc1_.bias),
+            view(fc2_.weight),   view(fc2_.bias)};
+}
+
+void
+LeNet::accumulate(addr_t dst, addr_t src, size_t count)
+{
+    auto &ctx = h_->context();
+    if (!add_kernel_) {
+        const int mod = ctx.loadModule(nccl::kNcclPtx, "libnccl_lite.ptx");
+        add_kernel_ = ctx.getFunction(mod, "nccl_add_f32");
+    }
+    cuda::KernelArgs a;
+    a.ptr(dst).ptr(src).u32(unsigned(count));
+    ctx.cuLaunchKernel(add_kernel_,
+                       Dim3(unsigned((count + 127) / 128)), Dim3(128), a,
+                       nullptr);
+}
+
+float
+LeNet::trainStepSharded(const float *images, const uint32_t *labels, float lr,
+                        int shards)
+{
+    MLGS_REQUIRE(shards >= 1 && batch_ % shards == 0,
+                 "batch ", batch_, " does not divide into ", shards,
+                 " shards");
+    MLGS_REQUIRE(conv1_.bwd_filter_algo == cudnn::ConvBwdFilterAlgo::Algo1 &&
+                     conv2_.bwd_filter_algo == cudnn::ConvBwdFilterAlgo::Algo1,
+                 "sharded training requires the Algo1 filter gradient");
+    const int shard = batch_ / shards;
+    auto &ctx = h_->context();
+
+    if (!upload_stream_)
+        upload_stream_ = ctx.createStream();
+    ctx.memcpyH2D(labels_dev_, labels, size_t(batch_) * 4, upload_stream_);
+    cuda::Event *labels_ready = ctx.createEvent();
+    ctx.recordEvent(labels_ready, upload_stream_);
+
+    const auto probs = forward(images);
+    (void)probs;
+
+    ctx.streamWaitEvent(nullptr, labels_ready);
+    h_->nllLoss(batch_, 10, probs_.data(), labels_dev_, loss_dev_);
+    h_->softmaxNllBackward(batch_, 10, probs_.data(), labels_dev_, f2_.grad(),
+                           1.0f / float(batch_));
+
+    // Activation gradients only; every sample's dx is independent of the
+    // rest of the batch, so these buffers are bitwise what each shard's
+    // replica computes for its slice.
+    fc2_.backwardData(r1_, f2_);
+    relu_.backward(f1_, r1_);
+    fc1_.backwardData(p2_, f1_);
+    pool2_.backward(c2_, p2_);
+    conv2_.backwardData(l1_, c2_);
+    lrn1_.backward(p1_, l1_);
+    pool1_.backward(c1_, p1_);
+    // conv1 produces no dx (input gradient is never used).
+
+    // Per-shard weight gradients, combined in rank order with the same
+    // nccl_add_f32 kernel a chain all-reduce applies: shard 0's gradient is
+    // computed in place, every later shard lands in scratch and is folded in
+    // as fl(acc + g_r).
+    if (!shard_dw_) {
+        const auto views = params();
+        size_t max_w = 0, max_b = 0;
+        for (size_t i = 0; i < views.size(); i += 2) { // w, b interleaved
+            max_w = std::max(max_w, views[i].count);
+            max_b = std::max(max_b, views[i + 1].count);
+        }
+        shard_dw_ = ctx.malloc(max_w * 4);
+        shard_db_ = ctx.malloc(max_b * 4);
+    }
+    struct Item
+    {
+        Conv2d *conv;
+        Linear *lin;
+        const Tensor *x;
+        const Tensor *y;
+    };
+    const Item items[] = {{&conv1_, nullptr, &x_, &c1_},
+                          {&conv2_, nullptr, &l1_, &c2_},
+                          {nullptr, &fc1_, &p2_, &f1_},
+                          {nullptr, &fc2_, &r1_, &f2_}};
+    for (const Item &it : items) {
+        Param &w = it.conv ? it.conv->weight : it.lin->weight;
+        Param &b = it.conv ? it.conv->bias : it.lin->bias;
+        auto range = [&](int lo, int hi, addr_t dw, addr_t db) {
+            if (it.conv)
+                it.conv->weightGradRange(*it.x, *it.y, lo, hi, dw, db);
+            else
+                it.lin->weightGradRange(*it.x, *it.y, lo, hi, dw, db);
+        };
+        range(0, shard, w.grad, b.grad);
+        for (int r = 1; r < shards; r++) {
+            range(r * shard, (r + 1) * shard, shard_dw_, shard_db_);
+            accumulate(w.grad, shard_dw_, w.count);
+            accumulate(b.grad, shard_db_, b.count);
+        }
+    }
+
+    applyStep(lr);
+
+    ctx.deviceSynchronize();
+    std::vector<float> losses(size_t(batch_), 0.0f);
+    ctx.memcpyD2H(losses.data(), loss_dev_, size_t(batch_) * 4);
+    // Rank-ordered loss combine, mirroring how the data-parallel driver
+    // folds per-replica shard sums together.
+    std::vector<float> partial(size_t(shards), 0.0f);
+    for (int r = 0; r < shards; r++)
+        for (int i = r * shard; i < (r + 1) * shard; i++)
+            partial[size_t(r)] += losses[size_t(i)];
+    float total = partial[0];
+    for (int r = 1; r < shards; r++)
+        total += partial[size_t(r)];
+    return total / float(batch_);
 }
 
 void

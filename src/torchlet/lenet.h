@@ -23,6 +23,14 @@ struct LeNetWeights
     std::vector<float> fc2_w, fc2_b;
 };
 
+/** Flat device view of one learnable parameter block. */
+struct ParamView
+{
+    addr_t data = 0;
+    addr_t grad = 0;
+    size_t count = 0;
+};
+
 /** Per-layer algorithm selection (the MNIST runs sweep these). */
 struct LeNetAlgos
 {
@@ -51,6 +59,38 @@ class LeNet
     /** One SGD step (forward + backward + update); returns the mean loss. */
     float trainStep(const float *images, const uint32_t *labels, float lr);
 
+    /**
+     * The three phases of trainStep(), split so a data-parallel driver can
+     * interleave an all-reduce between gradient computation and the update.
+     * trainStep() is exactly forwardBackward(images, labels, 1/batch) +
+     * applyStep(lr) + lossSum()/batch — the op stream is byte-identical.
+     * `loss_scale` is the factor applied to the softmax/NLL gradient
+     * (1/global_batch for a data-parallel shard).
+     */
+    void forwardBackward(const float *images, const uint32_t *labels,
+                         float loss_scale);
+    void applyStep(float lr);
+    /** Syncs the device and returns the summed (not mean) per-sample loss. */
+    float lossSum();
+
+    /**
+     * The 8 learnable parameter blocks in fixed order (conv1 w/b, conv2 w/b,
+     * fc1 w/b, fc2 w/b) — the all-reduce unit of data-parallel training.
+     */
+    std::vector<ParamView> params() const;
+
+    /**
+     * Single-GPU reference for `shards`-way data-parallel training: one full
+     * forward/backward-data pass, then per-shard weight gradients combined
+     * in rank order with the nccl_add_f32 kernel (the exact float nesting a
+     * chain all-reduce over per-replica gradients produces), then the SGD
+     * update. Bitwise equal — weights and returned mean loss — to
+     * DataParallelLeNet::trainStep on `shards` devices. Requires batch %
+     * shards == 0 and bwd_filter == Algo1 on both conv layers.
+     */
+    float trainStepSharded(const float *images, const uint32_t *labels,
+                           float lr, int shards);
+
     void setWeights(const LeNetWeights &w);
     LeNetWeights getWeights() const;
 
@@ -67,10 +107,16 @@ class LeNet
     Activation relu_;
     Linear fc2_;
 
+    /** dst[i] += src[i] via nccl_add_f32 (lazy-loads the nccl module). */
+    void accumulate(addr_t dst, addr_t src, size_t count);
+
     Tensor x_, c1_, p1_, l1_, c2_, p2_, f1_, r1_, f2_, probs_;
     addr_t labels_dev_ = 0;
     addr_t loss_dev_ = 0;
     cuda::Stream *upload_stream_ = nullptr; ///< label uploads overlap forward
+    const ptx::KernelDef *add_kernel_ = nullptr; ///< nccl_add_f32, lazy
+    addr_t shard_dw_ = 0; ///< scratch for per-shard weight gradients
+    addr_t shard_db_ = 0;
 };
 
 } // namespace mlgs::torchlet

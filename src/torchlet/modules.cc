@@ -74,6 +74,25 @@ Conv2d::backward(const Tensor &x, const Tensor &y, bool need_dx)
 }
 
 void
+Conv2d::backwardData(const Tensor &x, const Tensor &y)
+{
+    h_->convolutionBackwardData(wd_, weight.data, y.desc(), y.grad(), conv_,
+                                bwd_data_algo, x.desc(), x.grad());
+}
+
+void
+Conv2d::weightGradRange(const Tensor &x, const Tensor &y, int lo, int hi,
+                        addr_t dw, addr_t db)
+{
+    const cudnn::TensorDesc &yd = y.desc();
+    const size_t chw = size_t(yd.c) * yd.h * yd.w;
+    h_->biasBackward(cudnn::TensorDesc(hi - lo, yd.c, yd.h, yd.w),
+                     y.grad() + size_t(lo) * chw * 4, db);
+    h_->convolutionBackwardFilterRanged(x.desc(), x.data(), yd, y.grad(),
+                                        conv_, wd_, dw, lo, hi);
+}
+
+void
 Conv2d::step(float lr)
 {
     h_->sgdStep(weight.data, weight.grad, weight.count, lr);
@@ -169,6 +188,30 @@ Linear::backward(const Tensor &x, const Tensor &y, bool need_dx)
                          unsigned(in_), unsigned(out_), 1.0f, y.grad(),
                          weight.data, 0.0f, x.grad());
     }
+    weight_t_dirty_ = true;
+}
+
+void
+Linear::backwardData(const Tensor &x, const Tensor &y)
+{
+    const int batch = x.desc().n;
+    // dx[batch, in] = dy[batch, out] * W[out, in]
+    h_->blas().sgemm(blas::Op::N, blas::Op::N, unsigned(batch), unsigned(in_),
+                     unsigned(out_), 1.0f, y.grad(), weight.data, 0.0f,
+                     x.grad());
+}
+
+void
+Linear::weightGradRange(const Tensor &x, const Tensor &y, int lo, int hi,
+                        addr_t dw, addr_t db)
+{
+    const int n = hi - lo;
+    h_->biasBackward(cudnn::TensorDesc(n, out_, 1, 1),
+                     y.grad() + size_t(lo) * out_ * 4, db);
+    // dW[out, in] = dy[lo:hi]^T * x[lo:hi]; row offsets shift the k origin.
+    h_->blas().sgemm(blas::Op::T, blas::Op::N, unsigned(out_), unsigned(in_),
+                     unsigned(n), 1.0f, y.grad() + size_t(lo) * out_ * 4,
+                     x.data() + size_t(lo) * in_ * 4, 0.0f, dw);
     weight_t_dirty_ = true;
 }
 

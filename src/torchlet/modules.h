@@ -81,6 +81,16 @@ class Conv2d
     void forward(const Tensor &x, Tensor &y);
     /** Computes dx (into x.grad) and parameter gradients. */
     void backward(const Tensor &x, const Tensor &y, bool need_dx);
+    /** Just dx (into x.grad); parameter gradients are left untouched. */
+    void backwardData(const Tensor &x, const Tensor &y);
+    /**
+     * Parameter gradients over samples [lo, hi) only, written to `dw` / `db`
+     * (device buffers of weight.count / bias.count floats). Always uses the
+     * ALGO_1 filter kernel; bitwise equal to what a data-parallel replica
+     * holding exactly those samples computes with bwd_filter Algo1.
+     */
+    void weightGradRange(const Tensor &x, const Tensor &y, int lo, int hi,
+                         addr_t dw, addr_t db);
     void step(float lr);
 
     cudnn::ConvFwdAlgo fwd_algo = cudnn::ConvFwdAlgo::ImplicitGemm;
@@ -114,6 +124,11 @@ class Linear
      */
     void forward(const Tensor &x, Tensor &y);
     void backward(const Tensor &x, const Tensor &y, bool need_dx);
+    /** Just dx (into x.grad); parameter gradients are left untouched. */
+    void backwardData(const Tensor &x, const Tensor &y);
+    /** Parameter gradients over samples [lo, hi) into `dw` / `db`. */
+    void weightGradRange(const Tensor &x, const Tensor &y, int lo, int hi,
+                         addr_t dw, addr_t db);
     void step(float lr);
 
     bool use_gemv2t = false;

@@ -1,0 +1,279 @@
+#include "trace/multi_recorder.h"
+
+#include "common/log.h"
+
+namespace mlgs::trace
+{
+
+MultiTraceRecorder::MultiTraceRecorder(cuda::Context &ctx)
+    : ctx_(&ctx),
+      current_(ctx.currentDevice()),
+      events_per_device_(size_t(ctx.deviceCount()), 0u)
+{
+    for (int d = 0; d < ctx.deviceCount(); d++)
+        recorders_.emplace_back(new TraceRecorder(ctx, d));
+    MLGS_REQUIRE(!ctx.apiObserver(),
+                 "context already has an API observer attached");
+    ctx.setApiObserver(this);
+}
+
+MultiTraceRecorder::~MultiTraceRecorder()
+{
+    detach();
+}
+
+void
+MultiTraceRecorder::detach()
+{
+    if (ctx_ && ctx_->apiObserver() == this)
+        ctx_->setApiObserver(nullptr);
+    ctx_ = nullptr;
+}
+
+TraceFile
+MultiTraceRecorder::finalize(int device) const
+{
+    MLGS_REQUIRE(device >= 0 && size_t(device) < recorders_.size(),
+                 "finalize of unknown device ", device);
+    MLGS_REQUIRE(pending_peer_.empty(), "cannot finalize: ",
+                 pending_peer_.size(), " peer op(s) have not executed yet — "
+                 "synchronize every device before finalizing");
+    return recorders_[size_t(device)]->finalize();
+}
+
+void
+MultiTraceRecorder::write(int device, const std::string &path) const
+{
+    finalize(device).save(path);
+}
+
+// ---- routed observer calls ----
+
+void
+MultiTraceRecorder::onModuleLoaded(int handle, const std::string &ptx_source,
+                                   const std::string &name)
+{
+    cur().onModuleLoaded(handle, ptx_source, name);
+}
+
+void
+MultiTraceRecorder::onMalloc(addr_t addr, size_t bytes, size_t align)
+{
+    cur().onMalloc(addr, bytes, align);
+}
+
+void
+MultiTraceRecorder::onFree(addr_t addr)
+{
+    cur().onFree(addr);
+}
+
+void
+MultiTraceRecorder::onMemcpyH2D(addr_t dst, const void *src, size_t bytes,
+                                unsigned stream_id)
+{
+    cur().onMemcpyH2D(dst, src, bytes, stream_id);
+}
+
+void
+MultiTraceRecorder::onMemcpyD2H(const void *result, addr_t src, size_t bytes,
+                                unsigned stream_id)
+{
+    cur().onMemcpyD2H(result, src, bytes, stream_id);
+}
+
+void
+MultiTraceRecorder::onMemcpyD2D(addr_t dst, addr_t src, size_t bytes,
+                                unsigned stream_id)
+{
+    cur().onMemcpyD2D(dst, src, bytes, stream_id);
+}
+
+void
+MultiTraceRecorder::onMemset(addr_t dst, uint8_t value, size_t bytes,
+                             unsigned stream_id)
+{
+    cur().onMemset(dst, value, bytes, stream_id);
+}
+
+void
+MultiTraceRecorder::onMemcpyToSymbol(const std::string &name, addr_t addr,
+                                     const void *src, size_t bytes)
+{
+    cur().onMemcpyToSymbol(name, addr, src, bytes);
+}
+
+void
+MultiTraceRecorder::onLaunch(int module_handle, const std::string &kernel,
+                             const Dim3 &grid, const Dim3 &block,
+                             const std::vector<uint8_t> &params,
+                             unsigned stream_id)
+{
+    cur().onLaunch(module_handle, kernel, grid, block, params, stream_id);
+}
+
+void
+MultiTraceRecorder::onCreateStream(unsigned stream_id)
+{
+    cur().onCreateStream(stream_id);
+}
+
+void
+MultiTraceRecorder::onDestroyStream(unsigned stream_id)
+{
+    cur().onDestroyStream(stream_id);
+}
+
+void
+MultiTraceRecorder::onCreateEvent(unsigned event_id)
+{
+    // Context event ids are global creation-order; a standalone per-device
+    // trace needs them dense per device, so renumber on the way in.
+    MLGS_ASSERT(event_id == event_map_.size(),
+                "event ids must be observed in creation order");
+    const unsigned local = events_per_device_[size_t(current_)]++;
+    event_map_.emplace_back(current_, local);
+    cur().onCreateEvent(local);
+}
+
+void
+MultiTraceRecorder::onRecordEvent(unsigned event_id, unsigned stream_id)
+{
+    MLGS_REQUIRE(event_id < event_map_.size(), "record of unknown event ",
+                 event_id);
+    const auto [device, local] = event_map_[event_id];
+    MLGS_REQUIRE(device == current_, "event ", event_id, " belongs to device ",
+                 device, " but is recorded on device ", current_,
+                 " — cross-device event use is not representable in "
+                 "per-device traces");
+    cur().onRecordEvent(local, stream_id);
+}
+
+void
+MultiTraceRecorder::onWaitEvent(unsigned stream_id, unsigned event_id)
+{
+    MLGS_REQUIRE(event_id < event_map_.size(), "wait on unknown event ",
+                 event_id);
+    const auto [device, local] = event_map_[event_id];
+    MLGS_REQUIRE(device == current_, "event ", event_id, " belongs to device ",
+                 device, " but is waited on from device ", current_,
+                 " — cross-device event use is not representable in "
+                 "per-device traces");
+    cur().onWaitEvent(stream_id, local);
+}
+
+void
+MultiTraceRecorder::onStreamSynchronize(unsigned stream_id)
+{
+    cur().onStreamSynchronize(stream_id);
+}
+
+void
+MultiTraceRecorder::onDeviceSynchronize()
+{
+    cur().onDeviceSynchronize();
+}
+
+void
+MultiTraceRecorder::onSetDevice(int device)
+{
+    // Routing state only: per-device traces are standalone single-device
+    // workloads, so no op is recorded.
+    current_ = device;
+}
+
+void
+MultiTraceRecorder::onMemcpyPeer(addr_t dst, int dst_device,
+                                 unsigned dst_stream, addr_t src,
+                                 int src_device, unsigned src_stream,
+                                 size_t bytes, uint64_t send_seq,
+                                 uint64_t recv_seq)
+{
+    TraceRecorder &sr = *recorders_[size_t(src_device)];
+    auto &send = sr.push(OpCode::PeerSend);
+    send.a = src;
+    send.b = bytes;
+    send.id = uint32_t(dst_device);
+    send.stream = src_stream;
+    pending_peer_.emplace(send_seq,
+                          std::make_pair(src_device, sr.trace_.ops.size() - 1));
+
+    TraceRecorder &dr = *recorders_[size_t(dst_device)];
+    auto &recv = dr.push(OpCode::PeerRecv);
+    recv.a = dst;
+    recv.b = bytes;
+    recv.id = uint32_t(src_device);
+    recv.stream = dst_stream;
+    pending_peer_.emplace(recv_seq,
+                          std::make_pair(dst_device, dr.trace_.ops.size() - 1));
+}
+
+void
+MultiTraceRecorder::onPeerOpExecuted(uint64_t seq, cycle_t complete_cycle,
+                                     const std::vector<uint8_t> *payload)
+{
+    const auto it = pending_peer_.find(seq);
+    MLGS_REQUIRE(it != pending_peer_.end(),
+                 "peer op ", seq, " executed but was never recorded");
+    const auto [device, index] = it->second;
+    pending_peer_.erase(it);
+
+    TraceRecorder &r = *recorders_[size_t(device)];
+    TraceOp &op = r.trace_.ops[index];
+    op.c = complete_cycle;
+    if (payload) {
+        MLGS_ASSERT(op.code == OpCode::PeerRecv,
+                    "payload delivered for a non-receive peer op");
+        op.blob = r.trace_.blobs.put(payload->data(), payload->size());
+    }
+}
+
+void
+MultiTraceRecorder::onRegisterTexture(const std::string &name, int texref)
+{
+    cur().onRegisterTexture(name, texref);
+}
+
+void
+MultiTraceRecorder::onMallocArray(unsigned array_id, unsigned width,
+                                  unsigned height, unsigned channels,
+                                  addr_t addr)
+{
+    cur().onMallocArray(array_id, width, height, channels, addr);
+}
+
+void
+MultiTraceRecorder::onFreeArray(unsigned array_id)
+{
+    cur().onFreeArray(array_id);
+}
+
+void
+MultiTraceRecorder::onMemcpyToArray(unsigned array_id, const float *src,
+                                    size_t count)
+{
+    cur().onMemcpyToArray(array_id, src, count);
+}
+
+void
+MultiTraceRecorder::onBindTextureToArray(int texref, unsigned array_id,
+                                         func::TexAddressMode mode)
+{
+    cur().onBindTextureToArray(texref, array_id, mode);
+}
+
+void
+MultiTraceRecorder::onBindTextureLinear(int texref, addr_t ptr, unsigned width,
+                                        unsigned channels,
+                                        func::TexAddressMode mode)
+{
+    cur().onBindTextureLinear(texref, ptr, width, channels, mode);
+}
+
+void
+MultiTraceRecorder::onUnbindTexture(int texref)
+{
+    cur().onUnbindTexture(texref);
+}
+
+} // namespace mlgs::trace

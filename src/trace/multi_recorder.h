@@ -1,0 +1,119 @@
+/**
+ * @file
+ * MultiTraceRecorder: records a multi-GPU Context as one standalone
+ * .mlgstrace per device. Every device-scoped API call is routed to the
+ * recorder of the context's current device — so frontends must follow the
+ * cudaSetDevice discipline of making each call with its target device
+ * current (as CudnnHandle, nccl::Communicator and torchlet do).
+ *
+ * Cross-device traffic (cudaMemcpyPeer) splits into a PeerSend op in the
+ * source device's trace and a PeerRecv op in the destination's. Both are
+ * back-patched when the op actually executes on its engine: the resolved
+ * completion cycle, and for receives the transferred payload, are written
+ * into the op so each device's trace replays standalone — no live peer, no
+ * link fabric — with bitwise-identical timing totals and memory effects.
+ *
+ * Event ids are renumbered per device (Context event ids are global
+ * creation-order); streams are already per-device. Cross-device event waits
+ * are rejected: they cannot be represented in a standalone per-device trace.
+ */
+#ifndef MLGS_TRACE_MULTI_RECORDER_H
+#define MLGS_TRACE_MULTI_RECORDER_H
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "trace/recorder.h"
+
+namespace mlgs::trace
+{
+
+class MultiTraceRecorder final : public cuda::ApiObserver
+{
+  public:
+    /** Attaches itself to `ctx`; one per-device recorder is created up
+     *  front, so attach before any module loads. */
+    explicit MultiTraceRecorder(cuda::Context &ctx);
+    ~MultiTraceRecorder() override;
+
+    MultiTraceRecorder(const MultiTraceRecorder &) = delete;
+    MultiTraceRecorder &operator=(const MultiTraceRecorder &) = delete;
+
+    /** Stop observing (finalize() may still be called afterwards). */
+    void detach();
+
+    int deviceCount() const { return int(recorders_.size()); }
+
+    /**
+     * Finalized standalone trace of one device. Requires every recorded
+     * peer op to have executed — synchronize all devices first.
+     */
+    TraceFile finalize(int device) const;
+
+    /** finalize(device) serialized to `path`. */
+    void write(int device, const std::string &path) const;
+
+    // ---- ApiObserver (routed to the current device's recorder) ----
+    void onModuleLoaded(int handle, const std::string &ptx_source,
+                        const std::string &name) override;
+    void onMalloc(addr_t addr, size_t bytes, size_t align) override;
+    void onFree(addr_t addr) override;
+    void onMemcpyH2D(addr_t dst, const void *src, size_t bytes,
+                     unsigned stream_id) override;
+    void onMemcpyD2H(const void *result, addr_t src, size_t bytes,
+                     unsigned stream_id) override;
+    void onMemcpyD2D(addr_t dst, addr_t src, size_t bytes,
+                     unsigned stream_id) override;
+    void onMemset(addr_t dst, uint8_t value, size_t bytes,
+                  unsigned stream_id) override;
+    void onMemcpyToSymbol(const std::string &name, addr_t addr,
+                          const void *src, size_t bytes) override;
+    void onLaunch(int module_handle, const std::string &kernel,
+                  const Dim3 &grid, const Dim3 &block,
+                  const std::vector<uint8_t> &params,
+                  unsigned stream_id) override;
+    void onCreateStream(unsigned stream_id) override;
+    void onDestroyStream(unsigned stream_id) override;
+    void onCreateEvent(unsigned event_id) override;
+    void onRecordEvent(unsigned event_id, unsigned stream_id) override;
+    void onWaitEvent(unsigned stream_id, unsigned event_id) override;
+    void onStreamSynchronize(unsigned stream_id) override;
+    void onDeviceSynchronize() override;
+    void onSetDevice(int device) override;
+    void onMemcpyPeer(addr_t dst, int dst_device, unsigned dst_stream,
+                      addr_t src, int src_device, unsigned src_stream,
+                      size_t bytes, uint64_t send_seq,
+                      uint64_t recv_seq) override;
+    void onPeerOpExecuted(uint64_t seq, cycle_t complete_cycle,
+                          const std::vector<uint8_t> *payload) override;
+    void onRegisterTexture(const std::string &name, int texref) override;
+    void onMallocArray(unsigned array_id, unsigned width, unsigned height,
+                       unsigned channels, addr_t addr) override;
+    void onFreeArray(unsigned array_id) override;
+    void onMemcpyToArray(unsigned array_id, const float *src,
+                         size_t count) override;
+    void onBindTextureToArray(int texref, unsigned array_id,
+                              func::TexAddressMode mode) override;
+    void onBindTextureLinear(int texref, addr_t ptr, unsigned width,
+                             unsigned channels,
+                             func::TexAddressMode mode) override;
+    void onUnbindTexture(int texref) override;
+
+  private:
+    TraceRecorder &cur() { return *recorders_[size_t(current_)]; }
+
+    cuda::Context *ctx_;
+    std::vector<std::unique_ptr<TraceRecorder>> recorders_;
+    int current_ = 0;
+    /** Global event id -> (creating device, dense per-device id). */
+    std::vector<std::pair<int, unsigned>> event_map_;
+    std::vector<unsigned> events_per_device_;
+    /** Peer-op api_seq -> (device, op index) awaiting execution patch. */
+    std::map<uint64_t, std::pair<int, size_t>> pending_peer_;
+};
+
+} // namespace mlgs::trace
+
+#endif // MLGS_TRACE_MULTI_RECORDER_H

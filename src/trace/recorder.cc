@@ -14,9 +14,25 @@ TraceRecorder::TraceRecorder(cuda::Context &ctx) : ctx_(&ctx)
     trace_.options.bugs = o.bugs;
     trace_.options.gpu = o.gpu;
 
+    MLGS_REQUIRE(ctx.deviceCount() == 1,
+                 "TraceRecorder records single-device contexts; use "
+                 "MultiTraceRecorder for a ", ctx.deviceCount(),
+                 "-device context");
     MLGS_REQUIRE(!ctx.apiObserver(),
                  "context already has an API observer attached");
     ctx.setApiObserver(this);
+}
+
+TraceRecorder::TraceRecorder(cuda::Context &ctx, int device) : ctx_(&ctx)
+{
+    const auto &o = ctx.options();
+    trace_.options.mode = uint8_t(o.mode);
+    trace_.options.legacy_texture_name_map = o.legacy_texture_name_map;
+    trace_.options.memcpy_bytes_per_cycle = o.memcpy_bytes_per_cycle;
+    trace_.options.device_id = uint32_t(device);
+    trace_.options.device_count = uint32_t(ctx.deviceCount());
+    trace_.options.bugs = o.bugs;
+    trace_.options.gpu = o.gpu;
 }
 
 TraceRecorder::~TraceRecorder()

@@ -23,7 +23,11 @@ namespace mlgs::trace
 class TraceRecorder final : public cuda::ApiObserver
 {
   public:
-    /** Attaches itself to `ctx` and snapshots its options. */
+    /**
+     * Attaches itself to `ctx` and snapshots its options. Requires a
+     * single-device context — use MultiTraceRecorder to capture one trace
+     * per device of a multi-GPU context.
+     */
     explicit TraceRecorder(cuda::Context &ctx);
     ~TraceRecorder() override;
 
@@ -100,6 +104,14 @@ class TraceRecorder final : public cuda::ApiObserver
     void onUnbindTexture(int texref) override;
 
   private:
+    friend class MultiTraceRecorder;
+    /**
+     * Managed mode (MultiTraceRecorder): record `device`'s slice of a
+     * multi-GPU context. Does NOT attach as the context's observer — the
+     * owning MultiTraceRecorder is attached and forwards routed calls.
+     */
+    TraceRecorder(cuda::Context &ctx, int device);
+
     TraceOp &push(OpCode code);
 
     cuda::Context *ctx_;

@@ -263,6 +263,20 @@ TraceReplayer::replayImpl(cuda::Context &ctx, func::WarpStreamCache *record,
           case OpCode::UnbindTexture:
             ctx.unbindTexture(int(op.id));
             break;
+          case OpCode::PeerSend:
+            // Recorded completion cycle stands in for the link fabric: the
+            // lone replaying device reproduces its half of the exchange.
+            ctx.replayPeerSend(op.a, op.b, int(op.id), op.c,
+                               stream_of(op.stream));
+            break;
+          case OpCode::PeerRecv: {
+            const auto &payload = trace_.blobs.blob(op.blob);
+            MLGS_REQUIRE(payload.size() == op.b, "corrupt trace: op ", i,
+                         " peer-recv payload size mismatch");
+            ctx.replayPeerRecv(op.a, payload, int(op.id), op.c,
+                               stream_of(op.stream));
+            break;
+          }
         }
     }
     return res;

@@ -41,6 +41,8 @@ opCodeName(OpCode c)
       case OpCode::BindTextureToArray: return "bind_texture_array";
       case OpCode::BindTextureLinear: return "bind_texture_linear";
       case OpCode::UnbindTexture: return "unbind_texture";
+      case OpCode::PeerSend: return "peer_send";
+      case OpCode::PeerRecv: return "peer_recv";
     }
     return "unknown";
 }
@@ -125,6 +127,8 @@ TraceOptions::save(BinaryWriter &w) const
     w.put<uint8_t>(mode);
     w.put<uint8_t>(legacy_texture_name_map);
     w.put<double>(memcpy_bytes_per_cycle);
+    w.put<uint32_t>(device_id);
+    w.put<uint32_t>(device_count);
     w.put<uint8_t>(bugs.legacy_rem);
     w.put<uint8_t>(bugs.legacy_bfe);
     w.put<uint8_t>(bugs.split_fma);
@@ -162,6 +166,11 @@ TraceOptions::load(BinaryReader &r)
     mode = r.get<uint8_t>();
     legacy_texture_name_map = r.get<uint8_t>();
     memcpy_bytes_per_cycle = r.get<double>();
+    device_id = r.get<uint32_t>();
+    device_count = r.get<uint32_t>();
+    MLGS_REQUIRE(device_count >= 1 && device_id < device_count, "corrupt ",
+                 r.name(), ": recording device ", device_id,
+                 " out of range for device count ", device_count);
     bugs.legacy_rem = r.get<uint8_t>();
     bugs.legacy_bfe = r.get<uint8_t>();
     bugs.split_fma = r.get<uint8_t>();
@@ -351,6 +360,22 @@ TraceFile::read(BinaryReader &r)
         MLGS_REQUIRE(op.blob == kNoBlob || op.blob < t.blobs.size(),
                      "corrupt ", r.name(), ": op ", i,
                      " references missing blob ", op.blob);
+        if (op.code == OpCode::PeerSend || op.code == OpCode::PeerRecv) {
+            MLGS_REQUIRE(op.id < t.options.device_count &&
+                             op.id != t.options.device_id,
+                         "corrupt ", r.name(), ": op ", i, " (",
+                         opCodeName(op.code), ") references peer device ",
+                         op.id, ", but this trace was recorded on device ",
+                         t.options.device_id, " of ",
+                         t.options.device_count);
+            if (op.code == OpCode::PeerRecv) {
+                MLGS_REQUIRE(op.blob != kNoBlob, "corrupt ", r.name(),
+                             ": op ", i, " peer-recv carries no payload");
+                MLGS_REQUIRE(t.blobs.blob(op.blob).size() == op.b,
+                             "corrupt ", r.name(), ": op ", i,
+                             " peer-recv payload size mismatch");
+            }
+        }
         t.ops.push_back(op);
     }
 

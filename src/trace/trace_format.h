@@ -5,7 +5,7 @@
  * boundary — sufficient to re-drive either execution backend with no
  * frontend (cudnn/blas/torchlet) code in the loop.
  *
- * Layout (version 2, all little-endian-naive like checkpoints):
+ * Layout (version 3, all little-endian-naive like checkpoints):
  *
  *   header   : u64 magic "MLGSTRCE", u32 version
  *   hash     : u64 canonical FNV-1a content hash of the workload (modules +
@@ -14,7 +14,10 @@
  *              order; options are excluded — they hash separately as the
  *              cache key's config half). Verified on load.
  *   options  : SimMode + functional/timing knobs + full GpuConfig, so a
- *              replayed Context reproduces the recorded run bitwise
+ *              replayed Context reproduces the recorded run bitwise; since
+ *              version 3 also the recording device's id and the device count
+ *              of the recorded context, so multi-GPU runs serialize as one
+ *              standalone trace per device (see MultiTraceRecorder)
  *   strings  : interned string table (kernel / module / texture / symbol
  *              names); ops reference strings by dense id
  *   blobs    : content-deduplicated byte payloads (H2D uploads, expected D2H
@@ -57,7 +60,7 @@ namespace mlgs::trace
 {
 
 constexpr uint64_t kTraceMagic = 0x4543525453474c4dull; // "MLGSTRCE"
-constexpr uint32_t kTraceVersion = 2;
+constexpr uint32_t kTraceVersion = 3;
 
 /** Sentinel blob id: no payload attached. */
 constexpr uint32_t kNoBlob = 0xffffffffu;
@@ -189,7 +192,9 @@ enum class OpCode : uint8_t
     BindTextureToArray,
     BindTextureLinear,
     UnbindTexture,
-    kMaxOp = UnbindTexture,
+    PeerSend, ///< since v3: one device's half of a cudaMemcpyPeer (source)
+    PeerRecv, ///< since v3: the destination half, payload carried as a blob
+    kMaxOp = PeerRecv,
 };
 
 const char *opCodeName(OpCode c);
@@ -222,6 +227,14 @@ const char *opCodeName(OpCode c);
  *   BindTextureToArray id=texref b=array index u8=address mode
  *   BindTextureLinear id=texref a=ptr b=width c=channels u8=address mode
  *   UnbindTexture     id=texref
+ *   PeerSend          a=src b=bytes c=completion cycle id=peer device stream
+ *   PeerRecv          a=dst b=bytes c=completion cycle id=peer device
+ *                     blob=transferred payload stream
+ *
+ * Peer ops record one device's half of a cudaMemcpyPeer with its *resolved*
+ * completion cycle on that device's timeline (and, for receives, the bytes
+ * that crossed the link), so a single device's trace replays standalone —
+ * timing and memory effects intact — with no live peer in the process.
  */
 struct TraceOp
 {
@@ -241,6 +254,11 @@ struct TraceOptions
     uint8_t mode = 0; ///< cuda::SimMode
     uint8_t legacy_texture_name_map = 0;
     double memcpy_bytes_per_cycle = 8.0;
+    /** Which device of the recorded context this trace captured (v3). */
+    uint32_t device_id = 0;
+    /** Device count of the recorded context; peer ops must reference a
+     *  device in [0, device_count) other than device_id. */
+    uint32_t device_count = 1;
     func::BugModel bugs;
     timing::GpuConfig gpu;
 

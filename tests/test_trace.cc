@@ -15,7 +15,9 @@
 
 #include "bench/trace_workloads.h"
 #include "common/log.h"
+#include "nccl/nccl_lite.h"
 #include "sim_test_util.h"
+#include "trace/multi_recorder.h"
 
 using namespace mlgs;
 using namespace mlgs::bench;
@@ -416,6 +418,180 @@ TEST(TraceReplay, DivergentAllocationFailsLoudly)
     const trace::TraceReplayer rep(t);
     cuda::Context ctx(rep.options());
     EXPECT_THROW(rep.replay(ctx), FatalError);
+}
+
+// ---- multi-GPU: per-device traces (format v3 peer ops) ----
+
+/** Per-device stats, no sampler (multi-GPU contexts run without one here). */
+RunSnapshot
+deviceSnapshot(cuda::Context &ctx, int device)
+{
+    RunSnapshot s;
+    s.totals = ctx.gpuModel(device).totals();
+    s.elapsed_cycles = ctx.elapsedCycles(device);
+    s.bank_hits = ctx.gpuModel(device).perBankRowHits();
+    s.bank_misses = ctx.gpuModel(device).perBankRowMisses();
+    return s;
+}
+
+/**
+ * Record a 2-GPU ring all-reduce (peer copies + reduction kernels) with
+ * MultiTraceRecorder and return one standalone trace per device plus the
+ * live per-device stats.
+ */
+std::vector<trace::TraceFile>
+recordTwoGpuAllReduce(std::vector<RunSnapshot> *live_out)
+{
+    constexpr size_t kCount = 257;
+    cuda::ContextOptions opts;
+    opts.mode = cuda::SimMode::Performance;
+    opts.gpu = timing::GpuConfig::gtx1050();
+    opts.device_count = 2;
+
+    cuda::Context ctx(opts);
+    trace::MultiTraceRecorder rec(ctx);
+    nccl::Communicator comm(ctx);
+
+    std::vector<addr_t> bufs;
+    for (int r = 0; r < 2; r++) {
+        ctx.setDevice(r);
+        const addr_t buf = ctx.malloc(kCount * sizeof(float));
+        std::vector<float> vals(kCount);
+        for (size_t i = 0; i < kCount; i++)
+            vals[i] = float(r + 1) * 0.25f + float(i) * 0.5f;
+        ctx.memcpyH2D(buf, vals.data(), kCount * sizeof(float));
+        bufs.push_back(buf);
+    }
+    comm.allReduceSum(bufs, kCount, nccl::AllReduceAlgo::Ring);
+    // The readback is part of each device's trace, so replay verifies the
+    // reduced tensor bytes.
+    for (int r = 0; r < 2; r++) {
+        ctx.setDevice(r);
+        std::vector<float> out(kCount);
+        ctx.memcpyD2H(out.data(), bufs[size_t(r)], kCount * sizeof(float));
+        ctx.deviceSynchronize();
+    }
+    rec.detach();
+
+    std::vector<trace::TraceFile> traces;
+    for (int r = 0; r < 2; r++)
+        traces.push_back(rec.finalize(r));
+    if (live_out) {
+        live_out->clear();
+        for (int r = 0; r < 2; r++)
+            live_out->push_back(deviceSnapshot(ctx, r));
+    }
+    return traces;
+}
+
+TEST(TraceMultiGpu, TwoGpuAllReduceReplaysPerDeviceBitwise)
+{
+    std::vector<RunSnapshot> live;
+    const auto traces = recordTwoGpuAllReduce(&live);
+
+    for (int r = 0; r < 2; r++) {
+        const auto &t = traces[size_t(r)];
+        EXPECT_EQ(t.options.device_id, uint32_t(r));
+        EXPECT_EQ(t.options.device_count, 2u);
+
+        // Each device's trace carries its half of every peer exchange, with
+        // resolved completion cycles and (for receives) the payload bytes.
+        size_t sends = 0, recvs = 0;
+        for (const auto &op : t.ops) {
+            if (op.code == trace::OpCode::PeerSend) {
+                sends++;
+                EXPECT_EQ(op.id, uint32_t(1 - r));
+                EXPECT_GT(op.c, 0u) << "completion cycle not back-patched";
+            } else if (op.code == trace::OpCode::PeerRecv) {
+                recvs++;
+                EXPECT_EQ(op.id, uint32_t(1 - r));
+                EXPECT_GT(op.c, 0u);
+                ASSERT_NE(op.blob, trace::kNoBlob);
+                EXPECT_EQ(t.blobs.blob(op.blob).size(), op.b);
+            }
+        }
+        // 2-rank ring: reduce-scatter + all-gather, one send and one recv
+        // per step per rank over 2 chunks.
+        EXPECT_EQ(sends, 2u) << "device " << r;
+        EXPECT_EQ(recvs, 2u) << "device " << r;
+
+        // Standalone replay on a fresh single-device context: timing totals,
+        // elapsed cycles and per-bank DRAM stats must match the live device
+        // bitwise, and the recorded D2H payloads must verify.
+        const trace::TraceReplayer rep(t);
+        cuda::Context replay_ctx(rep.options());
+        trace::ReplayResult res;
+        res = rep.replay(replay_ctx);
+        EXPECT_GE(res.verified_bytes, 257 * sizeof(float));
+        EXPECT_GT(res.launches, 0u);
+        expectSnapshotsEq(live[size_t(r)], deviceSnapshot(replay_ctx, 0));
+    }
+}
+
+TEST(TraceMultiGpu, DiskRoundTripPreservesPeerOps)
+{
+    const auto traces = recordTwoGpuAllReduce(nullptr);
+    mlgs::test::ScopedTmpDir tmp;
+    const std::string path = tmp.file("dev0.mlgstrace");
+    traces[0].save(path);
+    const auto loaded = trace::TraceFile::load(path);
+    EXPECT_EQ(loaded.contentHash(), traces[0].contentHash());
+    EXPECT_EQ(loaded.options.device_id, 0u);
+    EXPECT_EQ(loaded.options.device_count, 2u);
+    EXPECT_EQ(loaded.ops.size(), traces[0].ops.size());
+}
+
+TEST(TraceMultiGpu, ForeignPeerDeviceFailsCleanly)
+{
+    auto traces = recordTwoGpuAllReduce(nullptr);
+    auto &t = traces[0];
+    bool patched = false;
+    for (auto &op : t.ops) {
+        if (op.code == trace::OpCode::PeerSend && !patched) {
+            op.id = 5; // beyond the recorded device count
+            patched = true;
+        }
+    }
+    ASSERT_TRUE(patched);
+    const auto err = readError(serialize(t));
+    EXPECT_NE(err.find("peer device"), std::string::npos) << err;
+}
+
+TEST(TraceMultiGpu, SelfPeerDeviceFailsCleanly)
+{
+    auto traces = recordTwoGpuAllReduce(nullptr);
+    auto &t = traces[1];
+    bool patched = false;
+    for (auto &op : t.ops) {
+        if (op.code == trace::OpCode::PeerRecv && !patched) {
+            op.id = t.options.device_id; // a device cannot peer with itself
+            patched = true;
+        }
+    }
+    ASSERT_TRUE(patched);
+    const auto err = readError(serialize(t));
+    EXPECT_NE(err.find("peer device"), std::string::npos) << err;
+}
+
+TEST(TraceMultiGpu, TruncatedPerDeviceTraceFailsCleanly)
+{
+    const auto traces = recordTwoGpuAllReduce(nullptr);
+    const auto bytes = serialize(traces[0]);
+    for (const double frac : {0.3, 0.9, 0.99}) {
+        std::vector<uint8_t> cut(bytes.begin(),
+                                 bytes.begin() +
+                                     size_t(double(bytes.size()) * frac));
+        const auto err = readError(cut);
+        EXPECT_FALSE(err.empty()) << "fraction " << frac;
+    }
+}
+
+TEST(TraceMultiGpu, SingleDeviceRecorderRejectsMultiGpuContext)
+{
+    cuda::ContextOptions opts;
+    opts.device_count = 2;
+    cuda::Context ctx(opts);
+    EXPECT_THROW(trace::TraceRecorder rec(ctx), FatalError);
 }
 
 TEST(TraceReplay, CorruptedPayloadFailsVerification)
